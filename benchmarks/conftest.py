@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+One figure-quality experiment context is built per session; all paper-
+artifact benches (Fig. 5, Fig. 6, Table I) and ablations reuse its cached
+trained models, so the expensive cloud-side training happens once per
+mission class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ExperimentConfig, ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(ExperimentConfig())
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-artifact reproduction block to the bench output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,37 @@
+"""repro: Continuous GNN-based anomaly detection on edge via adaptive KG learning.
+
+A from-scratch Python reproduction of the DATE 2025 paper (Yun et al.,
+arXiv:2411.09072): MissionGNN-style hierarchical GNN reasoning over
+LLM-generated mission-specific knowledge graphs, plus the paper's core
+contribution — continuous knowledge-graph adaptive learning on edge devices
+(score monitoring, token-embedding-only updates, node pruning/creation, and
+interpretable KG retrieval).
+
+Quickstart
+----------
+>>> from repro.eval import ExperimentContext, ExperimentConfig
+>>> ctx = ExperimentContext(ExperimentConfig(train_steps=50))
+>>> model = ctx.train_model("Stealing")          # cloud-side training
+>>> windows, labels = ctx.eval_windows("Stealing")
+>>> scores = model.anomaly_scores(windows)        # deployed inference
+
+Subpackages
+-----------
+``repro.nn``          numpy autodiff + layers (PyTorch substitute)
+``repro.concepts``    surveillance concept ontology (ConceptNet-lite)
+``repro.embedding``   BPE tokenizer + joint text/image space (ImageBind sub)
+``repro.llm``         SyntheticLLM oracle (GPT-4 substitute)
+``repro.kg``          hierarchical reasoning KGs + generation framework
+``repro.gnn``         hierarchical GNN decision model (MissionGNN)
+``repro.adaptation``  continuous KG adaptive learning (the contribution)
+``repro.data``        synthetic UCF-Crime + trend-shift streams
+``repro.edge``        edge/cloud cost models (Table I)
+``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
+    "data", "edge", "eval", "utils",
+]

@@ -1,0 +1,46 @@
+"""Continuous KG adaptive learning — the paper's core contribution.
+
+Pipeline per Fig. 4: token updating (A) with convergence tracking, node
+pruning (B), node creating (C); plus the score monitor that decides *when*
+to adapt and the interpretable retrieval that explains *what* was learned.
+"""
+
+from .changepoint import CUSUM, ChangeDetectorMonitor, PageHinkley
+from .controller import (
+    AdaptationConfig,
+    AdaptationStepLog,
+    ContinuousAdaptationController,
+)
+from .convergence import ConvergenceConfig, NodeConvergenceTracker
+from .monitor import AnomalyScoreMonitor, MonitorConfig, PseudoLabels
+from .retrieval import (
+    DriftTrajectory,
+    InterpretableKGRetrieval,
+    NodeRetrieval,
+    RetrievedToken,
+)
+from .structure import StructuralAdapter, StructuralEvent
+from .token_update import TokenEmbeddingUpdater, TokenUpdateConfig, TokenUpdateResult
+
+__all__ = [
+    "AnomalyScoreMonitor",
+    "MonitorConfig",
+    "PseudoLabels",
+    "TokenEmbeddingUpdater",
+    "TokenUpdateConfig",
+    "TokenUpdateResult",
+    "NodeConvergenceTracker",
+    "ConvergenceConfig",
+    "StructuralAdapter",
+    "StructuralEvent",
+    "ContinuousAdaptationController",
+    "AdaptationConfig",
+    "AdaptationStepLog",
+    "InterpretableKGRetrieval",
+    "NodeRetrieval",
+    "RetrievedToken",
+    "DriftTrajectory",
+    "PageHinkley",
+    "CUSUM",
+    "ChangeDetectorMonitor",
+]

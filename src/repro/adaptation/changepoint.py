@@ -1,0 +1,149 @@
+"""Alternative change detectors for the adaptation trigger.
+
+The paper triggers adaptation with the windowed mean-drop rule
+K = |delta_m| * N.  Standard sequential change detection offers two classic
+alternatives, implemented here for ablation and for deployments that want
+firmer false-alarm control:
+
+* :class:`PageHinkley` — cumulative deviation from the running mean with a
+  drift allowance; fires when the cumulative drop exceeds a threshold.
+* :class:`CUSUM` — two-sided cumulative-sum detector with reference value
+  ``k`` and decision interval ``h`` (in units of the estimated std).
+
+Both expose ``update(score) -> bool`` (True = change detected) and reset
+after firing, so they can drive the same controller the paper's rule does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PageHinkley", "CUSUM", "ChangeDetectorMonitor"]
+
+
+class PageHinkley:
+    """Page-Hinkley test for downward mean shifts in a score stream.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance: deviations smaller than ``delta`` per sample
+        are attributed to noise.
+    threshold:
+        Cumulative deviation at which a change is declared.
+    burn_in:
+        Observations before detection arms.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.5,
+                 burn_in: int = 20):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.delta = delta
+        self.threshold = threshold
+        self.burn_in = burn_in
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, score: float) -> bool:
+        """Ingest one score; True when a downward mean shift is detected."""
+        self._count += 1
+        self._mean += (score - self._mean) / self._count
+        # Downward test: accumulate (mean - x - delta).
+        self._cumulative += self._mean - score - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count <= self.burn_in:
+            return False
+        if self._cumulative - self._minimum > self.threshold:
+            self.reset()
+            return True
+        return False
+
+
+class CUSUM:
+    """Two-sided CUSUM with online mean/std estimation.
+
+    ``k`` (reference value) and ``h`` (decision interval) are expressed in
+    units of the estimated standard deviation, the textbook convention.
+    """
+
+    def __init__(self, k: float = 0.5, h: float = 5.0, burn_in: int = 20):
+        if h <= 0:
+            raise ValueError("decision interval h must be positive")
+        self.k = k
+        self.h = h
+        self.burn_in = burn_in
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._upper = 0.0
+        self._lower = 0.0
+
+    @property
+    def _std(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return float(np.sqrt(self._m2 / (self._count - 1)))
+
+    def update(self, score: float) -> bool:
+        """Ingest one score; True when either side's CUSUM crosses ``h``."""
+        self._count += 1
+        delta = score - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (score - self._mean)
+        std = self._std
+        if self._count <= self.burn_in or std <= 1e-12:
+            return False
+        z = (score - self._mean) / std
+        self._upper = max(0.0, self._upper + z - self.k)
+        self._lower = max(0.0, self._lower - z - self.k)
+        if self._upper > self.h or self._lower > self.h:
+            self.reset()
+            return True
+        return False
+
+
+@dataclass
+class ChangeDetectorMonitor:
+    """Adapter: drive top-K pseudo-labeling from any change detector.
+
+    Keeps the paper's "top K of the recent window" labeling, but replaces
+    the |delta_m|-based trigger with a sequential change detector.  ``k``
+    is fixed (the detector gives a binary signal, not a magnitude).
+    """
+
+    detector: PageHinkley | CUSUM
+    window: int = 96
+    k: int = 8
+
+    def __post_init__(self):
+        self._scores: list[float] = []
+        self.detections = 0
+
+    def observe(self, scores: np.ndarray) -> bool:
+        """Feed scores; True if the detector fired on any of them."""
+        fired = False
+        for score in np.atleast_1d(np.asarray(scores, dtype=np.float64)):
+            self._scores.append(float(score))
+            if self.detector.update(float(score)):
+                fired = True
+        self._scores = self._scores[-self.window:]
+        if fired:
+            self.detections += 1
+        return fired
+
+    def top_k_indices(self) -> np.ndarray:
+        """Indices (into the retained window) of the top-k scores."""
+        window = np.asarray(self._scores)
+        k = min(self.k, window.size)
+        return np.sort(np.argsort(-window, kind="mergesort")[:k])

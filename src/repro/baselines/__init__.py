@@ -1,0 +1,22 @@
+"""Classical anomaly-detection baselines over the joint embedding space.
+
+The paper compares against its own cloud-update baseline; these detectors
+add the standard non-KG reference points a reviewer would ask for: given
+the same frozen frame embeddings, how far does MissionGNN-style reasoning
+actually move the needle over (a) distance-to-normal one-class detection,
+(b) k-nearest-neighbour scoring, and (c) a plain supervised MLP?
+
+All baselines consume *frame windows* through the same
+``fit(windows, labels)`` / ``anomaly_scores(windows)`` interface as
+:class:`repro.gnn.MissionGNNModel`, so harnesses can swap them in directly.
+"""
+
+from .classical import KNNDetector, MahalanobisDetector, NearestCentroidDetector
+from .mlp import MLPClassifierBaseline
+
+__all__ = [
+    "NearestCentroidDetector",
+    "MahalanobisDetector",
+    "KNNDetector",
+    "MLPClassifierBaseline",
+]

@@ -1,0 +1,122 @@
+"""Classical (non-learned / lazily-learned) anomaly detectors.
+
+Each detector embeds frame windows with the frozen image encoder, pools
+over time, and scores by geometry in the joint space:
+
+* :class:`NearestCentroidDetector` — distance to the mean of normal
+  embeddings (the simplest one-class rule);
+* :class:`MahalanobisDetector` — covariance-corrected distance to the
+  normal distribution (shrinkage-regularized);
+* :class:`KNNDetector` — mean distance to the k nearest normal training
+  embeddings (a strong classical one-class baseline).
+
+All are *one-class*: they fit on normal windows only and ignore anomaly
+labels, mirroring how such detectors are deployed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+
+__all__ = ["NearestCentroidDetector", "MahalanobisDetector", "KNNDetector"]
+
+
+class _EmbeddingDetector:
+    """Shared plumbing: encode windows -> pooled joint-space embeddings."""
+
+    def __init__(self, embedding_model: JointEmbeddingModel):
+        self.embedding_model = embedding_model
+        self._fitted = False
+
+    def _embed(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
+        batch, length, frame_dim = windows.shape
+        flat = self.embedding_model.encode_image(
+            windows.reshape(batch * length, frame_dim))
+        return flat.reshape(batch, length, -1).mean(axis=1)
+
+    def _normals(self, windows: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        labels = np.asarray(labels)
+        normals = self._embed(windows)[labels == 0]
+        if normals.shape[0] == 0:
+            raise ValueError("one-class baselines need at least one normal window")
+        return normals
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("detector is not fitted; call fit() first")
+
+
+class NearestCentroidDetector(_EmbeddingDetector):
+    """Score = Euclidean distance to the centroid of normal embeddings."""
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray) -> "NearestCentroidDetector":
+        self._centroid = self._normals(windows, labels).mean(axis=0)
+        self._fitted = True
+        return self
+
+    def anomaly_scores(self, windows: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        embeddings = self._embed(windows)
+        return np.linalg.norm(embeddings - self._centroid[None, :], axis=1)
+
+
+class MahalanobisDetector(_EmbeddingDetector):
+    """Score = Mahalanobis distance to the normal distribution.
+
+    Uses Ledoit-Wolf-style shrinkage toward the scaled identity so the
+    covariance stays invertible with few normal samples.
+    """
+
+    def __init__(self, embedding_model: JointEmbeddingModel,
+                 shrinkage: float = 0.1):
+        super().__init__(embedding_model)
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        self.shrinkage = shrinkage
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray) -> "MahalanobisDetector":
+        normals = self._normals(windows, labels)
+        self._mean = normals.mean(axis=0)
+        centered = normals - self._mean
+        dim = normals.shape[1]
+        cov = centered.T @ centered / max(normals.shape[0] - 1, 1)
+        target = np.trace(cov) / dim * np.eye(dim)
+        cov = (1 - self.shrinkage) * cov + self.shrinkage * target
+        self._precision = np.linalg.pinv(cov)
+        self._fitted = True
+        return self
+
+    def anomaly_scores(self, windows: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        centered = self._embed(windows) - self._mean[None, :]
+        return np.sqrt(np.maximum(
+            np.einsum("bi,ij,bj->b", centered, self._precision, centered), 0.0))
+
+
+class KNNDetector(_EmbeddingDetector):
+    """Score = mean Euclidean distance to the k nearest normal embeddings."""
+
+    def __init__(self, embedding_model: JointEmbeddingModel, k: int = 5):
+        super().__init__(embedding_model)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray) -> "KNNDetector":
+        self._bank = self._normals(windows, labels)
+        self._fitted = True
+        return self
+
+    def anomaly_scores(self, windows: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        embeddings = self._embed(windows)
+        k = min(self.k, self._bank.shape[0])
+        distances = np.linalg.norm(
+            embeddings[:, None, :] - self._bank[None, :, :], axis=2)
+        nearest = np.partition(distances, k - 1, axis=1)[:, :k]
+        return nearest.mean(axis=1)

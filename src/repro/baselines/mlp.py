@@ -1,0 +1,86 @@
+"""Supervised MLP baseline on pooled joint-space embeddings.
+
+A two-layer perceptron trained with the same optimizer family as the main
+model but with no KG, no GNN, and no temporal transformer — the ceiling a
+"just use the embeddings" approach reaches.  Comparing it against
+MissionGNN isolates the contribution of structured reasoning, and — more
+importantly for this paper — it has no token embeddings, so it *cannot* be
+adapted on the edge without touching model weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+from ..nn.layers import Dense, Module, ReLU, Sequential
+from ..nn.losses import cross_entropy
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from ..utils.rng import derive_rng
+
+__all__ = ["MLPClassifierBaseline"]
+
+
+class MLPClassifierBaseline(Module):
+    """Binary normal/anomalous classifier over pooled window embeddings."""
+
+    def __init__(self, embedding_model: JointEmbeddingModel,
+                 hidden_dim: int = 64, seed: int = 7):
+        super().__init__()
+        self.embedding_model = embedding_model
+        rng = derive_rng(seed, "mlp-baseline")
+        self.net = Sequential(
+            Dense(embedding_model.joint_dim, hidden_dim, rng),
+            ReLU(),
+            Dense(hidden_dim, 2, rng),
+        )
+        self._fitted = False
+
+    def _embed(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
+        batch, length, frame_dim = windows.shape
+        flat = self.embedding_model.encode_image(
+            windows.reshape(batch * length, frame_dim))
+        return flat.reshape(batch, length, -1).mean(axis=1)
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray,
+            steps: int = 200, batch_size: int = 32,
+            learning_rate: float = 1e-3, seed: int = 7) -> "MLPClassifierBaseline":
+        embeddings = self._embed(windows)
+        labels = np.asarray(labels, dtype=np.int64).clip(0, 1)
+        if embeddings.shape[0] == 0:
+            raise ValueError("empty training set")
+        optimizer = Adam(list(self.parameters()), lr=learning_rate)
+        rng = derive_rng(seed, "mlp-trainer")
+        normal_idx = np.flatnonzero(labels == 0)
+        anomaly_idx = np.flatnonzero(labels == 1)
+        self.train()
+        for _ in range(steps):
+            if normal_idx.size and anomaly_idx.size:
+                half = max(batch_size // 2, 1)
+                idx = np.concatenate([
+                    rng.choice(normal_idx, half, replace=normal_idx.size < half),
+                    rng.choice(anomaly_idx, half, replace=anomaly_idx.size < half)])
+            else:
+                idx = rng.choice(embeddings.shape[0],
+                                 min(batch_size, embeddings.shape[0]),
+                                 replace=False)
+            logits = self.net(Tensor(embeddings[idx]))
+            loss = cross_entropy(logits, labels[idx])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        self.eval()
+        self._fitted = True
+        return self
+
+    def anomaly_scores(self, windows: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("baseline is not fitted; call fit() first")
+        embeddings = self._embed(windows)
+        with no_grad():
+            probs = self.net(Tensor(embeddings)).softmax(axis=-1)
+        return probs.numpy()[:, 1]

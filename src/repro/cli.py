@@ -1,0 +1,158 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro.cli fig5 --shift weak
+    python -m repro.cli fig5 --shift strong
+    python -m repro.cli fig6
+    python -m repro.cli table1
+    python -m repro.cli multimission --missions Stealing Robbery Explosion
+    python -m repro.cli kg --mission Robbery
+
+Each subcommand builds the default experiment stack, runs the experiment,
+and prints the same report the corresponding benchmark emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .data.streams import TrendShiftConfig
+
+
+def _context(args):
+    from .eval import ExperimentConfig, ExperimentContext
+    return ExperimentContext(ExperimentConfig(
+        seed=args.seed, train_steps=args.train_steps))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="experiment seed (default 7)")
+    parser.add_argument("--train-steps", type=int, default=400,
+                        help="cloud-side training steps (default 400)")
+
+
+def cmd_fig5(args) -> int:
+    from .eval import TrendShiftExperiment, format_trend_shift
+    shifted = "Robbery" if args.shift == "weak" else "Explosion"
+    context = _context(args)
+    experiment = TrendShiftExperiment(context, TrendShiftConfig(
+        initial_class=args.initial, shifted_class=shifted,
+        steps_before_shift=args.steps_before, steps_after_shift=args.steps_after,
+        windows_per_step=24, anomaly_fraction=0.3, window=8,
+        seed=args.stream_seed))
+    print(format_trend_shift(experiment.run()))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from .eval import RetrievalDriftExperiment, format_retrieval_drift
+    context = _context(args)
+    experiment = RetrievalDriftExperiment(
+        context, tracked_word=args.tracked, target_word=args.target,
+        stream_config=TrendShiftConfig(
+            initial_class="Stealing", shifted_class="Robbery",
+            steps_before_shift=6, steps_after_shift=args.steps_after,
+            windows_per_step=24, anomaly_fraction=0.3, window=8,
+            seed=args.stream_seed))
+    print(format_retrieval_drift(experiment.run()))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .edge import EfficiencyComparison
+    from .eval import EfficiencyExperiment
+    context = _context(args)
+    experiment = EfficiencyExperiment(
+        context, class_a="Stealing", class_b="Robbery",
+        alternations=args.alternations, steps_per_phase=10)
+    measured = experiment.run()
+    comparison = EfficiencyComparison(
+        model=context.train_model("Stealing"),
+        auc_baseline=measured.auc_baseline,
+        auc_proposed=measured.auc_proposed)
+    print(comparison.format_table())
+    return 0
+
+
+def cmd_multimission(args) -> int:
+    from .eval.multimission import MultiMissionExperiment
+    context = _context(args)
+    experiment = MultiMissionExperiment(context, missions=args.missions)
+    result = experiment.run()
+    print(result.summary())
+    if result.type_confusion is not None:
+        print("confusion matrix (rows = truth):")
+        print(result.type_confusion)
+    return 0
+
+
+def cmd_kg(args) -> int:
+    from .concepts import build_default_ontology
+    from .kg import KGGenerationConfig, KGGenerator, kg_statistics, render_levels
+    from .llm import SyntheticLLM
+    oracle = SyntheticLLM(build_default_ontology(), seed=args.seed)
+    generator = KGGenerator(oracle, KGGenerationConfig(depth=args.depth))
+    kg, report = generator.generate(args.mission)
+    print(render_levels(kg))
+    print(f"\nerrors detected: {len(report.errors_detected)}, "
+          f"corrections: {report.corrections_applied}, "
+          f"pruned: {report.nodes_pruned}, LLM calls: {report.llm_calls}")
+    stats = kg_statistics(kg)
+    print(f"reasoning paths: {stats['num_reasoning_paths']}, "
+          f"mean fan-in: {stats['mean_fan_in']:.2f}, "
+          f"on-path fraction: {stats['on_path_fraction']:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Continuous KG-adaptive VAD reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")
+    _add_common(p)
+    p.add_argument("--shift", choices=("weak", "strong"), default="weak")
+    p.add_argument("--initial", default="Stealing")
+    p.add_argument("--steps-before", type=int, default=6)
+    p.add_argument("--steps-after", type=int, default=20)
+    p.add_argument("--stream-seed", type=int, default=11)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="interpretable retrieval drift (Fig. 6)")
+    _add_common(p)
+    p.add_argument("--tracked", default="sneaky")
+    p.add_argument("--target", default="firearm")
+    p.add_argument("--steps-after", type=int, default=24)
+    p.add_argument("--stream-seed", type=int, default=11)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("table1", help="edge-vs-cloud efficiency (Table I)")
+    _add_common(p)
+    p.add_argument("--alternations", type=int, default=4)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("multimission", help="multi-anomaly-type deployment")
+    _add_common(p)
+    p.add_argument("--missions", nargs="+",
+                   default=["Stealing", "Robbery", "Explosion"])
+    p.set_defaults(func=cmd_multimission)
+
+    p = sub.add_parser("kg", help="generate and inspect a mission KG")
+    p.add_argument("--mission", default="Stealing")
+    p.add_argument("--depth", type=int, default=3)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_kg)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

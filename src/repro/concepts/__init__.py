@@ -1,0 +1,28 @@
+"""ConceptNet-lite: a typed concept ontology for the surveillance domain.
+
+The paper generates its mission-specific KG with GPT-4 + ConceptNet 5.  This
+package is the offline substitute: a curated ontology of the 13 UCF-Crime
+anomaly classes, normal surveillance activities, and the concept vocabulary
+an LLM would produce when asked to reason about each anomaly — organized so
+that a deterministic oracle (:mod:`repro.llm`) can walk it level by level.
+"""
+
+from .ontology import (
+    ANOMALY_CLASSES,
+    CLASS_CLUSTERS,
+    NORMAL_ACTIVITIES,
+    Concept,
+    ConceptOntology,
+    build_default_ontology,
+)
+from .vectors import ConceptSpace
+
+__all__ = [
+    "Concept",
+    "ConceptOntology",
+    "ConceptSpace",
+    "ANOMALY_CLASSES",
+    "NORMAL_ACTIVITIES",
+    "CLASS_CLUSTERS",
+    "build_default_ontology",
+]

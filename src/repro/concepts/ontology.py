@@ -1,0 +1,295 @@
+"""The surveillance-domain concept ontology (ConceptNet-lite).
+
+Structure
+---------
+* 13 anomaly classes — exactly UCF-Crime's taxonomy — plus normal activities.
+* Each class owns a layered vocabulary of reasoning concepts:
+  depth 1 = key indicators (what an LLM lists first when asked "how would
+  you recognize <anomaly> in surveillance footage?"), depth 2 = observable
+  evidence, depth 3 = fine-grained visual cues.  These depths drive the
+  level-by-level KG expansion loop of the paper's Fig. 3.
+* Classes are grouped into semantic clusters; cluster membership defines
+  what the paper calls *weak* shifts (related anomalies, e.g. Stealing ->
+  Robbery, both acquisitive crimes) vs *strong* shifts (distant anomalies,
+  e.g. Stealing -> Explosion).
+* Concept-to-concept relation edges (`related_to`) let the oracle propose
+  cross-links and let tests check retrieval semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Concept",
+    "ConceptOntology",
+    "ANOMALY_CLASSES",
+    "NORMAL_ACTIVITIES",
+    "CLASS_CLUSTERS",
+    "build_default_ontology",
+]
+
+#: UCF-Crime's 13 anomaly classes (Sultani et al., CVPR 2018).
+ANOMALY_CLASSES: tuple[str, ...] = (
+    "Abuse", "Arrest", "Arson", "Assault", "Burglary", "Explosion",
+    "Fighting", "RoadAccidents", "Robbery", "Shooting", "Shoplifting",
+    "Stealing", "Vandalism",
+)
+
+#: Normal surveillance activities used for the non-anomalous data stream.
+NORMAL_ACTIVITIES: tuple[str, ...] = (
+    "walking", "shopping", "driving", "waiting", "talking", "jogging",
+    "cycling", "queueing", "sitting", "carrying bag", "crossing street",
+    "browsing shelf", "entering store", "exiting store", "parking car",
+)
+
+#: Semantic clusters.  Classes in the same cluster are "weakly" separated;
+#: classes in different clusters are "strongly" separated.
+CLASS_CLUSTERS: dict[str, tuple[str, ...]] = {
+    "acquisitive": ("Stealing", "Robbery", "Shoplifting", "Burglary"),
+    "violence": ("Assault", "Fighting", "Abuse", "Shooting"),
+    "fire": ("Explosion", "Arson"),
+    "public-order": ("Arrest", "Vandalism", "RoadAccidents"),
+}
+
+# Layered reasoning vocabulary per anomaly class.  Index 0 = depth-1 key
+# indicators, index 1 = depth-2 observable evidence, index 2 = depth-3 cues.
+_CLASS_CONCEPTS: dict[str, tuple[tuple[str, ...], ...]] = {
+    "Stealing": (
+        ("sneaky", "unattended item", "grabbing", "concealment"),
+        ("looking around", "pocketing object", "quick snatch", "hiding in jacket",
+         "opportunistic approach"),
+        ("slipping wallet", "unzipped bag", "palming item", "covert glance",
+         "tucking under arm", "swift hand movement"),
+    ),
+    "Robbery": (
+        ("firearm", "threatening", "demanding valuables", "masked person"),
+        ("pointing weapon", "raised hands", "cash register grab", "forceful demand",
+         "hostage posture"),
+        ("gun drawn", "knife brandished", "cashier panic", "bag stuffing",
+         "fleeing with loot", "threat gesture"),
+    ),
+    "Shoplifting": (
+        ("concealment", "merchandise", "tag removal", "nervous browsing"),
+        ("hiding in coat", "bag switching", "price swap", "checkout avoidance",
+         "aisle loitering"),
+        ("stuffing backpack", "removing security tag", "layered clothing",
+         "mirror checking", "exit rush", "shelf sweeping"),
+    ),
+    "Burglary": (
+        ("forced entry", "breaking in", "trespassing", "night prowling"),
+        ("window smashing", "lock picking", "door prying", "property search",
+         "flashlight sweep"),
+        ("crowbar use", "glass shards", "ransacked drawers", "climbing fence",
+         "masked entry", "disabled alarm"),
+    ),
+    "Assault": (
+        ("physical attack", "aggression", "victim", "sudden violence"),
+        ("punching", "shoving", "kicking", "victim falling", "aggressor chasing"),
+        ("raised fist", "headlock", "ground struggle", "defensive posture",
+         "bystander fleeing", "repeated blows"),
+    ),
+    "Fighting": (
+        ("brawl", "mutual combat", "crowd gathering", "aggressive posture"),
+        ("exchanging punches", "grappling", "wrestling", "circle of onlookers",
+         "separating parties"),
+        ("swinging arms", "tackling", "torn clothing", "staggering combatant",
+         "thrown object", "chaotic scuffle"),
+    ),
+    "Abuse": (
+        ("mistreatment", "power imbalance", "victim distress", "repeated harm"),
+        ("striking dependent", "cornering victim", "intimidation", "cowering person",
+         "forceful grabbing"),
+        ("raised hand threat", "flinching child", "dragged person", "verbal tirade",
+         "trapped in corner", "shielding face"),
+    ),
+    "Shooting": (
+        ("firearm", "gunfire", "muzzle flash", "people fleeing"),
+        ("aiming weapon", "shots fired", "victim collapsing", "taking cover",
+         "panic scattering"),
+        ("recoil motion", "shell casings", "smoke wisp", "crouched shooter",
+         "shattered window", "screaming crowd"),
+    ),
+    "Explosion": (
+        ("blast", "fireball", "smoke plume", "debris"),
+        ("shockwave", "flames erupting", "shattered glass", "dust cloud",
+         "people thrown"),
+        ("orange flash", "billowing smoke", "scattered fragments", "collapsed wall",
+         "fire spreading", "charred ground"),
+    ),
+    "Arson": (
+        ("fire setting", "accelerant", "deliberate ignition", "smoke"),
+        ("pouring liquid", "lighting match", "flames climbing", "fleeing igniter",
+         "gas can"),
+        ("lighter flick", "fuel trail", "rapid fire spread", "torched vehicle",
+         "smoke under door", "burning rag"),
+    ),
+    "Arrest": (
+        ("police officer", "handcuffs", "detainment", "patrol car"),
+        ("restraining suspect", "reading rights", "escorting detainee", "uniformed presence",
+         "frisking"),
+        ("hands behind back", "badge visible", "suspect against wall", "flashing lights",
+         "backup arriving", "compliant kneeling"),
+    ),
+    "Vandalism": (
+        ("property damage", "graffiti", "smashing", "defacement"),
+        ("spray painting", "breaking window", "kicking fixture", "overturning bin",
+         "keying car"),
+        ("paint can shake", "cracked glass", "bent signpost", "tagged wall",
+         "stomped planter", "thrown brick"),
+    ),
+    "RoadAccidents": (
+        ("vehicle collision", "crash", "skidding", "pedestrian struck"),
+        ("cars colliding", "motorbike falling", "sudden braking", "vehicle rollover",
+         "traffic pileup"),
+        ("crumpled hood", "broken headlight", "skid marks", "airbag deploy",
+         "scattered parts", "stopped traffic"),
+    ),
+}
+
+# Cross-class relations (ConceptNet-style `related_to` edges between concept
+# words).  Used by the oracle to propose plausible cross-links and by tests.
+_RELATED: tuple[tuple[str, str], ...] = (
+    ("sneaky", "looking around"),
+    ("sneaky", "concealment"),
+    ("concealment", "hiding in coat"),
+    ("firearm", "gun drawn"),
+    ("firearm", "aiming weapon"),
+    ("threatening", "pointing weapon"),
+    ("threatening", "intimidation"),
+    ("grabbing", "quick snatch"),
+    ("grabbing", "forceful grabbing"),
+    ("blast", "shockwave"),
+    ("smoke plume", "billowing smoke"),
+    ("smoke", "smoke plume"),
+    ("fire setting", "flames erupting"),
+    ("physical attack", "punching"),
+    ("brawl", "exchanging punches"),
+    ("masked person", "masked entry"),
+    ("breaking in", "window smashing"),
+    ("merchandise", "shelf sweeping"),
+    ("police officer", "restraining suspect"),
+    ("vehicle collision", "cars colliding"),
+    ("graffiti", "spray painting"),
+    ("demanding valuables", "cash register grab"),
+    ("gunfire", "shots fired"),
+    ("victim", "victim falling"),
+)
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A single ontology concept.
+
+    Attributes
+    ----------
+    text:
+        The short natural-language phrase (KG node label).
+    depth:
+        Reasoning depth (1 = key indicator ... 3 = fine cue); 0 for
+        normal-activity and class-name concepts.
+    classes:
+        Anomaly classes this concept is evidence for (possibly several).
+    is_normal:
+        True for normal-activity concepts.
+    """
+
+    text: str
+    depth: int
+    classes: tuple[str, ...] = ()
+    is_normal: bool = False
+
+
+class ConceptOntology:
+    """Queryable concept ontology with class/depth/relation indexes."""
+
+    def __init__(self, concepts: list[Concept],
+                 related: tuple[tuple[str, str], ...] = ()):
+        self._by_text: dict[str, Concept] = {}
+        for concept in concepts:
+            if concept.text in self._by_text:
+                existing = self._by_text[concept.text]
+                merged = Concept(
+                    text=concept.text,
+                    depth=min(existing.depth, concept.depth) or max(existing.depth, concept.depth),
+                    classes=tuple(sorted(set(existing.classes) | set(concept.classes))),
+                    is_normal=existing.is_normal or concept.is_normal,
+                )
+                self._by_text[concept.text] = merged
+            else:
+                self._by_text[concept.text] = concept
+        self._related: dict[str, set[str]] = {}
+        for a, b in related:
+            if a in self._by_text and b in self._by_text:
+                self._related.setdefault(a, set()).add(b)
+                self._related.setdefault(b, set()).add(a)
+
+    # -- lookups --------------------------------------------------------
+    def __contains__(self, text: str) -> bool:
+        return text in self._by_text
+
+    def __len__(self) -> int:
+        return len(self._by_text)
+
+    def get(self, text: str) -> Concept:
+        return self._by_text[text]
+
+    def all_concepts(self) -> list[Concept]:
+        return sorted(self._by_text.values(), key=lambda c: c.text)
+
+    def vocabulary(self) -> list[str]:
+        """All concept phrases, sorted for determinism."""
+        return sorted(self._by_text)
+
+    def concepts_for_class(self, anomaly_class: str, depth: int | None = None) -> list[Concept]:
+        """Concepts that are evidence for ``anomaly_class`` (optionally at a depth)."""
+        if anomaly_class not in ANOMALY_CLASSES:
+            raise KeyError(f"unknown anomaly class: {anomaly_class!r}")
+        result = [c for c in self.all_concepts()
+                  if anomaly_class in c.classes and not c.is_normal]
+        if depth is not None:
+            result = [c for c in result if c.depth == depth]
+        return result
+
+    def normal_concepts(self) -> list[Concept]:
+        return [c for c in self.all_concepts() if c.is_normal]
+
+    def related(self, text: str) -> list[str]:
+        return sorted(self._related.get(text, ()))
+
+    def max_depth(self, anomaly_class: str) -> int:
+        concepts = self.concepts_for_class(anomaly_class)
+        return max((c.depth for c in concepts), default=0)
+
+    # -- cluster semantics ------------------------------------------------
+    @staticmethod
+    def cluster_of(anomaly_class: str) -> str:
+        for cluster, members in CLASS_CLUSTERS.items():
+            if anomaly_class in members:
+                return cluster
+        raise KeyError(f"unknown anomaly class: {anomaly_class!r}")
+
+    @classmethod
+    def shift_strength(cls, from_class: str, to_class: str) -> str:
+        """Classify a trend shift as ``'weak'`` (same cluster) or ``'strong'``."""
+        if from_class == to_class:
+            return "none"
+        same = cls.cluster_of(from_class) == cls.cluster_of(to_class)
+        return "weak" if same else "strong"
+
+
+def build_default_ontology() -> ConceptOntology:
+    """Construct the full built-in surveillance ontology."""
+    concepts: list[Concept] = []
+    for class_name, layers in _CLASS_CONCEPTS.items():
+        for depth_index, words in enumerate(layers, start=1):
+            for word in words:
+                concepts.append(Concept(text=word, depth=depth_index,
+                                        classes=(class_name,)))
+    for activity in NORMAL_ACTIVITIES:
+        concepts.append(Concept(text=activity, depth=1, is_normal=True))
+    # Class names themselves are retrievable concepts (depth 0).
+    for class_name in ANOMALY_CLASSES:
+        concepts.append(Concept(text=class_name.lower(), depth=0,
+                                classes=(class_name,)))
+    return ConceptOntology(concepts, related=_RELATED)

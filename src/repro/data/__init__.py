@@ -1,0 +1,16 @@
+"""Synthetic UCF-Crime-shaped data: frames, videos, splits, trend-shift streams."""
+
+from .streams import StreamBatch, TrendShiftConfig, TrendShiftStream
+from .synthetic import FrameGenerator, Video, make_windows
+from .ucf_crime import SyntheticUCFCrime, UCFCrimeSplit
+
+__all__ = [
+    "FrameGenerator",
+    "Video",
+    "make_windows",
+    "SyntheticUCFCrime",
+    "UCFCrimeSplit",
+    "TrendShiftStream",
+    "TrendShiftConfig",
+    "StreamBatch",
+]

@@ -1,0 +1,113 @@
+"""Deployment-time data streams with anomaly-trend shifts (paper Fig. 5).
+
+``TrendShiftStream`` simulates what an edge camera sees after deployment:
+a continuing mixture of normal activity and the *current* target anomaly,
+where the target switches from an initial class to a new one at a
+configured step — a *weak* shift when the classes share a semantic cluster
+(Stealing -> Robbery) and a *strong* shift otherwise (Stealing ->
+Explosion).  The stream yields frame windows in arrival order, which is
+exactly what the continuous-adaptation monitor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..concepts.ontology import ConceptOntology
+from ..utils.rng import derive_rng
+from .synthetic import FrameGenerator
+
+__all__ = ["TrendShiftConfig", "StreamBatch", "TrendShiftStream"]
+
+
+@dataclass
+class TrendShiftConfig:
+    """Stream shape.
+
+    ``steps_before_shift`` adaptation steps see ``initial_class``; the
+    remaining ``steps_after_shift`` see ``shifted_class``.  Each step
+    delivers ``windows_per_step`` windows with ``anomaly_fraction`` of them
+    anomalous (frame windows are homogeneous: all-normal or all-anomalous
+    frames, approximating the anomaly segments of untrimmed footage).
+    """
+
+    initial_class: str = "Stealing"
+    shifted_class: str = "Robbery"
+    steps_before_shift: int = 8
+    steps_after_shift: int = 16
+    windows_per_step: int = 24
+    anomaly_fraction: float = 0.3
+    window: int = 8
+    seed: int = 7
+
+    @property
+    def total_steps(self) -> int:
+        return self.steps_before_shift + self.steps_after_shift
+
+    @property
+    def shift_strength(self) -> str:
+        return ConceptOntology.shift_strength(self.initial_class, self.shifted_class)
+
+
+@dataclass
+class StreamBatch:
+    """One adaptation step's worth of arrivals.
+
+    ``labels`` are ground truth for *evaluation only* — the edge device
+    never sees them (it pseudo-labels via the score monitor).
+    """
+
+    step: int
+    active_class: str
+    windows: np.ndarray          # (n, T, frame_dim)
+    labels: np.ndarray           # (n,) 0 normal / 1 anomalous
+    is_post_shift: bool
+
+
+class TrendShiftStream:
+    """Iterable over :class:`StreamBatch` objects."""
+
+    def __init__(self, generator: FrameGenerator, config: TrendShiftConfig):
+        self.generator = generator
+        self.config = config
+
+    def active_class_at(self, step: int) -> str:
+        cfg = self.config
+        return cfg.initial_class if step < cfg.steps_before_shift else cfg.shifted_class
+
+    def batch(self, step: int) -> StreamBatch:
+        """Deterministically materialize the batch for ``step``."""
+        cfg = self.config
+        if not 0 <= step < cfg.total_steps:
+            raise IndexError(f"step {step} outside [0, {cfg.total_steps})")
+        active = self.active_class_at(step)
+        rng = derive_rng(cfg.seed, "stream", step)
+        n_anomalous = int(round(cfg.windows_per_step * cfg.anomaly_fraction))
+        n_normal = cfg.windows_per_step - n_anomalous
+        windows, labels = [], []
+        for _ in range(n_normal):
+            frames = np.stack([self.generator.normal_frame(rng)
+                               for _ in range(cfg.window)])
+            windows.append(frames)
+            labels.append(0)
+        for _ in range(n_anomalous):
+            frames = np.stack([self.generator.anomaly_frame(active, rng)
+                               for _ in range(cfg.window)])
+            windows.append(frames)
+            labels.append(1)
+        order = rng.permutation(len(windows))
+        return StreamBatch(
+            step=step,
+            active_class=active,
+            windows=np.stack(windows)[order],
+            labels=np.array(labels, dtype=np.int64)[order],
+            is_post_shift=step >= cfg.steps_before_shift)
+
+    def __iter__(self):
+        for step in range(self.config.total_steps):
+            yield self.batch(step)
+
+    def __len__(self) -> int:
+        return self.config.total_steps

@@ -1,0 +1,46 @@
+"""Cloud-baseline cost model (Table I's left column).
+
+The baseline maintains the deployment by regenerating the mission KG with
+GPT-4 in the cloud whenever the anomaly trend changes, then pushing the new
+KG to every edge device.  Costs follow the paper's own constants:
+1e15 FLOPs and 200 GB of accelerator memory per GPT-4 KG generation,
+~0.5 GB of network transfer per KG push, one minute of wall-clock per
+generation, and mandatory human intervention per update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flops import GPT4_KG_GENERATION_FLOPS
+
+__all__ = ["CloudBaseline"]
+
+
+@dataclass
+class CloudBaseline:
+    """Monthly cost model for cloud-based KG maintenance."""
+
+    updates_per_month: int = 4
+    gpt4_flops_per_update: float = GPT4_KG_GENERATION_FLOPS
+    gpt4_memory_gb: float = 200.0
+    minutes_per_update: float = 1.0
+    bandwidth_gb_per_update: float = 0.5
+    requires_human: bool = True
+
+    # -- monthly aggregates ------------------------------------------------
+    @property
+    def monthly_flops(self) -> float:
+        return self.updates_per_month * self.gpt4_flops_per_update
+
+    @property
+    def monthly_update_minutes(self) -> float:
+        return self.updates_per_month * self.minutes_per_update
+
+    @property
+    def monthly_bandwidth_gb(self) -> float:
+        return self.updates_per_month * self.bandwidth_gb_per_update
+
+    def scalability(self) -> str:
+        """Scaling is bounded by cloud capacity and the human in the loop."""
+        return "Limited by Cloud Resources"

@@ -1,0 +1,64 @@
+"""Edge-device resource model: storage, memory, energy.
+
+Models a Jetson-class edge box (the deployment target implied by the
+paper's "resource-constrained environments").  Energy uses a
+joules-per-FLOP efficiency typical of embedded GPUs (~10 GFLOPs/W
+effective), which lands adaptation energy in the paper's "~5 J per update"
+regime for ~1e9-FLOP updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gnn.pipeline import MissionGNNModel
+from ..kg.graph import ReasoningKG
+
+__all__ = ["EdgeDeviceModel"]
+
+_BYTES_PER_PARAM = 8  # we store float64; a real deployment would use fp16/32
+
+
+@dataclass
+class EdgeDeviceModel:
+    """Analytical resource model for the edge deployment.
+
+    Parameters
+    ----------
+    joules_per_flop:
+        Energy efficiency of the device (default 1e-10 J/FLOP = 10 GFLOPs/W
+        effective throughput, embedded-GPU class).
+    storage_overhead:
+        Multiplier covering runtime, OS images, codecs beyond raw weights.
+    """
+
+    joules_per_flop: float = 1e-10
+    storage_overhead: float = 2.0
+
+    # ------------------------------------------------------------------
+    def model_bytes(self, model: MissionGNNModel) -> int:
+        """Bytes to store the decision model's parameters."""
+        return model.num_parameters() * _BYTES_PER_PARAM
+
+    def kg_bytes(self, kg: ReasoningKG) -> int:
+        """Bytes to store a KG: structure plus token embeddings."""
+        total = 64 * kg.num_nodes + 16 * kg.num_edges  # structure estimate
+        for node in kg.concept_nodes():
+            if node.token_embeddings is not None:
+                total += node.token_embeddings.size * _BYTES_PER_PARAM
+        return total
+
+    def storage_gb(self, model: MissionGNNModel) -> float:
+        """Edge storage requirement in GB (model + KGs + overhead)."""
+        raw = self.model_bytes(model) + sum(self.kg_bytes(kg) for kg in model.kgs)
+        return raw * self.storage_overhead / 1e9
+
+    # ------------------------------------------------------------------
+    def adaptation_energy_joules(self, flops: float) -> float:
+        """Energy for an adaptation phase of the given FLOP cost."""
+        return flops * self.joules_per_flop
+
+    def inference_latency_seconds(self, flops: float,
+                                  device_flops_per_second: float = 1e10) -> float:
+        """Latency estimate at the device's sustained throughput."""
+        return flops / device_flops_per_second

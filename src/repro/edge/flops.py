@@ -1,0 +1,100 @@
+"""FLOP accounting for the deployed models.
+
+Table I reports computational costs; the paper uses round constants for the
+GPT-4 side (1e15 FLOPs per KG generation) and ~1e9 FLOPs/day for edge
+adaptation.  We count the *actual* FLOPs of our model shapes so the edge
+numbers are measured rather than assumed, and keep the paper's constants
+for the cloud side (GPT-4 is not ours to measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gnn.layers import GraphSpec
+from ..gnn.pipeline import MissionGNNModel
+
+__all__ = ["FlopCounts", "count_gnn_forward", "count_temporal_forward",
+           "count_model_forward", "count_adaptation_step",
+           "GPT4_KG_GENERATION_FLOPS"]
+
+#: Paper constant: one GPT-4 mission-KG generation costs ~1e15 FLOPs.
+GPT4_KG_GENERATION_FLOPS = 1e15
+
+
+@dataclass(frozen=True)
+class FlopCounts:
+    """FLOPs broken down by pipeline stage (per frame window)."""
+
+    image_encoder: float
+    gnn: float
+    temporal: float
+    decision: float
+
+    @property
+    def total(self) -> float:
+        return self.image_encoder + self.gnn + self.temporal + self.decision
+
+
+def _dense_flops(batch: int, in_dim: int, out_dim: int) -> float:
+    return 2.0 * batch * in_dim * out_dim
+
+
+def count_gnn_forward(model: MissionGNNModel, kg_index: int = 0) -> float:
+    """FLOPs for one frame through one KG's hierarchical GNN."""
+    reasoner = model.reasoners[kg_index]
+    spec: GraphSpec = reasoner.spec
+    gnn = reasoner.gnn
+    v = spec.num_nodes
+    flops = 0.0
+    for level, layer in enumerate(gnn.layers):
+        flops += _dense_flops(v, layer.in_dim, layer.out_dim)  # Eq. 1
+        n_edges = len(spec.edge_sources[level])
+        flops += n_edges * layer.out_dim            # Eq. 2 products
+        flops += 2.0 * n_edges * layer.out_dim      # Eq. 3 aggregation
+        flops += 8.0 * v * layer.out_dim            # batch-norm + ELU
+    return flops
+
+
+def count_temporal_forward(model: MissionGNNModel) -> float:
+    """FLOPs for one window through the short-term transformer."""
+    encoder = model.temporal.encoder
+    t = model.temporal.window
+    d = encoder.model_dim
+    d_in = encoder.input_dim
+    flops = _dense_flops(t, d_in, d)  # input projection
+    for layer in encoder.layers:
+        flops += 4.0 * _dense_flops(t, d, d)      # q, k, v, o projections
+        flops += 2.0 * 2.0 * t * t * d            # scores + context matmuls
+        flops += 5.0 * t * t                      # softmax
+        ff = layer.ff1.out_features
+        flops += _dense_flops(t, d, ff) + _dense_flops(t, ff, d)
+        flops += 12.0 * t * d                     # two layer norms + residuals
+    flops += _dense_flops(t, d, d_in)  # output projection
+    return flops
+
+
+def count_model_forward(model: MissionGNNModel) -> FlopCounts:
+    """Per-window inference FLOPs for the full deployed pipeline."""
+    embedding = model.embedding_model
+    t = model.temporal.window
+    image = 2.0 * t * embedding.frame_dim * embedding.joint_dim
+    gnn = t * sum(count_gnn_forward(model, i) for i in range(len(model.reasoners)))
+    temporal = count_temporal_forward(model)
+    decision = _dense_flops(1, model.reasoning_dim,
+                            model.decision.num_anomaly_types + 1)
+    return FlopCounts(image_encoder=image, gnn=gnn, temporal=temporal,
+                      decision=decision)
+
+
+def count_adaptation_step(model: MissionGNNModel, batch_windows: int,
+                          inner_steps: int, rounds: int) -> float:
+    """FLOPs for one full edge adaptation phase.
+
+    Backward passes cost roughly 2x a forward pass, so one gradient
+    iteration is ~3x forward; re-scoring between rounds adds one forward
+    sweep per round.
+    """
+    forward = count_model_forward(model).total
+    per_round = batch_windows * forward * (1.0 + 3.0 * inner_steps)
+    return rounds * per_round

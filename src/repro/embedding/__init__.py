@@ -1,0 +1,14 @@
+"""Tokenizer and joint text/image embedding model (ImageBind substitute)."""
+
+from .bpe import BPETokenizer
+from .corpus import build_domain_corpus
+from .joint_space import JointEmbeddingModel, build_default_embedding_model
+from .tokens import TokenEmbeddingTable
+
+__all__ = [
+    "BPETokenizer",
+    "TokenEmbeddingTable",
+    "JointEmbeddingModel",
+    "build_default_embedding_model",
+    "build_domain_corpus",
+]

@@ -1,0 +1,58 @@
+"""Built-in domain corpus for BPE training.
+
+ImageBind ships a pre-trained BPE vocabulary; our substitute trains real BPE
+merges on a small surveillance-domain corpus assembled from the concept
+ontology plus template sentences, so the tokenizer sees realistic subword
+statistics (shared stems like "threat-", "steal-", "fire-").
+"""
+
+from __future__ import annotations
+
+from ..concepts.ontology import (
+    ANOMALY_CLASSES,
+    NORMAL_ACTIVITIES,
+    build_default_ontology,
+)
+
+__all__ = ["build_domain_corpus"]
+
+_TEMPLATES: tuple[str, ...] = (
+    "the camera shows a person {verb} near the entrance",
+    "footage of {noun} in the parking lot at night",
+    "a suspect was seen {verb} before fleeing the scene",
+    "surveillance captured {noun} next to the register",
+    "an officer observed {noun} on the platform",
+    "the video contains {noun} followed by people running",
+    "witnesses reported {noun} outside the store",
+    "alarm triggered after {noun} in the lobby",
+)
+
+_FILLER_NOUNS: tuple[str, ...] = (
+    "a crowded sidewalk", "an empty corridor", "a delivery truck",
+    "a security guard", "broken glass", "a dark alley", "an atm machine",
+    "a crowd of shoppers", "a stairwell", "an elevator door",
+)
+
+_FILLER_VERBS: tuple[str, ...] = (
+    "running", "shouting", "hiding", "loitering", "escaping",
+    "approaching", "watching", "struggling", "pushing", "threatening",
+)
+
+
+def build_domain_corpus() -> list[str]:
+    """Return the deterministic training corpus: one string per line."""
+    ontology = build_default_ontology()
+    lines: list[str] = []
+    lines.extend(concept.text for concept in ontology.all_concepts())
+    lines.extend(name.lower() for name in ANOMALY_CLASSES)
+    lines.extend(NORMAL_ACTIVITIES)
+    for template in _TEMPLATES:
+        if "{noun}" in template:
+            for noun in _FILLER_NOUNS:
+                lines.append(template.format(noun=noun))
+            for concept in ontology.all_concepts()[::3]:
+                lines.append(template.format(noun=concept.text))
+        if "{verb}" in template:
+            for verb in _FILLER_VERBS:
+                lines.append(template.format(verb=verb))
+    return lines

@@ -1,0 +1,101 @@
+"""Evaluation metrics implemented from scratch (no sklearn dependency).
+
+The paper's headline metric is frame-level ROC AUC on the UCF-Crime test
+split — standard for video anomaly detection.  We also provide the ROC
+curve itself and average precision for richer reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc", "average_precision", "score_statistics"]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same length")
+    if scores.size == 0:
+        raise ValueError("empty inputs")
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise ValueError(f"labels must be binary 0/1, got {sorted(unique)}")
+    return scores, labels.astype(np.int64)
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve (fpr, tpr, thresholds), ties handled by score grouping."""
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both positive and negative samples")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    # Indices where the score changes: one ROC point per distinct threshold.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    thresholds_idx = np.concatenate([distinct, [labels.size - 1]])
+    tps = np.cumsum(sorted_labels)[thresholds_idx]
+    fps = (thresholds_idx + 1) - tps
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[thresholds_idx]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Equivalent to trapezoidal integration of the ROC curve but exact under
+    ties (ties contribute 1/2).
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both positive and negative samples")
+    # Midranks handle ties exactly.
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < labels.size:
+        j = i
+        while j + 1 < labels.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[labels == 1].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve)."""
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise ValueError("average_precision needs at least one positive")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    tps = np.cumsum(sorted_labels)
+    precision = tps / np.arange(1, labels.size + 1)
+    return float((precision * sorted_labels).sum() / n_pos)
+
+
+def score_statistics(scores: np.ndarray) -> dict[str, float]:
+    """Summary statistics of an anomaly-score sample (used by the monitor tests)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if scores.size == 0:
+        raise ValueError("empty scores")
+    return {
+        "mean": float(scores.mean()),
+        "std": float(scores.std()),
+        "min": float(scores.min()),
+        "max": float(scores.max()),
+        "median": float(np.median(scores)),
+    }

@@ -1,0 +1,69 @@
+"""Result formatting: paper-style series and tables for the benchmarks.
+
+Every benchmark prints the rows/series the corresponding paper artifact
+reports, through these helpers, so `pytest benchmarks/ --benchmark-only`
+regenerates a textual version of each figure and table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .experiments import RetrievalDriftResult, TrendShiftResult
+
+__all__ = ["format_trend_shift", "format_retrieval_drift", "ascii_series"]
+
+
+def ascii_series(values: list[float], width: int = 40,
+                 low: float = 0.0, high: float = 1.0) -> list[str]:
+    """Render a numeric series as simple ASCII bars (one line per value)."""
+    lines = []
+    for v in values:
+        filled = int(round((v - low) / max(high - low, 1e-12) * width))
+        filled = min(max(filled, 0), width)
+        lines.append("#" * filled + "." * (width - filled) + f" {v:.3f}")
+    return lines
+
+
+def format_trend_shift(result: TrendShiftResult, categories: int = 4) -> str:
+    """Fig. 5-style report: per-category AUC, adaptive vs static."""
+    means = result.category_means(categories)
+    lines = [
+        f"Fig.5 panel — {result.initial_class} -> {result.shifted_class} "
+        f"({result.shift_strength} shift)",
+        f"shift at stream step {result.shift_step}; "
+        f"{result.token_updates} token updates, {result.pruned_nodes} nodes pruned",
+        "",
+        f"{'Category':<10} {'With adaptation':>16} {'Without adaptation':>20}",
+    ]
+    for i, (a, s) in enumerate(zip(means["adaptive"], means["static"]), start=1):
+        lines.append(f"{'Cat ' + str(i):<10} {a:>16.3f} {s:>20.3f}")
+    lines.append("")
+    lines.append(f"final adaptive-vs-static gap: {result.final_gap:+.3f}")
+    pre = [a for st, a in zip(result.steps, result.auc_adaptive)
+           if st < result.shift_step]
+    if pre:
+        lines.append(f"pre-shift AUC (initial anomaly): {np.mean(pre):.3f}")
+    return "\n".join(lines)
+
+
+def format_retrieval_drift(result: RetrievalDriftResult,
+                           max_snapshots: int = 10) -> str:
+    """Fig. 6-style report: relative position + retrieved words over iterations."""
+    traj = result.trajectory
+    positions = traj.relative_position()
+    lines = [
+        f"Fig.6 — node {result.tracked_node_text!r} drifting "
+        f"'{traj.initial_word}' -> '{traj.target_word}'",
+        "",
+        f"{'iteration':>10} {'rel.pos (0=init, 1=target)':>28}  nearest words",
+    ]
+    count = len(traj.iterations)
+    stride = max(count // max_snapshots, 1)
+    for idx in range(0, count, stride):
+        iteration = traj.iterations[idx]
+        words = ", ".join(result.retrieved_words.get(iteration, [])[:4])
+        lines.append(f"{iteration:>10} {positions[idx]:>28.3f}  {words}")
+    lines.append("")
+    lines.append(f"net drift toward '{traj.target_word}': {result.net_drift:+.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Hierarchical GNN decision model (MissionGNN substrate, paper Fig. 2B)."""
+
+from .decision import DecisionModel
+from .layers import GraphSpec, HierarchicalGNNLayer
+from .model import HierarchicalGNN, KGReasoner
+from .pipeline import MissionGNNConfig, MissionGNNModel
+from .temporal import ShortTermTemporalModel
+from .checkpoint import (
+    deployment_from_dict,
+    deployment_to_dict,
+    load_deployment,
+    save_deployment,
+)
+from .training import DecisionModelTrainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "GraphSpec",
+    "HierarchicalGNNLayer",
+    "HierarchicalGNN",
+    "KGReasoner",
+    "ShortTermTemporalModel",
+    "DecisionModel",
+    "MissionGNNConfig",
+    "MissionGNNModel",
+    "DecisionModelTrainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "save_deployment",
+    "load_deployment",
+    "deployment_to_dict",
+    "deployment_from_dict",
+]

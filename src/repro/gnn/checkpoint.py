@@ -1,0 +1,94 @@
+"""Deployment checkpoints: one artifact for the whole edge deployment.
+
+``state_dict`` covers trainable parameters only; a real deployment must
+also ship batch-normalization running statistics and the mission KGs
+(structure + token embeddings).  This module bundles everything the edge
+device needs into a single JSON file, so "deploy" is one save on the cloud
+side and one load on the edge side — and, symmetrically, an adapted edge
+deployment can be checkpointed and inspected offline.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+from ..kg.serialization import kg_from_dict, kg_to_dict
+from .pipeline import MissionGNNConfig, MissionGNNModel
+
+__all__ = ["save_deployment", "load_deployment", "deployment_to_dict",
+           "deployment_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode(array: np.ndarray) -> dict:
+    return {"shape": list(array.shape),
+            "data": base64.b64encode(array.astype(np.float64).tobytes()).decode()}
+
+
+def _decode(payload: dict) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    return np.frombuffer(raw, dtype=np.float64).reshape(payload["shape"]).copy()
+
+
+def deployment_to_dict(model: MissionGNNModel) -> dict:
+    """Serialize a trained model + its KGs to a JSON-safe dict."""
+    norm_stats = {}
+    for kg_index, reasoner in enumerate(model.reasoners):
+        for layer_index, layer in enumerate(reasoner.gnn.layers):
+            key = f"kg{kg_index}.layer{layer_index}"
+            norm_stats[key] = {
+                "running_mean": _encode(layer.norm.running_mean),
+                "running_var": _encode(layer.norm.running_var),
+            }
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(model.config),
+        "weights": {name: _encode(value)
+                    for name, value in model.state_dict().items()},
+        "norm_stats": norm_stats,
+        "kgs": [kg_to_dict(kg) for kg in model.kgs],
+    }
+
+
+def deployment_from_dict(payload: dict,
+                         embedding_model: JointEmbeddingModel) -> MissionGNNModel:
+    """Rebuild a deployable model from :func:`deployment_to_dict` output.
+
+    The joint embedding model is frozen and shared infrastructure (the
+    paper ships it once, not per deployment), so it is passed in rather
+    than serialized.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported deployment format version: {version}")
+    config = MissionGNNConfig(**payload["config"])
+    kgs = [kg_from_dict(entry) for entry in payload["kgs"]]
+    model = MissionGNNModel(kgs, embedding_model, config)
+    model.load_state_dict({name: _decode(value)
+                           for name, value in payload["weights"].items()})
+    for kg_index, reasoner in enumerate(model.reasoners):
+        for layer_index, layer in enumerate(reasoner.gnn.layers):
+            stats = payload["norm_stats"][f"kg{kg_index}.layer{layer_index}"]
+            layer.norm.running_mean = _decode(stats["running_mean"])
+            layer.norm.running_var = _decode(stats["running_var"])
+    model.eval()
+    return model
+
+
+def save_deployment(model: MissionGNNModel, path: str | Path) -> None:
+    """Write the full deployment artifact to ``path``."""
+    Path(path).write_text(json.dumps(deployment_to_dict(model)))
+
+
+def load_deployment(path: str | Path,
+                    embedding_model: JointEmbeddingModel) -> MissionGNNModel:
+    """Load a deployment artifact written by :func:`save_deployment`."""
+    return deployment_from_dict(json.loads(Path(path).read_text()),
+                                embedding_model)

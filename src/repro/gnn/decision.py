@@ -1,0 +1,57 @@
+"""Decision model ``f_dec`` (paper Eq. 5) and probability decomposition.
+
+A single linear layer + softmax over ``n + 1`` classes: index 0 is
+"normal"; indices 1..n are the mission anomaly types.  The paper's score
+decomposition:
+
+* ``p_N(F_t)   = s_t,0``                     (probability the frame is normal)
+* ``p_A(F_t)   = 1 - p_N(F_t)``              (anomaly probability — the score
+  the continuous-adaptation monitor tracks)
+* ``p_{i|A}    = s_t,i / (1 - p_N)``         (anomaly type posterior)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Dense, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["DecisionModel"]
+
+
+class DecisionModel(Module):
+    """Linear decision head over the temporal model's output embedding."""
+
+    def __init__(self, input_dim: int, num_anomaly_types: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        if num_anomaly_types < 1:
+            raise ValueError("need at least one anomaly type")
+        self.num_anomaly_types = num_anomaly_types
+        self.linear = Dense(input_dim, num_anomaly_types + 1, rng)
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        """Return raw logits (B, n+1); use :meth:`probabilities` for s_t."""
+        return self.linear(embeddings)
+
+    def probabilities(self, embeddings: Tensor) -> Tensor:
+        """s_t = softmax(W f'_t + b) (Eq. 5)."""
+        return self.forward(embeddings).softmax(axis=-1)
+
+    # -- score decomposition (numpy convenience, non-differentiable) -----
+    @staticmethod
+    def normal_probability(probs: np.ndarray) -> np.ndarray:
+        """p_N(F_t) = s_t,0."""
+        return probs[..., 0]
+
+    @staticmethod
+    def anomaly_probability(probs: np.ndarray) -> np.ndarray:
+        """p_A(F_t) = 1 - p_N(F_t)."""
+        return 1.0 - probs[..., 0]
+
+    @staticmethod
+    def anomaly_type_posterior(probs: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+        """p_{i|A}(F_t) = s_t,i / (1 - p_N), shape (..., n)."""
+        denom = np.maximum(1.0 - probs[..., :1], eps)
+        return probs[..., 1:] / denom

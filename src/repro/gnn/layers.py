@@ -1,0 +1,121 @@
+"""Hierarchical GNN layers (paper Eq. 1-4).
+
+Each GNN layer ``G_l`` is five sub-layers applied to *all* nodes of a
+reasoning KG:
+
+1. dense ``phi_l(X) = W X + b``                                   (Eq. 1)
+2. hierarchical message passing over ``E(l)`` — the edges into the
+   level-l nodes: ``M_{s,d} = X_s * X_d`` (elementwise product)   (Eq. 2)
+3. hierarchical aggregation — level-l nodes average their incoming
+   messages, every other node keeps its embedding                 (Eq. 3)
+4. batch normalization over all nodes
+5. ELU activation                                                 (Eq. 4)
+
+Because KG structure changes at adaptation time (node pruning/creation),
+the structural part is factored into a :class:`GraphSpec` compiled from a
+``ReasoningKG``; layer weights depend only on dimensionalities, so a
+recompile never invalidates trained weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kg.graph import ReasoningKG
+from ..nn.layers import BatchNorm, Dense, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["GraphSpec", "HierarchicalGNNLayer"]
+
+
+class GraphSpec:
+    """Immutable structural compilation of a reasoning KG.
+
+    Attributes
+    ----------
+    node_ids:
+        Sorted node ids; row ``i`` of the GNN's node-embedding matrix
+        corresponds to ``node_ids[i]``.
+    num_levels:
+        ``depth + 2`` (sensor level 0 ... embedding level depth+1).
+    edge_sources / edge_targets:
+        Per level ``l``: integer row indices of E(l)'s endpoints.
+    aggregate / receive_mask:
+        Per level ``l``: the (|V|, |E(l)|) mean-aggregation matrix and the
+        (|V|, 1) indicator of nodes in V(l) that actually receive messages.
+    """
+
+    def __init__(self, kg: ReasoningKG):
+        if kg.sensor_id is None or kg.embedding_id is None:
+            raise ValueError("KG must have terminals attached before compilation")
+        kg.validate()
+        self.node_ids: list[int] = sorted(n.node_id for n in kg.nodes())
+        self._row: dict[int, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.num_nodes = len(self.node_ids)
+        self.depth = kg.depth
+        self.num_levels = kg.depth + 2
+        self.sensor_row = self._row[kg.sensor_id]
+        self.embedding_row = self._row[kg.embedding_id]
+        self.levels = np.array([kg.node(nid).level for nid in self.node_ids])
+
+        self.edge_sources: list[np.ndarray] = []
+        self.edge_targets: list[np.ndarray] = []
+        self.aggregate: list[np.ndarray] = []
+        self.receive_mask: list[np.ndarray] = []
+        for level in range(self.num_levels):
+            edges = kg.edges_at_level(level)
+            sources = np.array([self._row[s] for s, _ in edges], dtype=np.int64)
+            targets = np.array([self._row[d] for _, d in edges], dtype=np.int64)
+            self.edge_sources.append(sources)
+            self.edge_targets.append(targets)
+            agg = np.zeros((self.num_nodes, max(len(edges), 1)))
+            mask = np.zeros((self.num_nodes, 1))
+            if len(edges):
+                in_degree = np.zeros(self.num_nodes)
+                for t in targets:
+                    in_degree[t] += 1
+                for e, t in enumerate(targets):
+                    agg[t, e] = 1.0 / in_degree[t]
+                mask[np.unique(targets), 0] = 1.0
+            self.aggregate.append(agg)
+            self.receive_mask.append(mask)
+
+    def row_of(self, node_id: int) -> int:
+        """Row index of a node id in the embedding matrix."""
+        return self._row[node_id]
+
+
+class HierarchicalGNNLayer(Module):
+    """One GNN layer ``G_l`` (Eq. 1-4), structure supplied per call.
+
+    ``forward(x, spec, level)`` takes node embeddings ``x`` of shape
+    ``(B, |V|, D_in)`` and returns ``(B, |V|, D_out)``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.dense = Dense(in_dim, out_dim, rng)
+        self.norm = BatchNorm(out_dim)
+
+    def forward(self, x: Tensor, spec: GraphSpec, level: int) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, |V|, D) embeddings, got {x.shape}")
+        if x.shape[1] != spec.num_nodes:
+            raise ValueError("embedding matrix does not match the graph spec")
+        refined = self.dense(x)  # Eq. 1, applied to all nodes
+
+        sources = spec.edge_sources[level]
+        if sources.size:
+            targets = spec.edge_targets[level]
+            # Eq. 2: per-edge messages X_s * X_d.
+            messages = refined[:, sources, :] * refined[:, targets, :]
+            # Eq. 3: mean-aggregate into receiving nodes, identity elsewhere.
+            aggregated = Tensor(spec.aggregate[level]) @ messages
+            mask = Tensor(spec.receive_mask[level])
+            combined = refined * (1.0 - mask) + aggregated * mask
+        else:
+            combined = refined
+
+        return self.norm(combined).elu()  # Eq. 4

@@ -1,0 +1,171 @@
+"""Per-KG hierarchical GNN and the multi-KG reasoning front end.
+
+``HierarchicalGNN`` stacks ``depth + 2`` :class:`HierarchicalGNNLayer`
+blocks (paper: "d + 2 GNN layers are applied in a hierarchical manner").
+Layer 0 refines the raw joint-space embeddings (its E(0) is empty: the
+sensor node receives no messages), layers 1..depth propagate reasoning
+through the concept levels, and layer depth+1 collects into the embedding
+node, whose final vector is the KG's reasoning embedding ``r_T``.
+
+``KGReasoner`` assembles the GNN input from a KG: the sensor row carries
+the encoded frame ``E_I(F_t)``; every concept row carries the differentiable
+text-path embedding of that node's learnable token matrix.  This is the
+junction where continuous adaptation gradients flow from the decision loss
+into the KG token embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+from ..kg.graph import ReasoningKG
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from .layers import GraphSpec, HierarchicalGNNLayer
+
+__all__ = ["HierarchicalGNN", "KGReasoner"]
+
+
+class HierarchicalGNN(Module):
+    """Stack of ``depth + 2`` hierarchical GNN layers for one KG shape.
+
+    Weights depend only on dimensionalities, never on the concrete graph,
+    so the same instance serves the KG across structural adaptations.
+    """
+
+    def __init__(self, depth: int, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.depth = depth
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        dims = [input_dim] + [hidden_dim] * (depth + 2)
+        self.layers = [
+            HierarchicalGNNLayer(dims[i], dims[i + 1], rng)
+            for i in range(depth + 2)
+        ]
+
+    @property
+    def output_dim(self) -> int:
+        return self.hidden_dim
+
+    def forward(self, x: Tensor, spec: GraphSpec) -> Tensor:
+        """Propagate (B, |V|, input_dim) -> final reasoning embedding (B, D).
+
+        Returns the embedding-node row of the last layer's output — the
+        paper's ``r_T`` extracted from ``X_{d+2}``.
+        """
+        if spec.depth != self.depth:
+            raise ValueError(f"spec depth {spec.depth} != model depth {self.depth}")
+        h = x
+        for level, layer in enumerate(self.layers):
+            h = layer(h, spec, level)
+        return h[:, spec.embedding_row, :]
+
+
+class KGReasoner(Module):
+    """Binds one reasoning KG + the joint embedding model + a GNN.
+
+    Responsibilities:
+
+    * compile and cache the :class:`GraphSpec` (recompiled on structural
+      adaptation via :meth:`refresh_structure`);
+    * build the GNN input matrix: concept-node rows from learnable token
+      embeddings (differentiable), sensor row from encoded frames;
+    * expose the per-node token tensors so the adaptation controller can
+      mark them as trainable leaves.
+    """
+
+    def __init__(self, kg: ReasoningKG, embedding_model: JointEmbeddingModel,
+                 gnn: HierarchicalGNN):
+        super().__init__()
+        if not kg.tokens_initialized():
+            raise ValueError("KG token embeddings must be initialized "
+                             "(call kg.initialize_tokens) before reasoning")
+        self.kg = kg
+        self.embedding_model = embedding_model
+        self.gnn = gnn
+        self.spec = GraphSpec(kg)
+        self._token_tensors: dict[int, Tensor] = {}
+        self._sync_token_tensors(trainable=False)
+
+    # ------------------------------------------------------------------
+    # Token tensors (the adaptation target)
+    # ------------------------------------------------------------------
+    def _sync_token_tensors(self, trainable: bool) -> None:
+        self._token_tensors = {
+            node.node_id: Tensor(node.token_embeddings, requires_grad=trainable)
+            for node in self.kg.concept_nodes()
+        }
+
+    def token_tensors(self) -> dict[int, Tensor]:
+        """Node id -> its learnable token-embedding tensor."""
+        return dict(self._token_tensors)
+
+    def set_tokens_trainable(self, trainable: bool) -> None:
+        """Mark the KG token embeddings as adaptation leaves (or freeze them)."""
+        self._sync_token_tensors(trainable=trainable)
+
+    def commit_tokens(self) -> None:
+        """Write current token tensor values back into the KG nodes."""
+        for node in self.kg.concept_nodes():
+            tensor = self._token_tensors.get(node.node_id)
+            if tensor is not None:
+                node.token_embeddings = tensor.data.copy()
+
+    def refresh_structure(self) -> None:
+        """Recompile after node pruning/creation changed the KG."""
+        self.spec = GraphSpec(self.kg)
+        trainable = any(t.requires_grad for t in self._token_tensors.values())
+        self._sync_token_tensors(trainable=trainable)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def node_embedding_matrix(self) -> Tensor:
+        """(|V|, joint_dim) matrix of node embeddings via the text path.
+
+        The sensor row is zeroed here and overwritten with the frame
+        encoding in :meth:`forward`.  The embedding node gets a small
+        constant vector rather than zeros: Eq. 2's messages multiply source
+        and destination embeddings, so an exactly-zero destination would
+        annihilate both the messages into the embedding node and — worse —
+        every gradient flowing back through them at initialization.
+        """
+        joint_dim = self.embedding_model.joint_dim
+        constant_row = np.full(joint_dim, 0.05 / np.sqrt(joint_dim))
+        rows: list[Tensor] = []
+        for node_id in self.spec.node_ids:
+            node = self.kg.node(node_id)
+            if node.is_concept:
+                rows.append(self.embedding_model.encode_token_tensor(
+                    self._token_tensors[node.node_id]))
+            elif node.is_embedding:
+                rows.append(Tensor(constant_row))
+            else:
+                rows.append(Tensor(np.zeros(joint_dim)))
+        return Tensor.stack(rows, axis=0)
+
+    def forward(self, frames: np.ndarray) -> Tensor:
+        """Reason over a batch of frames -> (B, gnn_output_dim).
+
+        ``frames`` holds raw frame features (B, frame_dim); they are encoded
+        with the frozen image encoder E_I and placed on the sensor node.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        batch = frames.shape[0]
+        encoded = self.embedding_model.encode_image(frames)  # (B, joint_dim)
+
+        base = self.node_embedding_matrix()  # (|V|, joint)
+        sensor_mask = np.zeros((self.spec.num_nodes, 1))
+        sensor_mask[self.spec.sensor_row, 0] = 1.0
+        # Broadcast the static node matrix over the batch and inject the
+        # frame encoding into the sensor row.
+        x = base * (1.0 - sensor_mask)  # zero the sensor row, keep concepts
+        x = x.reshape(1, self.spec.num_nodes, -1)
+        sensor_inject = encoded[:, None, :] * sensor_mask[None, :, :]
+        x = x + Tensor(sensor_inject)  # frames are data: constant on the tape
+        return self.gnn(x, self.spec)

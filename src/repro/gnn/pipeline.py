@@ -1,0 +1,124 @@
+"""End-to-end MissionGNN-style decision model (paper Fig. 2B).
+
+``MissionGNNModel`` chains, per frame window:
+
+1. per-KG hierarchical GNN reasoning (sensor -> embedding node) producing
+   ``r_{T_i}`` for each mission KG;
+2. concatenation ``f_t = r_{T_1} ^ ... ^ r_{T_n}``;
+3. the short-term temporal transformer over the last ``T`` frames;
+4. the linear decision head (Eq. 5).
+
+The model's trainable surface is configurable in the exact way the paper
+needs: during initial training everything learns; after deployment
+``freeze()`` locks all model weights and ``set_tokens_trainable(True)``
+re-opens *only* the KG token embeddings for continuous adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+from ..kg.graph import ReasoningKG
+from ..nn.layers import Module
+from ..nn.tensor import Tensor, no_grad
+from ..utils.rng import derive_rng
+from .decision import DecisionModel
+from .model import HierarchicalGNN, KGReasoner
+from .temporal import ShortTermTemporalModel
+
+__all__ = ["MissionGNNConfig", "MissionGNNModel"]
+
+
+@dataclass
+class MissionGNNConfig:
+    """Model hyperparameters; defaults follow the paper's Section IV-A."""
+
+    gnn_hidden_dim: int = 8        # D_{m_i,l} = 8 across all layers
+    temporal_window: int = 8       # T (frames per short-term window)
+    temporal_model_dim: int = 128  # transformer inner dimensionality
+    temporal_heads: int = 8        # attention heads
+    temporal_layers: int = 1
+    seed: int = 7
+
+
+class MissionGNNModel(Module):
+    """Multi-KG GNN reasoner + temporal transformer + decision head."""
+
+    def __init__(self, kgs: list[ReasoningKG], embedding_model: JointEmbeddingModel,
+                 config: MissionGNNConfig | None = None):
+        super().__init__()
+        if not kgs:
+            raise ValueError("need at least one mission KG")
+        self.config = config or MissionGNNConfig()
+        self.embedding_model = embedding_model
+        cfg = self.config
+
+        self.reasoners: list[KGReasoner] = []
+        for index, kg in enumerate(kgs):
+            rng = derive_rng(cfg.seed, "gnn", index)
+            gnn = HierarchicalGNN(depth=kg.depth,
+                                  input_dim=embedding_model.joint_dim,
+                                  hidden_dim=cfg.gnn_hidden_dim, rng=rng)
+            self.reasoners.append(KGReasoner(kg, embedding_model, gnn))
+
+        self.reasoning_dim = cfg.gnn_hidden_dim * len(kgs)
+        self.temporal = ShortTermTemporalModel(
+            reasoning_dim=self.reasoning_dim, window=cfg.temporal_window,
+            rng=derive_rng(cfg.seed, "temporal"),
+            model_dim=cfg.temporal_model_dim, num_heads=cfg.temporal_heads,
+            num_layers=cfg.temporal_layers)
+        self.decision = DecisionModel(self.reasoning_dim, num_anomaly_types=len(kgs),
+                                      rng=derive_rng(cfg.seed, "decision"))
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def reason_frames(self, frames: np.ndarray) -> Tensor:
+        """Frames (B, frame_dim) -> concatenated reasoning embeddings (B, D)."""
+        outputs = [reasoner(frames) for reasoner in self.reasoners]
+        return outputs[0] if len(outputs) == 1 else Tensor.concat(outputs, axis=1)
+
+    def forward(self, windows: np.ndarray) -> Tensor:
+        """Frame windows (B, T, frame_dim) -> decision logits (B, n+1)."""
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
+        batch, length, frame_dim = windows.shape
+        flat = windows.reshape(batch * length, frame_dim)
+        reasoning = self.reason_frames(flat).reshape(batch, length, self.reasoning_dim)
+        pooled = self.temporal(reasoning)
+        return self.decision(pooled)
+
+    def anomaly_scores(self, windows: np.ndarray) -> np.ndarray:
+        """Inference-only anomaly probabilities p_A for each window (B,)."""
+        with no_grad():
+            probs = self.forward(windows).softmax(axis=-1)
+        return DecisionModel.anomaly_probability(probs.numpy())
+
+    # ------------------------------------------------------------------
+    # Adaptation surface control (paper Fig. 2C)
+    # ------------------------------------------------------------------
+    def freeze_for_deployment(self) -> None:
+        """Freeze every model weight; open only the KG token embeddings."""
+        self.freeze()
+        self.eval()
+        for reasoner in self.reasoners:
+            reasoner.set_tokens_trainable(True)
+
+    def token_parameters(self) -> list[Tensor]:
+        """All KG token-embedding tensors (the adaptation leaves)."""
+        params: list[Tensor] = []
+        for reasoner in self.reasoners:
+            params.extend(reasoner.token_tensors().values())
+        return params
+
+    def commit_tokens(self) -> None:
+        for reasoner in self.reasoners:
+            reasoner.commit_tokens()
+
+    @property
+    def kgs(self) -> list[ReasoningKG]:
+        return [reasoner.kg for reasoner in self.reasoners]

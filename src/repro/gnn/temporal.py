@@ -1,0 +1,55 @@
+"""Short-term temporal model ``T : R^{T x D} -> R^D`` (paper Section III-C).
+
+A causal transformer consumes the reasoning embeddings of the previous
+``T`` consecutive frames and returns only the last output embedding —
+"focusing on short-term relationships, the model assumes anomalies are
+detectable in brief intervals".  The paper's configuration: inner
+dimensionality 128 with 8 attention heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import TransformerEncoder
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["ShortTermTemporalModel"]
+
+
+class ShortTermTemporalModel(Module):
+    """Causal transformer over reasoning-embedding windows.
+
+    Parameters
+    ----------
+    reasoning_dim:
+        D — the concatenated reasoning-embedding width (sum of per-KG GNN
+        output dims).
+    window:
+        T — number of consecutive frames per window.
+    model_dim / num_heads / num_layers:
+        Transformer internals (paper: 128 / 8).
+    """
+
+    def __init__(self, reasoning_dim: int, window: int,
+                 rng: np.random.Generator, model_dim: int = 128,
+                 num_heads: int = 8, num_layers: int = 1):
+        super().__init__()
+        self.reasoning_dim = reasoning_dim
+        self.window = window
+        self.encoder = TransformerEncoder(
+            input_dim=reasoning_dim, model_dim=model_dim, num_heads=num_heads,
+            num_layers=num_layers, rng=rng, max_length=window, causal=True)
+
+    def forward(self, sequences: Tensor) -> Tensor:
+        """(B, T, D) reasoning windows -> (B, D) last-position embeddings."""
+        if sequences.ndim != 3:
+            raise ValueError(f"expected (B, T, D), got {sequences.shape}")
+        if sequences.shape[1] != self.window:
+            raise ValueError(
+                f"window length {sequences.shape[1]} != configured {self.window}")
+        if sequences.shape[2] != self.reasoning_dim:
+            raise ValueError(
+                f"reasoning dim {sequences.shape[2]} != configured {self.reasoning_dim}")
+        return self.encoder.last_output(sequences)

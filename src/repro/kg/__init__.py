@@ -1,0 +1,37 @@
+"""Hierarchical reasoning knowledge graphs: structure, generation, persistence."""
+
+from .errors import (
+    DuplicatedConcept,
+    InvalidEdge,
+    KGError,
+    KGStructureError,
+    UnknownNodeError,
+)
+from .graph import KGNode, ReasoningKG
+from .generation import KGGenerationConfig, KGGenerationReport, KGGenerator
+from .analysis import KGDiff, diff_kgs, kg_statistics, to_networkx
+from .render import render_adjacency, render_levels
+from .serialization import kg_from_dict, kg_to_dict, load_kg, save_kg
+
+__all__ = [
+    "ReasoningKG",
+    "KGNode",
+    "KGGenerator",
+    "KGGenerationConfig",
+    "KGGenerationReport",
+    "KGError",
+    "DuplicatedConcept",
+    "InvalidEdge",
+    "KGStructureError",
+    "UnknownNodeError",
+    "save_kg",
+    "kg_statistics",
+    "KGDiff",
+    "diff_kgs",
+    "to_networkx",
+    "render_levels",
+    "render_adjacency",
+    "load_kg",
+    "kg_to_dict",
+    "kg_from_dict",
+]

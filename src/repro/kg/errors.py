@@ -1,0 +1,54 @@
+"""Error types for KG generation and validation.
+
+The paper's expansion loop (Fig. 3) checks each new level for exactly two
+error classes: *Duplicated Concepts* (a node repeating a concept already
+present at a previous level) and *Invalid Edges* (edges violating the rule
+that edges connect level i only to level i+1).  We model both as structured
+records so the error-correction loop can act on them, plus exceptions for
+hard invariant violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "KGError",
+    "DuplicatedConcept",
+    "InvalidEdge",
+    "KGStructureError",
+    "UnknownNodeError",
+]
+
+
+class KGStructureError(ValueError):
+    """Raised when an operation would break the hierarchical DAG invariants."""
+
+
+class UnknownNodeError(KeyError):
+    """Raised when referencing a node id that is not in the graph."""
+
+
+@dataclass(frozen=True)
+class KGError:
+    """Base class for detectable generation errors."""
+
+    description: str
+
+
+@dataclass(frozen=True)
+class DuplicatedConcept(KGError):
+    """A proposed concept duplicates one already present at any level."""
+
+    concept: str = ""
+    existing_level: int = -1
+
+
+@dataclass(frozen=True)
+class InvalidEdge(KGError):
+    """A proposed edge does not connect consecutive levels."""
+
+    source: str = ""
+    target: str = ""
+    source_level: int = -1
+    target_level: int = -1

@@ -1,0 +1,210 @@
+"""Mission-specific reasoning-KG generation (paper Fig. 3).
+
+The pipeline:
+
+1. **Initial reasoning nodes** — the LLM proposes level-1 key indicators.
+2. **Expansion loop** per level: node generation -> edge generation ->
+   error detection (duplicated concepts, invalid edges) -> bounded error
+   correction loop -> prune leftovers if the loop exhausts its budget.
+3. **Terminal attachment** — sensor node and embedding node complete the KG.
+
+The generator never trusts the oracle: every proposal passes through
+explicit validation, mirroring the paper's framework which must defend
+against LLM mistakes (including mistakes introduced *during correction*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.oracle import EdgeProposal, SyntheticLLM
+from .errors import DuplicatedConcept, InvalidEdge, KGError
+from .graph import ReasoningKG
+
+__all__ = ["KGGenerationConfig", "KGGenerationReport", "KGGenerator"]
+
+
+@dataclass
+class KGGenerationConfig:
+    """Knobs for the generation loop.
+
+    ``depth`` is the number of reasoning levels d (the GNN then has d+2
+    layers).  ``max_correction_iterations`` bounds the error-correction loop
+    as in the paper; on exhaustion, problematic nodes/edges are pruned.
+    """
+
+    depth: int = 3
+    initial_nodes: int = 4
+    nodes_per_level: int = 5
+    max_correction_iterations: int = 5
+
+
+@dataclass
+class KGGenerationReport:
+    """What happened during generation — used by tests and the edge cost model."""
+
+    mission: str
+    errors_detected: list[KGError] = field(default_factory=list)
+    corrections_applied: int = 0
+    nodes_pruned: int = 0
+    edges_pruned: int = 0
+    llm_calls: int = 0
+
+
+class KGGenerator:
+    """Drives the oracle through the Fig. 3 procedure."""
+
+    def __init__(self, oracle: SyntheticLLM, config: KGGenerationConfig | None = None):
+        self.oracle = oracle
+        self.config = config or KGGenerationConfig()
+
+    # ------------------------------------------------------------------
+    # Error detection (paper: Duplicated Concepts and Invalid Edges)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def detect_errors(existing: dict[str, int], proposals: list[str],
+                      edges: list[EdgeProposal], level: int) -> list[KGError]:
+        """Validate a proposed expansion of ``level + 1``.
+
+        ``existing`` maps already-accepted concept text -> its level.
+        """
+        errors: list[KGError] = []
+        seen: set[str] = set()
+        for concept in proposals:
+            if concept in existing:
+                errors.append(DuplicatedConcept(
+                    description=f"concept {concept!r} already at level "
+                                f"{existing[concept]}",
+                    concept=concept, existing_level=existing[concept]))
+            elif concept in seen:
+                errors.append(DuplicatedConcept(
+                    description=f"concept {concept!r} proposed twice",
+                    concept=concept, existing_level=level + 1))
+            seen.add(concept)
+        valid_sources = {t for t, lv in existing.items() if lv == level}
+        proposal_set = set(proposals)
+        for edge in edges:
+            src_level = existing.get(edge.source, None)
+            if edge.source in valid_sources and edge.target in proposal_set:
+                continue
+            errors.append(InvalidEdge(
+                description=f"edge {edge.source!r} -> {edge.target!r} does not "
+                            f"connect level {level} to level {level + 1}",
+                source=edge.source, target=edge.target,
+                source_level=src_level if src_level is not None else -1,
+                target_level=level + 1))
+        return errors
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, mission: str) -> tuple[ReasoningKG, KGGenerationReport]:
+        """Generate the full reasoning KG for ``mission``."""
+        cfg = self.config
+        report = KGGenerationReport(mission=mission)
+        kg = ReasoningKG(mission=mission, depth=cfg.depth)
+
+        initial = self.oracle.generate_initial_nodes(mission, count=cfg.initial_nodes)
+        report.llm_calls += 1
+        # The initial proposals may contain duplicates among themselves.
+        accepted: dict[str, int] = {}
+        for concept in initial:
+            if concept not in accepted:
+                kg.add_node(concept, level=1)
+                accepted[concept] = 1
+
+        for level in range(1, cfg.depth):
+            current = [text for text, lv in accepted.items() if lv == level]
+            proposals = self.oracle.generate_next_nodes(
+                mission, current, level, count=cfg.nodes_per_level,
+                forbidden=set(accepted))
+            report.llm_calls += 1
+            edges = self.oracle.generate_edges(
+                mission, level, sources=current, targets=proposals,
+                older_concepts=[t for t, lv in accepted.items() if lv < level])
+            report.llm_calls += 1
+
+            proposals, edges = self._correction_loop(
+                mission, level, accepted, proposals, edges, report)
+
+            next_level = level + 1
+            for concept in proposals:
+                kg.add_node(concept, level=next_level)
+                accepted[concept] = next_level
+            proposal_set = set(proposals)
+            text_to_id = {n.text: n.node_id for n in kg.concept_nodes()}
+            added_pairs: set[tuple[str, str]] = set()
+            for edge in edges:
+                if edge.target not in proposal_set or (edge.source, edge.target) in added_pairs:
+                    continue
+                kg.add_edge(text_to_id[edge.source], text_to_id[edge.target])
+                added_pairs.add((edge.source, edge.target))
+            # Guarantee connectivity: any orphan new node gets pruned
+            # (framework fallback when correction could not wire it).
+            for concept in list(proposals):
+                node_id = text_to_id[concept]
+                if kg.in_degree(node_id) == 0:
+                    kg.prune_node(node_id)
+                    del accepted[concept]
+                    report.nodes_pruned += 1
+
+        kg.attach_terminals()
+        kg.validate()
+        return kg, report
+
+    # ------------------------------------------------------------------
+    # Bounded correction loop
+    # ------------------------------------------------------------------
+    def _correction_loop(self, mission: str, level: int,
+                         accepted: dict[str, int], proposals: list[str],
+                         edges: list[EdgeProposal],
+                         report: KGGenerationReport,
+                         ) -> tuple[list[str], list[EdgeProposal]]:
+        cfg = self.config
+        for _ in range(cfg.max_correction_iterations):
+            errors = self.detect_errors(accepted, proposals, edges, level)
+            if not errors:
+                return proposals, edges
+            report.errors_detected.extend(errors)
+            valid_sources = [t for t, lv in accepted.items() if lv == level]
+            older = [t for t, lv in accepted.items() if lv < level]
+            for error in errors:
+                if isinstance(error, DuplicatedConcept):
+                    forbidden = set(accepted) | set(proposals)
+                    replacement = self.oracle.correct_duplicate(
+                        mission, error.concept, forbidden)
+                    report.llm_calls += 1
+                    # Replace the *last* occurrence of the duplicate.
+                    indices = [i for i, p in enumerate(proposals)
+                               if p == error.concept]
+                    if not indices:
+                        continue
+                    index = indices[-1]
+                    if replacement is not None:
+                        old = proposals[index]
+                        proposals[index] = replacement
+                        edges = [EdgeProposal(e.source, replacement)
+                                 if e.target == old and indices.count(index)
+                                 else e for e in edges]
+                        report.corrections_applied += 1
+                elif isinstance(error, InvalidEdge):
+                    fixed = self.oracle.correct_edge(
+                        level, error.target, valid_sources, older)
+                    report.llm_calls += 1
+                    edges = [e for e in edges
+                             if not (e.source == error.source and e.target == error.target)]
+                    if fixed is not None:
+                        edges.append(fixed)
+                        report.corrections_applied += 1
+        # Budget exhausted: prune whatever is still broken (paper fallback).
+        errors = self.detect_errors(accepted, proposals, edges, level)
+        bad_concepts = {e.concept for e in errors if isinstance(e, DuplicatedConcept)}
+        bad_edges = {(e.source, e.target) for e in errors if isinstance(e, InvalidEdge)}
+        if bad_concepts:
+            report.nodes_pruned += len(bad_concepts)
+            proposals = [p for p in proposals if p not in bad_concepts]
+            edges = [e for e in edges if e.target not in bad_concepts]
+        if bad_edges:
+            report.edges_pruned += len(bad_edges)
+            edges = [e for e in edges if (e.source, e.target) not in bad_edges]
+        return proposals, edges

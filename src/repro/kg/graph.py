@@ -1,0 +1,295 @@
+"""The hierarchical reasoning knowledge graph (paper Section III-B).
+
+A reasoning KG is a hierarchical DAG:
+
+* every node carries a short concept text and a level;
+* edges connect nodes at level ``i`` only to nodes at level ``i+1``;
+* level 0 holds the single **sensor node** (receives the encoded frame);
+* levels ``1..depth`` hold reasoning concepts;
+* level ``depth+1`` holds the single **embedding node** (emits the final
+  reasoning embedding).
+
+Besides structure, each concept node owns a *learnable token-embedding
+matrix* — the per-node CoOp-style vectors, initialized from the frozen
+vocabulary table, that continuous KG adaptive learning updates on the edge
+device.  The sensor and embedding nodes have no tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..embedding.joint_space import JointEmbeddingModel
+from .errors import KGStructureError, UnknownNodeError
+
+__all__ = ["KGNode", "ReasoningKG"]
+
+SENSOR_TEXT = "<sensor>"
+EMBEDDING_TEXT = "<embedding>"
+
+
+@dataclass
+class KGNode:
+    """A node of the reasoning KG.
+
+    ``token_ids`` / ``token_embeddings`` are None for the sensor and
+    embedding nodes.  ``token_embeddings`` has shape (n_tokens, token_dim)
+    and is the adaptation target.
+    """
+
+    node_id: int
+    text: str
+    level: int
+    token_ids: list[int] | None = None
+    token_embeddings: np.ndarray | None = None
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.text == SENSOR_TEXT
+
+    @property
+    def is_embedding(self) -> bool:
+        return self.text == EMBEDDING_TEXT
+
+    @property
+    def is_concept(self) -> bool:
+        return not (self.is_sensor or self.is_embedding)
+
+
+class ReasoningKG:
+    """Mutable hierarchical DAG with strict level-(i -> i+1) edges.
+
+    The class supports the paper's three structural operations — node
+    alternating happens implicitly via token updates; node *pruning* and
+    node *creating* are :meth:`prune_node` and :meth:`create_node`.
+    """
+
+    def __init__(self, mission: str, depth: int):
+        if depth < 1:
+            raise KGStructureError("reasoning depth must be >= 1")
+        self.mission = mission
+        self.depth = depth
+        self._nodes: dict[int, KGNode] = {}
+        self._edges: set[tuple[int, int]] = set()
+        self._next_id = 0
+        self.sensor_id: int | None = None
+        self.embedding_id: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, text: str, level: int) -> int:
+        """Add a concept node; returns its id."""
+        if not 1 <= level <= self.depth:
+            raise KGStructureError(
+                f"concept nodes must sit at level 1..{self.depth}, got {level}")
+        if any(n.text == text and n.is_concept for n in self._nodes.values()):
+            raise KGStructureError(f"concept {text!r} already present in the KG")
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = KGNode(node_id=node_id, text=text, level=level)
+        return node_id
+
+    def add_edge(self, source: int, target: int) -> None:
+        src = self.node(source)
+        dst = self.node(target)
+        if dst.level != src.level + 1:
+            raise KGStructureError(
+                f"edge {src.text!r}(L{src.level}) -> {dst.text!r}(L{dst.level}) "
+                "violates the level i -> i+1 rule")
+        self._edges.add((source, target))
+
+    def attach_terminals(self) -> None:
+        """Attach the sensor node (level 0) and embedding node (level depth+1).
+
+        The sensor node connects to every level-1 node; every level-`depth`
+        node connects to the embedding node.  This finalizes generation
+        (last step of the paper's Fig. 3 procedure).
+        """
+        if self.sensor_id is not None:
+            raise KGStructureError("terminals already attached")
+        sensor = KGNode(node_id=self._next_id, text=SENSOR_TEXT, level=0)
+        self._next_id += 1
+        embedding = KGNode(node_id=self._next_id, text=EMBEDDING_TEXT,
+                           level=self.depth + 1)
+        self._next_id += 1
+        self._nodes[sensor.node_id] = sensor
+        self._nodes[embedding.node_id] = embedding
+        self.sensor_id = sensor.node_id
+        self.embedding_id = embedding.node_id
+        for node in list(self._nodes.values()):
+            if node.level == 1:
+                self._edges.add((sensor.node_id, node.node_id))
+            if node.level == self.depth and node.is_concept:
+                self._edges.add((node.node_id, embedding.node_id))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> KGNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def has_concept(self, text: str) -> bool:
+        return any(n.text == text and n.is_concept for n in self._nodes.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def nodes(self) -> list[KGNode]:
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def concept_nodes(self) -> list[KGNode]:
+        return [n for n in self.nodes() if n.is_concept]
+
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(self._edges)
+
+    def nodes_at_level(self, level: int) -> list[KGNode]:
+        return [n for n in self.nodes() if n.level == level]
+
+    def edges_at_level(self, level: int) -> list[tuple[int, int]]:
+        """Edges whose *target* sits at ``level`` (the paper's E(l))."""
+        return [(s, d) for (s, d) in self.edges()
+                if self._nodes[d].level == level]
+
+    def in_degree(self, node_id: int) -> int:
+        return sum(1 for (_, d) in self._edges if d == node_id)
+
+    def out_degree(self, node_id: int) -> int:
+        return sum(1 for (s, _) in self._edges if s == node_id)
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return sorted(s for (s, d) in self._edges if d == node_id)
+
+    def successors(self, node_id: int) -> list[int]:
+        return sorted(d for (s, d) in self._edges if s == node_id)
+
+    # ------------------------------------------------------------------
+    # Token embeddings (the adaptation target)
+    # ------------------------------------------------------------------
+    def initialize_tokens(self, model: JointEmbeddingModel) -> None:
+        """Tokenize every concept node and copy in its vocab embeddings.
+
+        After this call each concept node owns an independent, learnable
+        ``token_embeddings`` matrix (paper Fig. 4(A): "Token Updating"
+        starts from the tokenized initial KG).
+        """
+        for node in self.concept_nodes():
+            ids = model.tokenizer.encode(node.text)
+            if not ids:
+                ids = [model.tokenizer.token_to_id[model.tokenizer.UNK]]
+            node.token_ids = ids
+            node.token_embeddings = model.token_table.lookup(ids).copy()
+
+    def tokens_initialized(self) -> bool:
+        return all(n.token_embeddings is not None for n in self.concept_nodes())
+
+    # ------------------------------------------------------------------
+    # Structural adaptation ops (paper Fig. 4 B/C)
+    # ------------------------------------------------------------------
+    def prune_node(self, node_id: int) -> KGNode:
+        """Remove a concept node and all its edges (paper: Node Pruning)."""
+        node = self.node(node_id)
+        if not node.is_concept:
+            raise KGStructureError("cannot prune the sensor or embedding node")
+        self._edges = {(s, d) for (s, d) in self._edges
+                       if s != node_id and d != node_id}
+        del self._nodes[node_id]
+        return node
+
+    def create_node(self, level: int, token_dim: int, n_tokens: int,
+                    rng: np.random.Generator,
+                    text: str | None = None,
+                    edge_probability: float = 0.5,
+                    token_bank: np.ndarray | None = None,
+                    bank_noise: float = 0.1) -> int:
+        """Create a fresh node with random tokens and random edges.
+
+        Paper Fig. 4(C): after pruning, "a new node with a random token
+        embedding is created at the same level as the pruned node, along
+        with random edge connections".  When ``token_bank`` (the frozen
+        vocabulary embedding table) is provided, the random embedding is a
+        random sample of vocabulary token vectors plus noise — random, but
+        inside the embedding manifold the frozen GNN was trained on.
+        Without a bank, rows are isotropic unit Gaussians.  Random edges go
+        to/from a random subset of adjacent-level nodes (at least one each
+        side when available, so the node participates in reasoning).
+        """
+        if not 1 <= level <= self.depth:
+            raise KGStructureError(f"level must be 1..{self.depth}")
+        node_id = self._next_id
+        self._next_id += 1
+        if token_bank is not None:
+            if token_bank.ndim != 2 or token_bank.shape[1] != token_dim:
+                raise ValueError("token_bank must be (vocab, token_dim)")
+            picks = rng.integers(0, token_bank.shape[0], size=n_tokens)
+            embeddings = (token_bank[picks]
+                          + bank_noise * rng.normal(size=(n_tokens, token_dim)))
+        else:
+            embeddings = rng.normal(0.0, 1.0, size=(n_tokens, token_dim))
+            embeddings /= np.linalg.norm(embeddings, axis=1, keepdims=True)
+        node = KGNode(node_id=node_id,
+                      text=text or f"<new-node-{node_id}>",
+                      level=level,
+                      token_ids=[],
+                      token_embeddings=embeddings)
+        self._nodes[node_id] = node
+
+        def _connect(candidates: list[KGNode], incoming: bool) -> None:
+            if not candidates:
+                return
+            mask = rng.random(len(candidates)) < edge_probability
+            if not mask.any():
+                mask[rng.integers(len(candidates))] = True
+            for candidate, keep in zip(candidates, mask):
+                if not keep:
+                    continue
+                if incoming:
+                    self._edges.add((candidate.node_id, node_id))
+                else:
+                    self._edges.add((node_id, candidate.node_id))
+
+        _connect(self.nodes_at_level(level - 1), incoming=True)
+        _connect(self.nodes_at_level(level + 1), incoming=False)
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise KGStructureError on failure."""
+        for (s, d) in self._edges:
+            if s not in self._nodes or d not in self._nodes:
+                raise KGStructureError(f"edge ({s},{d}) references a missing node")
+            if self._nodes[d].level != self._nodes[s].level + 1:
+                raise KGStructureError(
+                    f"edge ({s},{d}) connects level {self._nodes[s].level} "
+                    f"to level {self._nodes[d].level}")
+        texts = [n.text for n in self.concept_nodes()]
+        if len(texts) != len(set(texts)):
+            raise KGStructureError("duplicate concept texts present")
+        if self.sensor_id is not None:
+            if self.in_degree(self.sensor_id) != 0:
+                raise KGStructureError("sensor node must have no incoming edges")
+            if self.out_degree(self.embedding_id) != 0:
+                raise KGStructureError("embedding node must have no outgoing edges")
+
+    def summary(self) -> str:
+        lines = [f"ReasoningKG(mission={self.mission!r}, depth={self.depth}, "
+                 f"nodes={self.num_nodes}, edges={self.num_edges})"]
+        for level in range(0, self.depth + 2):
+            nodes = self.nodes_at_level(level)
+            if nodes:
+                names = ", ".join(n.text for n in nodes)
+                lines.append(f"  L{level}: {names}")
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""ASCII rendering of reasoning KGs.
+
+Terminal-friendly views of the hierarchical DAG for the CLI, examples and
+debugging: a level-by-level tree showing each node's parents, and a compact
+adjacency view.  The paper stresses that the adapted KG stays
+"human-readable"; these renderers are the reading glasses.
+"""
+
+from __future__ import annotations
+
+from .graph import ReasoningKG
+
+__all__ = ["render_levels", "render_adjacency"]
+
+
+def render_levels(kg: ReasoningKG, max_width: int = 78) -> str:
+    """Level-by-level rendering with per-node parent lists.
+
+    Example output::
+
+        L0  <sensor>
+        L1  sneaky                    <- <sensor>
+        ...
+    """
+    lines: list[str] = []
+    text_of = {n.node_id: n.text for n in kg.nodes()}
+    for level in range(kg.depth + 2):
+        nodes = kg.nodes_at_level(level)
+        if not nodes:
+            continue
+        for i, node in enumerate(nodes):
+            prefix = f"L{level} " if i == 0 else "   "
+            parents = [text_of[p] for p in kg.predecessors(node.node_id)]
+            line = f"{prefix} {node.text}"
+            if parents:
+                arrows = " <- " + ", ".join(parents)
+                if len(line) + len(arrows) > max_width:
+                    arrows = f" <- ({len(parents)} parents)"
+                line += arrows
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def render_adjacency(kg: ReasoningKG) -> str:
+    """Compact ``source -> target`` edge listing grouped by source level."""
+    text_of = {n.node_id: n.text for n in kg.nodes()}
+    lines: list[str] = []
+    for level in range(kg.depth + 1):
+        edges = [(s, d) for (s, d) in kg.edges()
+                 if kg.node(s).level == level]
+        if not edges:
+            continue
+        lines.append(f"-- level {level} -> {level + 1} --")
+        by_source: dict[int, list[int]] = {}
+        for s, d in edges:
+            by_source.setdefault(s, []).append(d)
+        for s in sorted(by_source):
+            targets = ", ".join(text_of[d] for d in sorted(by_source[s]))
+            lines.append(f"  {text_of[s]} -> {targets}")
+    return "\n".join(lines)

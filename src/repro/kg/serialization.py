@@ -1,0 +1,82 @@
+"""Reasoning-KG persistence.
+
+Deployment (paper Fig. 2C) ships the cloud-generated KG — structure plus
+token embeddings — to the edge device.  We serialize to a single JSON file
+with embedded base64 float arrays so a deployment is one artifact.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .graph import EMBEDDING_TEXT, SENSOR_TEXT, KGNode, ReasoningKG
+
+__all__ = ["save_kg", "load_kg", "kg_to_dict", "kg_from_dict"]
+
+
+def _encode_array(array: np.ndarray) -> dict:
+    return {
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.astype(np.float64).tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    return np.frombuffer(raw, dtype=np.float64).reshape(payload["shape"]).copy()
+
+
+def kg_to_dict(kg: ReasoningKG) -> dict:
+    """Convert a KG (including token embeddings) to a JSON-safe dict."""
+    nodes = []
+    for node in kg.nodes():
+        entry: dict = {"id": node.node_id, "text": node.text, "level": node.level}
+        if node.token_ids is not None:
+            entry["token_ids"] = list(node.token_ids)
+        if node.token_embeddings is not None:
+            entry["token_embeddings"] = _encode_array(node.token_embeddings)
+        nodes.append(entry)
+    return {
+        "mission": kg.mission,
+        "depth": kg.depth,
+        "sensor_id": kg.sensor_id,
+        "embedding_id": kg.embedding_id,
+        "nodes": nodes,
+        "edges": [list(e) for e in kg.edges()],
+    }
+
+
+def kg_from_dict(payload: dict) -> ReasoningKG:
+    """Rebuild a KG from :func:`kg_to_dict` output; validates invariants."""
+    kg = ReasoningKG(mission=payload["mission"], depth=int(payload["depth"]))
+    max_id = -1
+    for entry in payload["nodes"]:
+        node = KGNode(node_id=int(entry["id"]), text=entry["text"],
+                      level=int(entry["level"]))
+        if "token_ids" in entry:
+            node.token_ids = [int(i) for i in entry["token_ids"]]
+        if "token_embeddings" in entry:
+            node.token_embeddings = _decode_array(entry["token_embeddings"])
+        kg._nodes[node.node_id] = node
+        max_id = max(max_id, node.node_id)
+        if node.text == SENSOR_TEXT:
+            kg.sensor_id = node.node_id
+        elif node.text == EMBEDDING_TEXT:
+            kg.embedding_id = node.node_id
+    kg._next_id = max_id + 1
+    for source, target in payload["edges"]:
+        kg._edges.add((int(source), int(target)))
+    kg.validate()
+    return kg
+
+
+def save_kg(kg: ReasoningKG, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(kg_to_dict(kg)))
+
+
+def load_kg(path: str | Path) -> ReasoningKG:
+    return kg_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,21 @@
+"""SyntheticLLM oracle and prompt schema (GPT-4 + ConceptNet substitute)."""
+
+from .oracle import EdgeProposal, LevelProposal, SyntheticLLM
+from .prompts import (
+    CORRECTION_PROMPT,
+    EDGES_PROMPT,
+    INITIAL_NODES_PROMPT,
+    NEXT_NODES_PROMPT,
+    PromptTemplate,
+)
+
+__all__ = [
+    "SyntheticLLM",
+    "EdgeProposal",
+    "LevelProposal",
+    "PromptTemplate",
+    "INITIAL_NODES_PROMPT",
+    "NEXT_NODES_PROMPT",
+    "EDGES_PROMPT",
+    "CORRECTION_PROMPT",
+]

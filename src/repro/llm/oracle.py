@@ -1,0 +1,200 @@
+"""SyntheticLLM: the offline GPT-4 + ConceptNet substitute.
+
+The oracle answers the three prompt types of the paper's KG generation
+framework (Fig. 3): initial reasoning nodes, next-level reasoning nodes, and
+reasoning edges — by walking the built-in concept ontology.  Crucially it
+also *injects* the two LLM failure modes the paper's error-correction loop
+exists to handle:
+
+* **duplicated concepts** — re-proposing a concept already used at an
+  earlier level;
+* **invalid edges** — proposing an edge whose source is not at the previous
+  level.
+
+Error injection is stochastic with a configurable rate, and corrections can
+themselves introduce new errors (``correction_error_rate``), which is why
+the framework bounds its correction loop and prunes as a fallback — exactly
+the behaviour described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..concepts.ontology import ConceptOntology
+from ..utils.rng import derive_rng
+from .prompts import (
+    CORRECTION_PROMPT,
+    EDGES_PROMPT,
+    INITIAL_NODES_PROMPT,
+    NEXT_NODES_PROMPT,
+)
+
+__all__ = ["SyntheticLLM", "EdgeProposal", "LevelProposal"]
+
+
+@dataclass(frozen=True)
+class EdgeProposal:
+    """A proposed edge between concept texts."""
+
+    source: str
+    target: str
+
+
+@dataclass
+class LevelProposal:
+    """The oracle's answer for one expansion level."""
+
+    concepts: list[str]
+    edges: list[EdgeProposal] = field(default_factory=list)
+
+
+class SyntheticLLM:
+    """Deterministic-given-seed oracle over the concept ontology.
+
+    Parameters
+    ----------
+    ontology:
+        Concept source.
+    seed:
+        Root seed for all sampling and error injection.
+    error_rate:
+        Probability that a generation step injects an error of each kind.
+    correction_error_rate:
+        Probability that a correction introduces a fresh error (the paper:
+        "the LLM might introduce new errors during correction").
+    """
+
+    def __init__(self, ontology: ConceptOntology, seed: int = 7,
+                 error_rate: float = 0.15, correction_error_rate: float = 0.1):
+        self.ontology = ontology
+        self.seed = seed
+        self.error_rate = error_rate
+        self.correction_error_rate = correction_error_rate
+        self._call_count = 0
+        self.prompt_log: list[str] = []
+
+    def _rng(self, *namespace) -> np.random.Generator:
+        self._call_count += 1
+        return derive_rng(self.seed, "oracle", self._call_count, *namespace)
+
+    # ------------------------------------------------------------------
+    # Node generation
+    # ------------------------------------------------------------------
+    def generate_initial_nodes(self, mission: str, count: int = 4) -> list[str]:
+        """Answer the initial-reasoning-nodes prompt with depth-1 indicators."""
+        self.prompt_log.append(INITIAL_NODES_PROMPT.render(mission=mission, count=count))
+        rng = self._rng("initial", mission)
+        pool = [c.text for c in self.ontology.concepts_for_class(mission, depth=1)]
+        if not pool:
+            raise ValueError(f"ontology has no depth-1 concepts for {mission!r}")
+        k = min(count, len(pool))
+        picked = rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in sorted(picked)]
+
+    def generate_next_nodes(self, mission: str, current: list[str], level: int,
+                            count: int = 5,
+                            forbidden: set[str] | None = None) -> list[str]:
+        """Answer the next-nodes prompt with deeper concepts.
+
+        With probability ``error_rate`` one proposal duplicates an existing
+        concept (an LLM lapse the framework must catch).
+        """
+        self.prompt_log.append(NEXT_NODES_PROMPT.render(
+            mission=mission, level=level, next_level=level + 1,
+            concepts=", ".join(current), count=count))
+        rng = self._rng("next", mission, level)
+        forbidden = forbidden or set()
+        depth = min(level + 1, self.ontology.max_depth(mission))
+        pool = [c.text for c in self.ontology.concepts_for_class(mission, depth=depth)
+                if c.text not in forbidden]
+        # Mix in ontology neighbours of current concepts for variety.
+        for concept in current:
+            for neighbour in self.ontology.related(concept):
+                if neighbour not in forbidden and neighbour not in pool:
+                    pool.append(neighbour)
+        if not pool:
+            # Fall back to any unused concept of the class.
+            pool = [c.text for c in self.ontology.concepts_for_class(mission)
+                    if c.text not in forbidden]
+        k = min(count, len(pool))
+        picked = rng.choice(len(pool), size=k, replace=False)
+        proposals = [pool[i] for i in sorted(picked)]
+        if forbidden and rng.random() < self.error_rate:
+            # Inject a duplicated concept.
+            dup = sorted(forbidden)[int(rng.integers(len(forbidden)))]
+            proposals[int(rng.integers(len(proposals)))] = dup
+        return proposals
+
+    # ------------------------------------------------------------------
+    # Edge generation
+    # ------------------------------------------------------------------
+    def generate_edges(self, mission: str, level: int, sources: list[str],
+                       targets: list[str],
+                       older_concepts: list[str] | None = None) -> list[EdgeProposal]:
+        """Answer the edges prompt; every target gets 1-3 source parents.
+
+        With probability ``error_rate`` one edge is invalid: its source is a
+        concept from an *older* level (violating the i -> i+1 rule).
+        """
+        self.prompt_log.append(EDGES_PROMPT.render(
+            mission=mission, level=level, next_level=level + 1,
+            sources=", ".join(sources), targets=", ".join(targets)))
+        rng = self._rng("edges", mission, level)
+        if not sources:
+            raise ValueError("edge generation requires at least one source")
+        edges: list[EdgeProposal] = []
+        for target in targets:
+            # Prefer ontology-related sources, fall back to sampling.
+            related = [s for s in sources if target in self.ontology.related(s)]
+            fanin = int(rng.integers(1, min(3, len(sources)) + 1))
+            chosen = set(related[:fanin])
+            while len(chosen) < fanin:
+                chosen.add(sources[int(rng.integers(len(sources)))])
+            edges.extend(EdgeProposal(source=s, target=target) for s in sorted(chosen))
+        if older_concepts and rng.random() < self.error_rate:
+            bad_source = older_concepts[int(rng.integers(len(older_concepts)))]
+            bad_target = targets[int(rng.integers(len(targets)))]
+            edges.append(EdgeProposal(source=bad_source, target=bad_target))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Error correction
+    # ------------------------------------------------------------------
+    def correct_duplicate(self, mission: str, duplicate: str,
+                          forbidden: set[str]) -> str | None:
+        """Propose a replacement concept for a duplicated one.
+
+        Returns None when the oracle "fails" — either no unused concept
+        remains or it stochastically repeats a forbidden concept (a fresh
+        error), in which case the framework's bounded loop will retry or
+        prune.
+        """
+        self.prompt_log.append(CORRECTION_PROMPT.render(
+            level="?", prev_level="?", errors=f"duplicated concept: {duplicate}"))
+        rng = self._rng("correct-dup", duplicate)
+        pool = [c.text for c in self.ontology.concepts_for_class(mission)
+                if c.text not in forbidden]
+        if not pool:
+            return None
+        replacement = pool[int(rng.integers(len(pool)))]
+        if rng.random() < self.correction_error_rate and forbidden:
+            return sorted(forbidden)[int(rng.integers(len(forbidden)))]
+        return replacement
+
+    def correct_edge(self, level: int, target: str,
+                     valid_sources: list[str],
+                     older_concepts: list[str] | None = None) -> EdgeProposal | None:
+        """Rewire an invalid edge to a valid previous-level source."""
+        self.prompt_log.append(CORRECTION_PROMPT.render(
+            level=level + 1, prev_level=level,
+            errors=f"invalid edge into: {target}"))
+        rng = self._rng("correct-edge", target, level)
+        if not valid_sources:
+            return None
+        source = valid_sources[int(rng.integers(len(valid_sources)))]
+        if older_concepts and rng.random() < self.correction_error_rate:
+            source = older_concepts[int(rng.integers(len(older_concepts)))]
+        return EdgeProposal(source=source, target=target)

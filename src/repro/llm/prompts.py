@@ -1,0 +1,72 @@
+"""Predefined prompt formats for reasoning-KG generation.
+
+The paper drives GPT-4 with "predefined prompt formats" for each step of the
+expansion loop (initial nodes, next nodes, edges, error correction).  The
+oracle is offline, but we keep the prompt layer explicit: every oracle call
+renders a real prompt string, so the generation framework's interface is
+faithful and a future swap-in of an actual LLM only has to parse/produce the
+same shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PromptTemplate",
+    "INITIAL_NODES_PROMPT",
+    "NEXT_NODES_PROMPT",
+    "EDGES_PROMPT",
+    "CORRECTION_PROMPT",
+]
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A named prompt template with ``str.format`` placeholders."""
+
+    name: str
+    template: str
+
+    def render(self, **kwargs) -> str:
+        return self.template.format(**kwargs)
+
+
+INITIAL_NODES_PROMPT = PromptTemplate(
+    name="initial_nodes",
+    template=(
+        "Mission: detect '{mission}' in surveillance video.\n"
+        "List {count} key visual indicators (short phrases) that form the "
+        "first reasoning level for recognizing this anomaly."
+    ),
+)
+
+NEXT_NODES_PROMPT = PromptTemplate(
+    name="next_nodes",
+    template=(
+        "Mission: detect '{mission}'.\n"
+        "Current level-{level} concepts: {concepts}.\n"
+        "Infer {count} more specific concepts for level {next_level} that can "
+        "be deduced from the current concepts."
+    ),
+)
+
+EDGES_PROMPT = PromptTemplate(
+    name="edges",
+    template=(
+        "Mission: detect '{mission}'.\n"
+        "Connect level-{level} concepts {sources} to level-{next_level} "
+        "concepts {targets}. Only propose edges from level {level} to level "
+        "{next_level}."
+    ),
+)
+
+CORRECTION_PROMPT = PromptTemplate(
+    name="correction",
+    template=(
+        "The proposed level-{level} expansion contains errors:\n{errors}\n"
+        "Fix the duplicated concepts and invalid edges, keeping the "
+        "hierarchical structure (edges only from level {prev_level} to "
+        "level {level})."
+    ),
+)

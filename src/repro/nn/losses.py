@@ -1,0 +1,85 @@
+"""Loss functions.
+
+MissionGNN (and therefore this paper) trains the decision model with a
+classification loss plus two weakly-supervised VAD regularizers inherited
+from Sultani et al.: a *sparsity* term (anomalies are rare, so the anomaly
+probability over a batch should be sparse) and a temporal *smoothness* term
+(scores of consecutive frames should not jump).  The paper sets both balance
+coefficients lambda_spa = lambda_smt = 0.001.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy",
+    "mse_loss",
+    "sparsity_loss",
+    "smoothness_loss",
+    "vad_loss",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between raw logits (B, C) and integer targets (B,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (B, C) logits, got {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("batch size mismatch between logits and targets")
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray,
+                         eps: float = 1e-9) -> Tensor:
+    """Mean BCE between probabilities in (0,1) and binary targets."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    probs = probs.clip(eps, 1.0 - eps)
+    return -(targets_t * probs.log() + (1.0 - targets_t) * (1.0 - probs).log()).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def sparsity_loss(anomaly_probs: Tensor) -> Tensor:
+    """L1 sparsity on the per-frame anomaly probability p_A(F_t) over a batch."""
+    return anomaly_probs.abs().mean()
+
+
+def smoothness_loss(anomaly_probs: Tensor) -> Tensor:
+    """Squared difference between consecutive anomaly probabilities.
+
+    Assumes the batch is ordered in time (consecutive frames), which holds
+    for the sliding-window batches used in continuous adaptation.
+    """
+    if anomaly_probs.shape[0] < 2:
+        return Tensor(0.0)
+    diff = anomaly_probs[slice(1, None)] - anomaly_probs[slice(None, -1)]
+    return (diff * diff).mean()
+
+
+def vad_loss(logits: Tensor, targets: np.ndarray,
+             lambda_spa: float = 0.001, lambda_smt: float = 0.001) -> Tensor:
+    """Full training loss: cross-entropy + sparsity + smoothness.
+
+    ``logits`` are the pre-softmax decision outputs (B, n+1) whose column 0
+    is the "normal" class; the anomaly probability is
+    ``p_A = 1 - softmax(logits)[:, 0]`` (paper Section III-C).
+    """
+    probs = logits.softmax(axis=-1)
+    anomaly_probs = 1.0 - probs[:, 0]
+    loss = cross_entropy(logits, targets)
+    if lambda_spa:
+        loss = loss + lambda_spa * sparsity_loss(anomaly_probs)
+    if lambda_smt:
+        loss = loss + lambda_smt * smoothness_loss(anomaly_probs)
+    return loss

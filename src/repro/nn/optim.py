@@ -1,0 +1,136 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with AdamW (lr=1e-5, weight decay=1.0, beta1=0.9,
+beta2=0.999, eps=1e-8) and mentions a "decaying threshold" alpha_d = 0.9999
+which we expose as an exponential-decay schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "ExponentialDecay", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters: Sequence[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data = p.data - self.lr * v
+            else:
+                p.data = p.data - self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bc1 = 1.0 - self.beta1 ** t
+        bc2 = 1.0 - self.beta2 ** t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * p.grad ** 2
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            p.data = p.data - self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter) — the paper's
+    optimizer (lr=1e-5, weight_decay=1.0, betas=(0.9, 0.999), eps=1e-8)."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-5,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 1.0):
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        # Decoupled decay applied before the Adam update, as in the paper.
+        if self.weight_decay > 0:
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.data = p.data * (1.0 - self.lr * self.weight_decay)
+        super().step()
+
+
+class ExponentialDecay:
+    """Exponential decay schedule ``value_t = value_0 * alpha^t``.
+
+    Models the paper's decaying threshold ``alpha_d = 0.9999``.
+    """
+
+    def __init__(self, initial: float, alpha: float = 0.9999):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.initial = initial
+        self.alpha = alpha
+        self.steps = 0
+
+    @property
+    def value(self) -> float:
+        return self.initial * self.alpha ** self.steps
+
+    def step(self) -> float:
+        self.steps += 1
+        return self.value

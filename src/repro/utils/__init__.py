@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG management."""
+
+from .rng import derive_rng, seed_everything, stable_hash
+
+__all__ = ["derive_rng", "seed_everything", "stable_hash"]

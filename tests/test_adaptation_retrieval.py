@@ -1,0 +1,86 @@
+"""Tests for interpretable KG retrieval (paper Section III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import DriftTrajectory, InterpretableKGRetrieval
+
+
+class TestRetrieval:
+    def test_unmodified_node_retrieves_own_tokens(self, stealing_kg_template,
+                                                  embedding_model):
+        """Fresh KG tokens are vocab rows: retrieval must return the node's
+        own subword pieces as the nearest tokens."""
+        retrieval = InterpretableKGRetrieval(embedding_model.token_table)
+        node = stealing_kg_template.concept_nodes()[0]
+        result = retrieval.retrieve_node(stealing_kg_template, node.node_id)
+        expected = [embedding_model.tokenizer.decode_token(i)
+                    for i in node.token_ids]
+        assert result.top_words(per_token=1) == expected
+
+    def test_retrieve_kg_covers_all_concepts(self, stealing_kg_template,
+                                             embedding_model):
+        retrieval = InterpretableKGRetrieval(embedding_model.token_table)
+        results = retrieval.retrieve_kg(stealing_kg_template)
+        assert len(results) == len(stealing_kg_template.concept_nodes())
+
+    def test_top_k_respected(self, stealing_kg_template, embedding_model):
+        retrieval = InterpretableKGRetrieval(embedding_model.token_table, top_k=5)
+        node = stealing_kg_template.concept_nodes()[0]
+        result = retrieval.retrieve_node(stealing_kg_template, node.node_id)
+        assert all(len(hits) == 5 for hits in result.tokens)
+
+    def test_all_three_metrics(self, stealing_kg_template, embedding_model):
+        node = stealing_kg_template.concept_nodes()[0]
+        for metric in ("euclidean", "cosine", "dot"):
+            retrieval = InterpretableKGRetrieval(embedding_model.token_table,
+                                                 metric=metric)
+            result = retrieval.retrieve_node(stealing_kg_template, node.node_id)
+            assert result.tokens
+
+    def test_unknown_metric_raises(self, embedding_model):
+        with pytest.raises(ValueError):
+            InterpretableKGRetrieval(embedding_model.token_table, metric="L3")
+
+    def test_node_without_tokens_raises(self, stealing_kg_template,
+                                        embedding_model):
+        retrieval = InterpretableKGRetrieval(embedding_model.token_table)
+        with pytest.raises(ValueError):
+            retrieval.retrieve_node(stealing_kg_template,
+                                    stealing_kg_template.sensor_id)
+
+    def test_perturbed_tokens_change_retrieval(self, fresh_kg, embedding_model,
+                                               rng):
+        """Moving a node's tokens onto another word's embedding makes
+        retrieval return that word's pieces — the Fig. 6 mechanism."""
+        kg = fresh_kg("Stealing")
+        retrieval = InterpretableKGRetrieval(embedding_model.token_table)
+        node = kg.concept_nodes()[0]
+        target_ids = embedding_model.tokenizer.encode("firearm")
+        node.token_embeddings = embedding_model.token_table.lookup(target_ids)
+        node.token_ids = list(target_ids)
+        result = retrieval.retrieve_node(kg, node.node_id)
+        expected = [embedding_model.tokenizer.decode_token(i) for i in target_ids]
+        assert result.top_words(per_token=1) == expected
+
+
+class TestDriftTrajectory:
+    def test_relative_position_bounds(self, rng):
+        traj = DriftTrajectory(initial_word="a", target_word="b")
+        initial = rng.normal(size=8)
+        target = rng.normal(size=8)
+        for alpha in [0.0, 0.25, 0.5, 0.75, 1.0]:
+            point = (1 - alpha) * initial + alpha * target
+            traj.record(int(alpha * 100), point, initial, target)
+        positions = traj.relative_position()
+        assert positions[0] == pytest.approx(0.0, abs=1e-9)
+        assert positions[-1] == pytest.approx(1.0, abs=1e-9)
+        assert np.all(np.diff(positions) > 0)  # monotone along the segment
+
+    def test_records_accumulate(self, rng):
+        traj = DriftTrajectory(initial_word="a", target_word="b")
+        v = rng.normal(size=4)
+        traj.record(0, v, v, v + 1.0)
+        traj.record(10, v, v, v + 1.0)
+        assert traj.iterations == [0, 10]
+        assert len(traj.distance_to_initial) == 2

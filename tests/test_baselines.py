@@ -1,0 +1,118 @@
+"""Tests for the classical and MLP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KNNDetector,
+    MahalanobisDetector,
+    MLPClassifierBaseline,
+    NearestCentroidDetector,
+)
+from repro.eval import roc_auc
+from repro.utils import derive_rng
+
+
+@pytest.fixture(scope="module")
+def baseline_task(embedding_model, frame_generator):
+    """A small separable mission task shared by all baseline tests."""
+    rng = derive_rng(0, "baseline-task")
+    window = 4
+
+    def windows(kind, n):
+        out = []
+        for _ in range(n):
+            frames = [frame_generator.normal_frame(rng) if kind == "normal"
+                      else frame_generator.anomaly_frame(kind, rng)
+                      for _ in range(window)]
+            out.append(np.stack(frames))
+        return np.stack(out)
+
+    train = np.concatenate([windows("normal", 30), windows("Stealing", 10)])
+    train_labels = np.concatenate([np.zeros(30, dtype=int), np.ones(10, dtype=int)])
+    test = np.concatenate([windows("normal", 20), windows("Stealing", 10)])
+    test_labels = np.concatenate([np.zeros(20, dtype=int), np.ones(10, dtype=int)])
+    return train, train_labels, test, test_labels
+
+
+ALL_DETECTORS = [
+    lambda m: NearestCentroidDetector(m),
+    lambda m: MahalanobisDetector(m),
+    lambda m: KNNDetector(m, k=5),
+    lambda m: MLPClassifierBaseline(m),
+]
+
+
+class TestInterfaceContract:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_unfitted_raises(self, factory, embedding_model, rng):
+        detector = factory(embedding_model)
+        with pytest.raises(RuntimeError):
+            detector.anomaly_scores(
+                rng.normal(size=(2, 4, embedding_model.frame_dim)))
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_score_shape(self, factory, embedding_model, baseline_task):
+        train, labels, test, _ = baseline_task
+        detector = factory(embedding_model)
+        detector.fit(train, labels)
+        scores = detector.anomaly_scores(test)
+        assert scores.shape == (test.shape[0],)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_rejects_2d_windows(self, factory, embedding_model, baseline_task):
+        train, labels, _, _ = baseline_task
+        detector = factory(embedding_model).fit(train, labels)
+        with pytest.raises(ValueError):
+            detector.anomaly_scores(np.zeros((4, embedding_model.frame_dim)))
+
+
+class TestDetectionQuality:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_beats_chance_on_separable_task(self, factory, embedding_model,
+                                            baseline_task):
+        train, labels, test, test_labels = baseline_task
+        detector = factory(embedding_model).fit(train, labels)
+        auc = roc_auc(detector.anomaly_scores(test), test_labels)
+        assert auc > 0.6, f"{type(detector).__name__} AUC {auc:.3f}"
+
+    def test_one_class_detectors_ignore_anomaly_labels(self, embedding_model,
+                                                       baseline_task):
+        """Fitting with anomalies removed gives identical centroids."""
+        train, labels, test, _ = baseline_task
+        a = NearestCentroidDetector(embedding_model).fit(train, labels)
+        normals_only = train[labels == 0]
+        b = NearestCentroidDetector(embedding_model).fit(
+            normals_only, np.zeros(normals_only.shape[0], dtype=int))
+        np.testing.assert_allclose(a.anomaly_scores(test),
+                                   b.anomaly_scores(test))
+
+    def test_needs_normal_samples(self, embedding_model, baseline_task):
+        train, labels, _, _ = baseline_task
+        anomalies = train[labels == 1]
+        with pytest.raises(ValueError):
+            NearestCentroidDetector(embedding_model).fit(
+                anomalies, np.ones(anomalies.shape[0], dtype=int))
+
+
+class TestParameterValidation:
+    def test_knn_k_positive(self, embedding_model):
+        with pytest.raises(ValueError):
+            KNNDetector(embedding_model, k=0)
+
+    def test_mahalanobis_shrinkage_bounds(self, embedding_model):
+        with pytest.raises(ValueError):
+            MahalanobisDetector(embedding_model, shrinkage=1.5)
+
+    def test_knn_k_capped_by_bank(self, embedding_model, baseline_task):
+        train, labels, test, _ = baseline_task
+        detector = KNNDetector(embedding_model, k=10_000).fit(train, labels)
+        scores = detector.anomaly_scores(test[:2])
+        assert np.all(np.isfinite(scores))
+
+    def test_mlp_empty_training_raises(self, embedding_model):
+        mlp = MLPClassifierBaseline(embedding_model)
+        with pytest.raises(ValueError):
+            mlp.fit(np.zeros((0, 4, embedding_model.frame_dim)),
+                    np.zeros(0, dtype=int))

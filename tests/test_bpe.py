@@ -1,0 +1,92 @@
+"""Tests for the BPE tokenizer (training, round trips, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import BPETokenizer, build_domain_corpus
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return BPETokenizer().train(build_domain_corpus(), num_merges=200)
+
+
+class TestTraining:
+    def test_learns_merges(self, tokenizer):
+        assert len(tokenizer.merges) > 50
+        assert tokenizer.vocab_size > 100
+
+    def test_special_tokens_first(self, tokenizer):
+        assert tokenizer.id_to_token[0] == BPETokenizer.PAD
+        assert tokenizer.id_to_token[1] == BPETokenizer.UNK
+
+    def test_deterministic_training(self):
+        corpus = build_domain_corpus()
+        a = BPETokenizer().train(corpus, num_merges=50)
+        b = BPETokenizer().train(corpus, num_merges=50)
+        assert a.merges == b.merges
+        assert a.id_to_token == b.id_to_token
+
+    def test_zero_merges_gives_char_level(self):
+        tok = BPETokenizer().train(["hello world"], num_merges=0)
+        assert tok.decode(tok.encode("hello")) == "hello"
+
+    def test_negative_merges_raises(self):
+        with pytest.raises(ValueError):
+            BPETokenizer().train(["x"], num_merges=-1)
+
+    def test_merges_capped_by_frequency(self):
+        # A corpus where nothing repeats can't support many merges.
+        tok = BPETokenizer().train(["ab", "cd", "ef"], num_merges=100)
+        assert len(tok.merges) < 10
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("text", [
+        "sneaky", "firearm", "pointing weapon", "smoke plume",
+        "the camera shows a person running", "gun drawn",
+    ])
+    def test_roundtrip(self, tokenizer, text):
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unknown_characters_map_to_unk(self, tokenizer):
+        ids = tokenizer.encode("日本語")
+        unk = tokenizer.token_to_id[BPETokenizer.UNK]
+        assert all(i == unk for i in ids)
+
+    def test_case_normalization(self, tokenizer):
+        assert tokenizer.encode("FIREARM") == tokenizer.encode("firearm")
+
+    def test_common_words_compress_below_char_level(self, tokenizer):
+        # Frequent domain words should compress well under BPE.
+        assert len(tokenizer.encode("firearm")) < len("firearm")
+        assert len(tokenizer.encode("sneaky")) < len("sneaky")
+
+    def test_decode_token_strips_eow(self, tokenizer):
+        for token_id in range(2, min(tokenizer.vocab_size, 50)):
+            piece = tokenizer.decode_token(token_id)
+            assert "</w>" not in piece
+
+    def test_decode_token_out_of_range(self, tokenizer):
+        with pytest.raises(IndexError):
+            tokenizer.decode_token(tokenizer.vocab_size)
+
+    def test_decode_skips_specials(self, tokenizer):
+        ids = [0, 1] + tokenizer.encode("sneaky")
+        assert tokenizer.decode(ids) == "sneaky"
+
+    def test_tokenize_returns_strings(self, tokenizer):
+        tokens = tokenizer.tokenize("pointing weapon")
+        assert all(isinstance(t, str) for t in tokens)
+        assert len(tokens) >= 2  # at least one per word
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tokenizer, tmp_path):
+        path = tmp_path / "bpe.json"
+        tokenizer.save(path)
+        loaded = BPETokenizer.load(path)
+        assert loaded.merges == tokenizer.merges
+        assert loaded.id_to_token == tokenizer.id_to_token
+        text = "surveillance captured broken glass"
+        assert loaded.encode(text) == tokenizer.encode(text)

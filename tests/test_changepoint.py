@@ -1,0 +1,98 @@
+"""Tests for the alternative change detectors (Page-Hinkley, CUSUM)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import CUSUM, ChangeDetectorMonitor, PageHinkley
+
+
+def stable_then_drop(n_stable=60, n_after=60, before=0.5, after=0.2,
+                     noise=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([
+        before + noise * rng.standard_normal(n_stable),
+        after + noise * rng.standard_normal(n_after),
+    ])
+
+
+class TestPageHinkley:
+    def test_detects_mean_drop(self):
+        detector = PageHinkley(delta=0.005, threshold=0.5)
+        fired_at = [i for i, s in enumerate(stable_then_drop())
+                    if detector.update(float(s))]
+        assert fired_at, "mean drop not detected"
+        assert fired_at[0] >= 60  # not before the change
+
+    def test_quiet_on_stable_stream(self):
+        detector = PageHinkley(delta=0.005, threshold=0.5)
+        rng = np.random.default_rng(1)
+        stream = 0.5 + 0.02 * rng.standard_normal(400)
+        assert not any(detector.update(float(s)) for s in stream)
+
+    def test_burn_in_suppresses_early_alarms(self):
+        detector = PageHinkley(delta=0.0, threshold=0.01, burn_in=50)
+        stream = stable_then_drop(n_stable=10, n_after=10)
+        assert not any(detector.update(float(s)) for s in stream[:20])
+
+    def test_resets_after_detection(self):
+        detector = PageHinkley(delta=0.005, threshold=0.3)
+        for s in stable_then_drop():
+            detector.update(float(s))
+        # After a reset, the internal cumulative state starts over.
+        assert detector._count < 120
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+class TestCUSUM:
+    def test_detects_shift(self):
+        detector = CUSUM(k=0.5, h=5.0, burn_in=40)
+        fired = [i for i, s in enumerate(stable_then_drop(noise=0.03, seed=2))
+                 if detector.update(float(s))]
+        assert fired
+        assert fired[0] >= 60
+
+    def test_quiet_on_stable_stream(self):
+        detector = CUSUM(k=0.5, h=6.0)
+        rng = np.random.default_rng(3)
+        stream = 0.5 + 0.02 * rng.standard_normal(400)
+        assert not any(detector.update(float(s)) for s in stream)
+
+    def test_two_sided_detects_rise(self):
+        detector = CUSUM(k=0.25, h=4.0)
+        rng = np.random.default_rng(4)
+        stream = np.concatenate([
+            0.2 + 0.03 * rng.standard_normal(60),
+            0.6 + 0.03 * rng.standard_normal(60),
+        ])
+        assert any(detector.update(float(s)) for s in stream)
+
+    def test_h_validation(self):
+        with pytest.raises(ValueError):
+            CUSUM(h=0.0)
+
+
+class TestChangeDetectorMonitor:
+    def test_drives_topk_labeling(self):
+        monitor = ChangeDetectorMonitor(
+            detector=PageHinkley(delta=0.005, threshold=0.3), window=40, k=5)
+        stream = stable_then_drop()
+        fired = any(monitor.observe(stream[i:i + 10])
+                    for i in range(0, stream.size, 10))
+        assert fired
+        assert monitor.detections >= 1
+        top = monitor.top_k_indices()
+        assert top.size == 5
+        assert np.all(np.diff(top) > 0)  # sorted, unique
+
+    def test_window_retention(self):
+        monitor = ChangeDetectorMonitor(detector=CUSUM(), window=10, k=3)
+        monitor.observe(np.zeros(25))
+        assert len(monitor._scores) == 10
+
+    def test_k_capped_by_window(self):
+        monitor = ChangeDetectorMonitor(detector=CUSUM(), window=10, k=50)
+        monitor.observe(np.linspace(0, 1, 8))
+        assert monitor.top_k_indices().size == 8

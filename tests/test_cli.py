@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (parser wiring + light commands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.shift == "weak"
+        assert args.initial == "Stealing"
+        assert args.seed == 7
+
+    def test_fig5_strong(self):
+        args = build_parser().parse_args(["fig5", "--shift", "strong"])
+        assert args.shift == "strong"
+
+    def test_fig5_rejects_bad_shift(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--shift", "sideways"])
+
+    def test_fig6_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.tracked == "sneaky"
+        assert args.target == "firearm"
+
+    def test_table1_alternations(self):
+        args = build_parser().parse_args(["table1", "--alternations", "2"])
+        assert args.alternations == 2
+
+    def test_multimission_missions(self):
+        args = build_parser().parse_args(
+            ["multimission", "--missions", "Arson", "Abuse"])
+        assert args.missions == ["Arson", "Abuse"]
+
+    def test_kg_defaults(self):
+        args = build_parser().parse_args(["kg"])
+        assert args.mission == "Stealing"
+        assert args.depth == 3
+
+
+class TestKGCommand:
+    def test_kg_command_runs(self, capsys):
+        assert main(["kg", "--mission", "Explosion", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "L1" in out and "<sensor>" in out
+        assert "reasoning paths" in out
+
+    def test_kg_command_seed_changes_output(self, capsys):
+        main(["kg", "--mission", "Arson", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["kg", "--mission", "Arson", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

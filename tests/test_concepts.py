@@ -1,0 +1,144 @@
+"""Tests for the concept ontology and its vector space."""
+
+import numpy as np
+import pytest
+
+from repro.concepts import (
+    ANOMALY_CLASSES,
+    CLASS_CLUSTERS,
+    NORMAL_ACTIVITIES,
+    ConceptOntology,
+    ConceptSpace,
+    build_default_ontology,
+)
+
+
+class TestOntologyContents:
+    def test_thirteen_ucf_crime_classes(self):
+        assert len(ANOMALY_CLASSES) == 13
+        assert "Stealing" in ANOMALY_CLASSES
+        assert "Explosion" in ANOMALY_CLASSES
+        assert "RoadAccidents" in ANOMALY_CLASSES
+
+    def test_every_class_in_exactly_one_cluster(self):
+        clustered = [c for members in CLASS_CLUSTERS.values() for c in members]
+        assert sorted(clustered) == sorted(ANOMALY_CLASSES)
+
+    def test_every_class_has_three_depths(self, ontology):
+        for name in ANOMALY_CLASSES:
+            for depth in (1, 2, 3):
+                assert ontology.concepts_for_class(name, depth=depth), \
+                    f"{name} missing depth-{depth} concepts"
+
+    def test_normal_concepts_present(self, ontology):
+        normals = ontology.normal_concepts()
+        assert len(normals) >= len(NORMAL_ACTIVITIES)
+        assert all(c.is_normal for c in normals)
+
+    def test_vocabulary_sorted_and_unique(self, ontology):
+        vocab = ontology.vocabulary()
+        assert vocab == sorted(vocab)
+        assert len(vocab) == len(set(vocab))
+
+    def test_unknown_class_raises(self, ontology):
+        with pytest.raises(KeyError):
+            ontology.concepts_for_class("Jaywalking")
+
+    def test_related_symmetry(self, ontology):
+        for concept in ontology.all_concepts():
+            for neighbour in ontology.related(concept.text):
+                assert concept.text in ontology.related(neighbour)
+
+    def test_contains_and_get(self, ontology):
+        assert "sneaky" in ontology
+        assert ontology.get("sneaky").depth == 1
+        assert "Stealing" in ontology.get("sneaky").classes
+
+    def test_max_depth(self, ontology):
+        assert ontology.max_depth("Robbery") == 3
+
+
+class TestShiftStrength:
+    def test_weak_shift_same_cluster(self):
+        assert ConceptOntology.shift_strength("Stealing", "Robbery") == "weak"
+        assert ConceptOntology.shift_strength("Robbery", "Stealing") == "weak"
+
+    def test_strong_shift_cross_cluster(self):
+        assert ConceptOntology.shift_strength("Stealing", "Explosion") == "strong"
+
+    def test_no_shift(self):
+        assert ConceptOntology.shift_strength("Arson", "Arson") == "none"
+
+    def test_cluster_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ConceptOntology.cluster_of("NotAClass")
+
+
+class TestConceptSpace:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return ConceptSpace(build_default_ontology(), dim=64, seed=7)
+
+    def test_vectors_unit_norm(self, space):
+        for text in ["sneaky", "firearm", "walking"]:
+            assert np.linalg.norm(space.concept_vector(text)) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        ontology = build_default_ontology()
+        a = ConceptSpace(ontology, seed=7)
+        b = ConceptSpace(ontology, seed=7)
+        np.testing.assert_allclose(a.concept_vector("sneaky"),
+                                   b.concept_vector("sneaky"))
+
+    def test_seed_changes_vectors(self):
+        ontology = build_default_ontology()
+        a = ConceptSpace(ontology, seed=7)
+        b = ConceptSpace(ontology, seed=8)
+        assert not np.allclose(a.concept_vector("sneaky"),
+                               b.concept_vector("sneaky"))
+
+    def test_weak_pairs_more_similar_than_strong(self, space):
+        weak = space.class_similarity("Stealing", "Robbery")
+        strong = space.class_similarity("Stealing", "Explosion")
+        assert weak > strong + 0.2
+
+    def test_all_weak_pairs_beat_all_strong_pairs_on_average(self, space):
+        weak_sims, strong_sims = [], []
+        for i, a in enumerate(ANOMALY_CLASSES):
+            for b in ANOMALY_CLASSES[i + 1:]:
+                sim = space.class_similarity(a, b)
+                if ConceptOntology.shift_strength(a, b) == "weak":
+                    weak_sims.append(sim)
+                else:
+                    strong_sims.append(sim)
+        assert np.mean(weak_sims) > np.mean(strong_sims) + 0.2
+
+    def test_concepts_cluster_near_their_class(self, space):
+        anchor = space.class_anchor("Explosion")
+        own = space.concept_vector("blast") @ anchor
+        other = space.concept_vector("sneaky") @ anchor
+        assert own > other
+
+    def test_normal_concepts_far_from_anomaly_anchors(self, space):
+        walking = space.concept_vector("walking")
+        sims = [abs(walking @ space.class_anchor(c)) for c in ANOMALY_CLASSES]
+        assert np.mean(sims) < 0.4
+
+    def test_nearest_concepts_self_retrieval(self, space):
+        hits = space.nearest_concepts(space.concept_vector("firearm"), k=3)
+        assert hits[0][0] == "firearm"
+
+    def test_nearest_concepts_metrics(self, space):
+        vec = space.concept_vector("blast")
+        for metric in ("euclidean", "cosine", "dot"):
+            hits = space.nearest_concepts(vec, k=5, metric=metric)
+            assert len(hits) == 5
+            assert hits[0][0] == "blast"
+
+    def test_nearest_concepts_bad_metric(self, space):
+        with pytest.raises(ValueError):
+            space.nearest_concepts(np.zeros(64), metric="manhattan")
+
+    def test_matrix_shape(self, space):
+        mat = space.matrix(["sneaky", "blast"])
+        assert mat.shape == (2, 64)

@@ -1,0 +1,68 @@
+"""Tests for the trend-shift deployment stream."""
+
+import numpy as np
+import pytest
+
+from repro.data import StreamBatch, TrendShiftConfig, TrendShiftStream
+
+
+@pytest.fixture()
+def stream(frame_generator):
+    return TrendShiftStream(frame_generator, TrendShiftConfig(
+        initial_class="Stealing", shifted_class="Robbery",
+        steps_before_shift=3, steps_after_shift=4,
+        windows_per_step=10, anomaly_fraction=0.3, window=4, seed=11))
+
+
+class TestStreamStructure:
+    def test_length(self, stream):
+        assert len(stream) == 7
+
+    def test_shift_timing(self, stream):
+        batches = list(stream)
+        for batch in batches[:3]:
+            assert batch.active_class == "Stealing"
+            assert not batch.is_post_shift
+        for batch in batches[3:]:
+            assert batch.active_class == "Robbery"
+            assert batch.is_post_shift
+
+    def test_batch_composition(self, stream, embedding_model):
+        batch = stream.batch(0)
+        assert batch.windows.shape == (10, 4, embedding_model.frame_dim)
+        assert batch.labels.sum() == 3  # 30% of 10
+
+    def test_batches_shuffled(self, stream):
+        """Anomalous windows must not all sit at the end (monitor realism)."""
+        positions = [np.flatnonzero(stream.batch(s).labels) for s in range(5)]
+        assert any(p[0] < 5 for p in positions if len(p))
+
+    def test_out_of_range_step(self, stream):
+        with pytest.raises(IndexError):
+            stream.batch(7)
+
+    def test_deterministic(self, frame_generator):
+        cfg = TrendShiftConfig(steps_before_shift=2, steps_after_shift=2,
+                               windows_per_step=6, window=4, seed=3)
+        a = TrendShiftStream(frame_generator, cfg).batch(1)
+        b = TrendShiftStream(frame_generator, cfg).batch(1)
+        np.testing.assert_allclose(a.windows, b.windows)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_steps_differ(self, stream):
+        a, b = stream.batch(0), stream.batch(1)
+        assert not np.allclose(a.windows, b.windows)
+
+
+class TestShiftStrengthMetadata:
+    def test_weak(self):
+        cfg = TrendShiftConfig(initial_class="Stealing", shifted_class="Robbery")
+        assert cfg.shift_strength == "weak"
+
+    def test_strong(self):
+        cfg = TrendShiftConfig(initial_class="Stealing", shifted_class="Explosion")
+        assert cfg.shift_strength == "strong"
+
+    def test_total_steps(self):
+        cfg = TrendShiftConfig(steps_before_shift=5, steps_after_shift=7)
+        assert cfg.total_steps == 12

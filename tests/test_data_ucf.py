@@ -1,0 +1,100 @@
+"""Tests for the SyntheticUCFCrime dataset schema."""
+
+import numpy as np
+import pytest
+
+from repro.concepts import ANOMALY_CLASSES
+from repro.data import FrameGenerator, SyntheticUCFCrime
+
+
+@pytest.fixture(scope="module")
+def small_dataset(frame_generator):
+    return SyntheticUCFCrime(frame_generator, scale=0.05,
+                             frames_per_video=24, seed=5)
+
+
+class TestSchema:
+    def test_full_scale_matches_paper_split(self, frame_generator):
+        """At scale=1.0 the split sizes match UCF-Crime exactly (within the
+        per-class rounding of the anomalous sets)."""
+        ds = SyntheticUCFCrime(frame_generator, scale=1.0, seed=5)
+        assert len(ds.train.normal) == 800
+        assert len(ds.test.normal) == 150
+        # 810 / 13 classes = 62 per class -> 806; 140 / 13 = 10 -> 130.
+        assert len(ds.train.anomalous) == (810 // 13) * 13
+        assert len(ds.test.anomalous) == (140 // 13) * 13
+
+    def test_all_thirteen_classes_represented(self, small_dataset):
+        kinds = {k.kind for k in small_dataset.train.anomalous}
+        assert kinds == set(ANOMALY_CLASSES)
+
+    def test_scale_bounds(self, frame_generator):
+        with pytest.raises(ValueError):
+            SyntheticUCFCrime(frame_generator, scale=0.0)
+        with pytest.raises(ValueError):
+            SyntheticUCFCrime(frame_generator, scale=1.5)
+
+    def test_num_videos_property(self, small_dataset):
+        split = small_dataset.train
+        assert split.num_videos == len(split.normal) + len(split.anomalous)
+
+
+class TestMaterialization:
+    def test_videos_lazy_and_cached(self, small_dataset):
+        small_dataset.clear_cache()
+        key = small_dataset.train.normal[0]
+        video1 = small_dataset.video(key)
+        video2 = small_dataset.video(key)
+        assert video1 is video2  # cached
+
+    def test_videos_deterministic_across_instances(self, frame_generator):
+        a = SyntheticUCFCrime(frame_generator, scale=0.05, frames_per_video=16, seed=9)
+        b = SyntheticUCFCrime(frame_generator, scale=0.05, frames_per_video=16, seed=9)
+        key = a.train.normal[0]
+        np.testing.assert_allclose(a.video(key).frames, b.video(key).frames)
+
+    def test_seed_changes_videos(self, frame_generator):
+        a = SyntheticUCFCrime(frame_generator, scale=0.05, frames_per_video=16, seed=9)
+        b = SyntheticUCFCrime(frame_generator, scale=0.05, frames_per_video=16, seed=10)
+        key = a.train.normal[0]
+        assert not np.allclose(a.video(key).frames, b.video(key).frames)
+
+    def test_class_videos_filter(self, small_dataset):
+        videos = small_dataset.class_videos("test", "Robbery")
+        assert videos
+        assert all(v.anomaly_class == "Robbery" for v in videos)
+
+    def test_class_videos_unknown_class(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.class_videos("test", "Nope")
+
+    def test_split_name_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.normal_videos("validation")
+
+
+class TestMissionWindows:
+    def test_binary_labels(self, small_dataset):
+        windows, labels = small_dataset.mission_windows(
+            "train", "Stealing", window=8, stride=4,
+            normal_videos=3, anomaly_videos=2)
+        assert windows.ndim == 3
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_anomalous_untrimmed_videos_contribute_normal_windows(self, small_dataset):
+        """UCF-Crime anomalous videos are untrimmed: windows outside the
+        anomaly segment count as normal."""
+        windows, labels = small_dataset.mission_windows(
+            "train", "Stealing", window=8, stride=1,
+            normal_videos=0, anomaly_videos=2)
+        assert (labels == 0).any()
+        assert (labels == 1).any()
+
+    def test_limits_respected(self, small_dataset, frame_generator):
+        few, _ = small_dataset.mission_windows(
+            "train", "Arson", window=8, stride=8, normal_videos=1,
+            anomaly_videos=1)
+        more, _ = small_dataset.mission_windows(
+            "train", "Arson", window=8, stride=8, normal_videos=2,
+            anomaly_videos=1)
+        assert more.shape[0] > few.shape[0]

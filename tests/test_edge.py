@@ -1,0 +1,130 @@
+"""Tests for the edge/cloud cost models (Table I substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    GPT4_KG_GENERATION_FLOPS,
+    CloudBaseline,
+    EdgeDeviceModel,
+    EfficiencyComparison,
+    count_adaptation_step,
+    count_gnn_forward,
+    count_model_forward,
+    count_temporal_forward,
+)
+
+
+class TestFlopCounting:
+    def test_all_components_positive(self, fresh_model):
+        counts = count_model_forward(fresh_model(window=4))
+        assert counts.image_encoder > 0
+        assert counts.gnn > 0
+        assert counts.temporal > 0
+        assert counts.decision > 0
+        assert counts.total == pytest.approx(
+            counts.image_encoder + counts.gnn + counts.temporal + counts.decision)
+
+    def test_gnn_flops_scale_with_nodes(self, fresh_model, rng):
+        model = fresh_model()
+        base = count_gnn_forward(model)
+        kg = model.kgs[0]
+        kg.create_node(level=2, token_dim=model.embedding_model.token_dim,
+                       n_tokens=2, rng=rng)
+        model.reasoners[0].refresh_structure()
+        assert count_gnn_forward(model) > base
+
+    def test_temporal_flops_scale_with_window(self, fresh_model):
+        small = count_temporal_forward(fresh_model(window=4))
+        large = count_temporal_forward(fresh_model(window=8))
+        assert large > small
+
+    def test_adaptation_step_scaling(self, fresh_model):
+        model = fresh_model(window=4)
+        one = count_adaptation_step(model, batch_windows=10, inner_steps=1, rounds=1)
+        more_rounds = count_adaptation_step(model, 10, 1, 4)
+        more_inner = count_adaptation_step(model, 10, 4, 1)
+        assert more_rounds == pytest.approx(4 * one)
+        assert more_inner > one
+
+    def test_edge_adaptation_in_paper_regime(self, fresh_model):
+        """The paper reports ~1e9 FLOPs/day for edge adaptation; our counted
+        cost must land within a couple of orders of magnitude."""
+        model = fresh_model(window=8)
+        flops = count_adaptation_step(model, batch_windows=30,
+                                      inner_steps=3, rounds=6)
+        assert 1e7 < flops < 1e11
+
+
+class TestDeviceModel:
+    def test_storage_includes_model_and_kg(self, fresh_model):
+        device = EdgeDeviceModel()
+        model = fresh_model()
+        assert device.model_bytes(model) == model.num_parameters() * 8
+        assert device.kg_bytes(model.kgs[0]) > 0
+        assert device.storage_gb(model) > 0
+
+    def test_energy_linear_in_flops(self):
+        device = EdgeDeviceModel(joules_per_flop=1e-10)
+        assert device.adaptation_energy_joules(1e10) == pytest.approx(1.0)
+
+    def test_latency(self):
+        device = EdgeDeviceModel()
+        assert device.inference_latency_seconds(1e10, 1e10) == pytest.approx(1.0)
+
+
+class TestCloudBaseline:
+    def test_paper_constants(self):
+        cloud = CloudBaseline()
+        assert cloud.updates_per_month == 4
+        assert cloud.gpt4_flops_per_update == GPT4_KG_GENERATION_FLOPS
+        assert cloud.monthly_flops == pytest.approx(4e15)
+        assert cloud.monthly_update_minutes == pytest.approx(4.0)
+        assert cloud.monthly_bandwidth_gb == pytest.approx(2.0)
+
+    def test_scalability_string(self):
+        assert "Cloud" in CloudBaseline().scalability()
+
+
+class TestEfficiencyComparison:
+    @pytest.fixture()
+    def comparison(self, fresh_model):
+        return EfficiencyComparison(model=fresh_model(window=8),
+                                    auc_baseline=0.93, auc_proposed=0.91)
+
+    def test_row_count_matches_paper_table(self, comparison):
+        rows = comparison.rows()
+        # Paper Table I: 6 initial setup + 11 monthly + 3 operational.
+        assert len(rows) == 20
+
+    def test_proposed_has_zero_cloud_costs(self, comparison):
+        rows = {r.metric: r for r in comparison.rows()}
+        assert rows["KG Update Frequency (per month)"].proposed == "0"
+        assert rows["Total GPT-4 Computational Cost (FLOPs/month)"].proposed == "0"
+        assert rows["Memory Usage for GPT-4 during Updates (GB)"].proposed == "0"
+        assert rows["Network Bandwidth Usage for KG Updates (GB/month)"].proposed == "Zero"
+
+    def test_baseline_has_no_edge_costs(self, comparison):
+        rows = {r.metric: r for r in comparison.rows()}
+        assert rows["Edge Device Computational Cost per Adaptation (FLOPs/day)"].baseline == "N/A"
+
+    def test_human_intervention_asymmetry(self, comparison):
+        monthly = [r for r in comparison.rows()
+                   if r.section == "Monthly Updates" and r.metric == "Human Intervention"]
+        assert monthly[0].baseline == "Yes"
+        assert monthly[0].proposed == "No"
+
+    def test_auc_rows_use_measured_values(self, comparison):
+        rows = {r.metric: r for r in comparison.rows()}
+        assert rows["Average AUC score"].baseline == "0.93"
+        assert rows["Average AUC score"].proposed == "0.91"
+
+    def test_monthly_flops_consistency(self, comparison):
+        assert comparison.edge_flops_per_month == pytest.approx(
+            30 * comparison.edge_flops_per_day)
+
+    def test_format_table_renders(self, comparison):
+        text = comparison.format_table()
+        assert "Initial Setup" in text
+        assert "Average AUC score" in text
+        assert "Proposed (Edge)" in text

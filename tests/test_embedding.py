@@ -1,0 +1,142 @@
+"""Tests for the token table and joint embedding model (ImageBind substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    BPETokenizer,
+    JointEmbeddingModel,
+    TokenEmbeddingTable,
+    build_default_embedding_model,
+    build_domain_corpus,
+)
+from repro.nn import Tensor
+
+
+class TestTokenEmbeddingTable:
+    def test_rows_align_with_vocab(self, embedding_model):
+        table = embedding_model.token_table
+        assert table.vectors.shape == (table.tokenizer.vocab_size, table.dim)
+
+    def test_rows_unit_norm(self, embedding_model):
+        norms = np.linalg.norm(embedding_model.token_table.vectors, axis=1)
+        np.testing.assert_allclose(norms, np.ones_like(norms), atol=1e-10)
+
+    def test_lookup(self, embedding_model):
+        table = embedding_model.token_table
+        out = table.lookup([0, 3, 3])
+        assert out.shape == (3, table.dim)
+        np.testing.assert_allclose(out[1], out[2])
+
+    def test_lookup_out_of_range(self, embedding_model):
+        with pytest.raises(IndexError):
+            embedding_model.token_table.lookup([10**6])
+
+    def test_embed_text_pools_tokens(self, embedding_model):
+        table = embedding_model.token_table
+        vec = table.embed_text("sneaky")
+        ids = table.tokenizer.encode("sneaky")
+        np.testing.assert_allclose(vec, table.lookup(ids).mean(axis=0))
+
+    def test_embed_empty_text(self, embedding_model):
+        vec = embedding_model.token_table.embed_text("")
+        np.testing.assert_allclose(vec, np.zeros(embedding_model.token_dim))
+
+    def test_nearest_tokens_self(self, embedding_model):
+        table = embedding_model.token_table
+        row = table.vectors[10]
+        hits = table.nearest_tokens(row, k=1, skip_special=False)
+        assert hits[0][0] == 10
+
+    def test_nearest_tokens_skip_special(self, embedding_model):
+        table = embedding_model.token_table
+        for metric in TokenEmbeddingTable.METRICS:
+            hits = table.nearest_tokens(table.vectors[5], k=5, metric=metric)
+            specials = {table.tokenizer.PAD, table.tokenizer.UNK}
+            for _, word, _ in hits:
+                assert word not in specials
+
+    def test_scores_shape_validation(self, embedding_model):
+        with pytest.raises(ValueError):
+            embedding_model.token_table.scores(np.zeros(3))
+
+    def test_unknown_metric(self, embedding_model):
+        with pytest.raises(ValueError):
+            embedding_model.token_table.scores(
+                np.zeros(embedding_model.token_dim), metric="hamming")
+
+
+class TestJointEmbeddingModel:
+    def test_text_fit_quality(self, embedding_model):
+        """The ridge-fitted text path must land near ontology vectors."""
+        assert embedding_model.text_fit_cosine > 0.6
+
+    def test_encode_text_near_concept_vector(self, embedding_model):
+        space = embedding_model.concept_space
+        vec = embedding_model.encode_text("firearm")
+        target = space.concept_vector("firearm")
+        cos = vec @ target / (np.linalg.norm(vec) * np.linalg.norm(target))
+        assert cos > 0.5
+
+    def test_render_encode_inverts(self, embedding_model):
+        """encode_image(render_semantic(s)) ~ s without noise."""
+        space = embedding_model.concept_space
+        semantic = space.concept_vector("blast")
+        frame = embedding_model.render_semantic(semantic)
+        recovered = embedding_model.encode_image(frame)
+        np.testing.assert_allclose(recovered, semantic, atol=1e-8)
+
+    def test_render_noise_requires_rng(self, embedding_model):
+        semantic = embedding_model.concept_space.concept_vector("blast")
+        with pytest.raises(ValueError):
+            embedding_model.render_semantic(semantic, noise=0.1)
+
+    def test_alignment_class_consistent(self, embedding_model, rng):
+        """A rendered 'firearm' frame aligns more with 'firearm' than 'walking'."""
+        semantic = embedding_model.concept_space.concept_vector("firearm")
+        frame = embedding_model.render_semantic(semantic, rng=rng, noise=0.1)
+        same = embedding_model.alignment(frame, "firearm")
+        other = embedding_model.alignment(frame, "walking")
+        assert same > other + 0.2
+
+    def test_encode_image_batch(self, embedding_model, rng):
+        frames = rng.normal(size=(5, embedding_model.frame_dim))
+        out = embedding_model.encode_image(frames)
+        assert out.shape == (5, embedding_model.joint_dim)
+
+    def test_encode_image_wrong_dim(self, embedding_model):
+        with pytest.raises(ValueError):
+            embedding_model.encode_image(np.zeros(17))
+
+    def test_differentiable_text_path_gradient(self, embedding_model):
+        """Gradients must flow through encode_token_tensor into the tokens —
+        the mechanism continuous adaptation relies on."""
+        ids = embedding_model.tokenizer.encode("sneaky")
+        tokens = Tensor(embedding_model.token_table.lookup(ids),
+                        requires_grad=True)
+        out = embedding_model.encode_token_tensor(tokens)
+        out.sum().backward()
+        assert tokens.grad is not None
+        assert np.any(tokens.grad != 0)
+
+    def test_differentiable_path_matches_frozen_path(self, embedding_model):
+        ids = embedding_model.tokenizer.encode("sneaky")
+        tokens = embedding_model.token_table.lookup(ids)
+        frozen = embedding_model.encode_token_vectors(tokens)
+        diff = embedding_model.encode_token_tensor(Tensor(tokens)).numpy()
+        np.testing.assert_allclose(frozen, diff, atol=1e-12)
+
+    def test_encode_token_vectors_validation(self, embedding_model):
+        with pytest.raises(ValueError):
+            embedding_model.encode_token_vectors(np.zeros((2, 3)))
+
+    def test_builder_deterministic(self):
+        a = build_default_embedding_model(seed=11, num_merges=50)
+        b = build_default_embedding_model(seed=11, num_merges=50)
+        np.testing.assert_allclose(a.encode_text("sneaky"),
+                                   b.encode_text("sneaky"))
+
+    def test_corpus_nonempty_and_deterministic(self):
+        corpus = build_domain_corpus()
+        assert len(corpus) > 100
+        assert corpus == build_domain_corpus()

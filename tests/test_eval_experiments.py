@@ -1,0 +1,136 @@
+"""Tests for the experiment harnesses (context caching, determinism, shapes).
+
+The heavy full-scale runs live in benchmarks/; here we verify the harness
+machinery itself with the shared small trained context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import TrendShiftConfig
+from repro.eval import (
+    EfficiencyExperiment,
+    ExperimentConfig,
+    ExperimentContext,
+    RetrievalDriftExperiment,
+    TrendShiftExperiment,
+    TrendShiftResult,
+    ascii_series,
+    format_retrieval_drift,
+    format_trend_shift,
+)
+
+
+class TestExperimentContext:
+    def test_kg_cache_returns_fresh_copies(self, trained_context):
+        a = trained_context.generate_kg("Stealing")
+        b = trained_context.generate_kg("Stealing")
+        assert a is not b
+        node = a.concept_nodes()[0]
+        node.token_embeddings += 1.0
+        other = b.node(node.node_id)
+        assert not np.allclose(node.token_embeddings, other.token_embeddings)
+
+    def test_trained_model_reload_is_deterministic(self, trained_context, rng):
+        windows, _ = trained_context.eval_windows("Stealing")
+        a = trained_context.train_model("Stealing")
+        b = trained_context.train_model("Stealing")
+        assert a is not b
+        np.testing.assert_allclose(a.anomaly_scores(windows[:5]),
+                                   b.anomaly_scores(windows[:5]))
+
+    def test_trained_model_separates_mission_class(self, trained_context):
+        from repro.eval import roc_auc
+        model = trained_context.train_model("Stealing")
+        windows, labels = trained_context.eval_windows("Stealing")
+        assert roc_auc(model.anomaly_scores(windows), labels) > 0.75
+
+    def test_eval_windows_deterministic(self, trained_context):
+        a, la = trained_context.eval_windows("Robbery")
+        b, lb = trained_context.eval_windows("Robbery")
+        np.testing.assert_allclose(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_eval_windows_balanced(self, trained_context):
+        cfg = trained_context.config
+        windows, labels = trained_context.eval_windows("Arson")
+        assert (labels == 0).sum() == cfg.eval_normal_windows
+        assert (labels == 1).sum() == cfg.eval_anomaly_windows
+
+    def test_normal_anchors_are_normal(self, trained_context):
+        anchors = trained_context.normal_anchors("Stealing", count=10)
+        assert anchors.ndim == 3
+        assert anchors.shape[0] <= 10
+
+
+class TestTrendShiftHarness:
+    @pytest.fixture(scope="class")
+    def result(self, trained_context):
+        experiment = TrendShiftExperiment(trained_context, TrendShiftConfig(
+            initial_class="Stealing", shifted_class="Robbery",
+            steps_before_shift=2, steps_after_shift=4, windows_per_step=12,
+            window=trained_context.config.window, seed=11))
+        return experiment.run()
+
+    def test_result_shape(self, result):
+        assert len(result.steps) == 6
+        assert len(result.auc_adaptive) == 6
+        assert len(result.auc_static) == 6
+        assert result.shift_step == 2
+        assert result.shift_strength == "weak"
+
+    def test_static_pre_shift_auc_reasonable(self, result):
+        pre = [a for s, a in zip(result.steps, result.auc_static) if s < 2]
+        assert min(pre) > 0.6
+
+    def test_category_means_bucketing(self, result):
+        means = result.category_means(categories=2)
+        assert len(means["adaptive"]) == 2
+        assert len(means["static"]) == 2
+
+    def test_static_trace_constant(self, result):
+        """Without adaptation the model never changes, so its AUC on a fixed
+        eval set is constant within each phase."""
+        post = [a for s, a in zip(result.steps, result.auc_static) if s >= 2]
+        assert max(post) - min(post) < 1e-9
+
+    def test_formatting(self, result):
+        text = format_trend_shift(result, categories=2)
+        assert "Stealing -> Robbery" in text
+        assert "weak" in text
+
+
+class TestRetrievalDriftHarness:
+    def test_drift_runs_and_records(self, trained_context):
+        experiment = RetrievalDriftExperiment(
+            trained_context,
+            stream_config=TrendShiftConfig(
+                initial_class="Stealing", shifted_class="Robbery",
+                steps_before_shift=2, steps_after_shift=3, windows_per_step=12,
+                window=trained_context.config.window, seed=11))
+        result = experiment.run()
+        assert result.tracked_node_text
+        assert len(result.trajectory.iterations) >= 2
+        assert 0 in result.retrieved_words
+        text = format_retrieval_drift(result)
+        assert result.tracked_node_text in text
+
+
+class TestEfficiencyHarness:
+    def test_measures_both_strategies(self, trained_context):
+        experiment = EfficiencyExperiment(
+            trained_context, class_a="Stealing", class_b="Stealing",
+            alternations=2, steps_per_phase=2)
+        result = experiment.run()
+        assert 0.0 <= result.auc_baseline <= 1.0
+        assert 0.0 <= result.auc_proposed <= 1.0
+        assert len(result.phase_aucs_baseline) == 2
+        assert len(result.phase_aucs_proposed) == 2
+        assert result.kg_regenerations_baseline == 2
+
+
+class TestReportingHelpers:
+    def test_ascii_series(self):
+        lines = ascii_series([0.0, 0.5, 1.0], width=10)
+        assert lines[0].startswith("." * 10)
+        assert lines[2].startswith("#" * 10)

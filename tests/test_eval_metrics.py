@@ -1,0 +1,113 @@
+"""Tests for the from-scratch evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import average_precision, roc_auc, roc_curve, score_statistics
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_ranking_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_known_value(self):
+        # Hand-computed: pairs (pos > neg): (0.7>0.4), (0.7>0.6), (0.5>0.4);
+        # (0.5<0.6) -> 3/4.
+        scores = np.array([0.4, 0.6, 0.5, 0.7])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.75)
+
+    def test_ties_contribute_half(self):
+        scores = np.array([0.5, 0.5])
+        labels = np.array([0, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(100)
+        labels = rng.integers(0, 2, 100)
+        base = roc_auc(scores, labels)
+        assert roc_auc(np.exp(5 * scores), labels) == pytest.approx(base)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_nonbinary_labels_raise(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([0, 2]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1]), np.array([0, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([]), np.array([]))
+
+
+class TestRocCurve:
+    def test_starts_at_origin_ends_at_one(self):
+        scores = np.array([0.1, 0.4, 0.35, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(50)
+        labels = rng.integers(0, 2, 50)
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_trapezoid_matches_mannwhitney(self):
+        rng = np.random.default_rng(3)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        fpr, tpr, _ = roc_curve(scores, labels)
+        trapezoid = float(np.trapezoid(tpr, fpr))
+        assert trapezoid == pytest.approx(roc_auc(scores, labels), abs=1e-9)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(np.array([0.9, 0.8, 0.1]),
+                                 np.array([1, 1, 0])) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Ranking: pos(0.9), neg(0.8), pos(0.7) -> AP = (1/1 + 2/3)/2.
+        scores = np.array([0.9, 0.8, 0.7])
+        labels = np.array([1, 0, 1])
+        assert average_precision(scores, labels) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_needs_positives(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([0.5]), np.array([0]))
+
+
+class TestScoreStatistics:
+    def test_fields(self):
+        stats = score_statistics(np.array([0.0, 0.5, 1.0]))
+        assert stats["mean"] == pytest.approx(0.5)
+        assert stats["median"] == pytest.approx(0.5)
+        assert stats["min"] == 0.0 and stats["max"] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            score_statistics(np.array([]))

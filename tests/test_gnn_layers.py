@@ -1,0 +1,138 @@
+"""Tests for GraphSpec compilation and the hierarchical GNN layer (Eq. 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GraphSpec, HierarchicalGNNLayer
+from repro.kg import ReasoningKG
+from repro.nn import Tensor
+
+
+def build_kg() -> ReasoningKG:
+    kg = ReasoningKG(mission="m", depth=2)
+    a = kg.add_node("a", level=1)
+    b = kg.add_node("b", level=1)
+    c = kg.add_node("c", level=2)
+    kg.add_edge(a, c)
+    kg.add_edge(b, c)
+    kg.attach_terminals()
+    return kg
+
+
+class TestGraphSpec:
+    def test_requires_terminals(self):
+        kg = ReasoningKG(mission="m", depth=1)
+        kg.add_node("a", level=1)
+        with pytest.raises(ValueError):
+            GraphSpec(kg)
+
+    def test_level_structure(self):
+        spec = GraphSpec(build_kg())
+        assert spec.num_levels == 4  # sensor, L1, L2, embedding
+        assert spec.num_nodes == 5
+
+    def test_aggregate_rows_mean(self):
+        """Receiving nodes average their incoming messages (Eq. 3)."""
+        spec = GraphSpec(build_kg())
+        for level in range(spec.num_levels):
+            agg = spec.aggregate[level]
+            mask = spec.receive_mask[level][:, 0]
+            for row, receives in zip(agg, mask):
+                if receives:
+                    assert row.sum() == pytest.approx(1.0)
+                else:
+                    assert row.sum() == pytest.approx(0.0)
+
+    def test_sensor_level_has_no_incoming(self):
+        spec = GraphSpec(build_kg())
+        assert len(spec.edge_sources[0]) == 0
+
+    def test_level1_receives_from_sensor(self):
+        kg = build_kg()
+        spec = GraphSpec(kg)
+        assert len(spec.edge_sources[1]) == 2  # sensor -> a, sensor -> b
+        assert all(s == spec.sensor_row for s in spec.edge_sources[1])
+
+    def test_row_of(self):
+        kg = build_kg()
+        spec = GraphSpec(kg)
+        for node in kg.nodes():
+            assert spec.node_ids[spec.row_of(node.node_id)] == node.node_id
+
+
+class TestHierarchicalGNNLayer:
+    def test_output_shape(self, rng):
+        spec = GraphSpec(build_kg())
+        layer = HierarchicalGNNLayer(6, 4, rng)
+        out = layer(Tensor(rng.normal(size=(3, spec.num_nodes, 6))), spec, level=1)
+        assert out.shape == (3, spec.num_nodes, 4)
+
+    def test_rejects_wrong_node_count(self, rng):
+        spec = GraphSpec(build_kg())
+        layer = HierarchicalGNNLayer(6, 4, rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 3, 6))), spec, level=1)
+
+    def test_rejects_2d_input(self, rng):
+        spec = GraphSpec(build_kg())
+        layer = HierarchicalGNNLayer(6, 4, rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((spec.num_nodes, 6))), spec, level=1)
+
+    def test_non_receiving_nodes_keep_dense_output(self, rng):
+        """Eq. 3: nodes outside V(l) pass through the dense refinement only
+        (before norm/activation, their value equals phi_l(X))."""
+        kg = build_kg()
+        spec = GraphSpec(kg)
+        layer = HierarchicalGNNLayer(4, 4, rng)
+        layer.eval()  # freeze batch-norm statistics usage path
+        x = rng.normal(size=(2, spec.num_nodes, 4))
+
+        # Compute the combined pre-norm output by stubbing norm+elu:
+        refined = layer.dense(Tensor(x)).numpy()
+        out_level2 = layer(Tensor(x), spec, level=2)
+        # Level 2 receivers: only node 'c'. All other rows derive from
+        # `refined` alone; verify by linearity of the subsequent norm:
+        # rows with identical refined values must produce identical outputs.
+        c_row = spec.row_of([n.node_id for n in kg.concept_nodes()
+                             if n.text == "c"][0])
+        mask = spec.receive_mask[2][:, 0]
+        assert mask[c_row] == 1.0
+        assert mask.sum() == 1.0
+
+    def test_message_passing_mixes_source_and_target(self, rng):
+        """Changing a level-1 node's embedding must affect the level-2
+        receiver (through Eq. 2's product messages)."""
+        kg = build_kg()
+        spec = GraphSpec(kg)
+        layer = HierarchicalGNNLayer(4, 4, rng)
+        layer.eval()
+        x = rng.normal(size=(1, spec.num_nodes, 4))
+        base = layer(Tensor(x), spec, level=2).numpy()
+        a_row = spec.row_of([n.node_id for n in kg.concept_nodes()
+                             if n.text == "a"][0])
+        c_row = spec.row_of([n.node_id for n in kg.concept_nodes()
+                             if n.text == "c"][0])
+        x2 = x.copy()
+        x2[0, a_row] += 3.0
+        out = layer(Tensor(x2), spec, level=2).numpy()
+        assert not np.allclose(out[0, c_row], base[0, c_row])
+
+    def test_gradients_flow_through_messages(self, rng):
+        spec = GraphSpec(build_kg())
+        layer = HierarchicalGNNLayer(4, 4, rng)
+        x = Tensor(rng.normal(size=(2, spec.num_nodes, 4)), requires_grad=True)
+        layer(x, spec, level=2).sum().backward()
+        assert x.grad is not None
+        assert np.any(x.grad != 0)
+
+    def test_empty_edge_level_is_dense_norm_elu(self, rng):
+        """Level 0 (sensor) has no incoming edges: layer reduces to
+        dense + batchnorm + ELU on all nodes."""
+        spec = GraphSpec(build_kg())
+        layer = HierarchicalGNNLayer(4, 4, rng)
+        x = Tensor(rng.normal(size=(2, spec.num_nodes, 4)))
+        refined = layer.dense(x)
+        expected = layer.norm(refined).elu().numpy()
+        layer2_out = layer(x, spec, level=0).numpy()
+        np.testing.assert_allclose(layer2_out, expected)

@@ -1,0 +1,185 @@
+"""Tests for the per-KG reasoner and full MissionGNN pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    DecisionModel,
+    HierarchicalGNN,
+    KGReasoner,
+    MissionGNNConfig,
+    MissionGNNModel,
+    ShortTermTemporalModel,
+)
+from repro.gnn.layers import GraphSpec
+from repro.nn import Tensor
+from repro.utils import derive_rng
+
+
+class TestHierarchicalGNN:
+    def test_layer_count_is_depth_plus_two(self, stealing_kg_template, embedding_model):
+        gnn = HierarchicalGNN(depth=3, input_dim=embedding_model.joint_dim,
+                              hidden_dim=8, rng=derive_rng(0, "g"))
+        assert len(gnn.layers) == 5  # d + 2 (paper Section III-C)
+
+    def test_depth_mismatch_raises(self, stealing_kg_template, embedding_model):
+        gnn = HierarchicalGNN(depth=2, input_dim=embedding_model.joint_dim,
+                              hidden_dim=8, rng=derive_rng(0, "g"))
+        spec = GraphSpec(stealing_kg_template)  # depth 3
+        with pytest.raises(ValueError):
+            gnn(Tensor(np.zeros((1, spec.num_nodes, embedding_model.joint_dim))), spec)
+
+
+class TestKGReasoner:
+    def test_requires_initialized_tokens(self, ontology, embedding_model):
+        from repro.kg import KGGenerationConfig, KGGenerator
+        from repro.llm import SyntheticLLM
+        kg, _ = KGGenerator(SyntheticLLM(ontology, seed=3),
+                            KGGenerationConfig(depth=2)).generate("Arson")
+        gnn = HierarchicalGNN(2, embedding_model.joint_dim, 8, derive_rng(0, "g"))
+        with pytest.raises(ValueError):
+            KGReasoner(kg, embedding_model, gnn)
+
+    def test_forward_shape(self, fresh_model, embedding_model, rng):
+        model = fresh_model()
+        reasoner = model.reasoners[0]
+        frames = rng.normal(size=(5, embedding_model.frame_dim))
+        out = reasoner(frames)
+        assert out.shape == (5, 8)
+
+    def test_single_frame_promoted_to_batch(self, fresh_model, embedding_model, rng):
+        model = fresh_model()
+        out = model.reasoners[0](rng.normal(size=embedding_model.frame_dim))
+        assert out.shape == (1, 8)
+
+    def test_token_gradients_flow(self, fresh_model, embedding_model, rng):
+        """The critical property: loss gradients reach KG token embeddings
+        while model weights are frozen."""
+        model = fresh_model()
+        model.freeze_for_deployment()
+        reasoner = model.reasoners[0]
+        frames = rng.normal(size=(2, embedding_model.frame_dim))
+        out = reasoner(frames)
+        out.sum().backward()
+        token_grads = [t.grad for t in reasoner.token_tensors().values()]
+        assert any(g is not None and np.any(g != 0) for g in token_grads)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_commit_tokens_writes_back(self, fresh_model):
+        model = fresh_model()
+        model.freeze_for_deployment()
+        reasoner = model.reasoners[0]
+        node_id, tensor = next(iter(reasoner.token_tensors().items()))
+        tensor.data = tensor.data + 1.0
+        reasoner.commit_tokens()
+        np.testing.assert_allclose(reasoner.kg.node(node_id).token_embeddings,
+                                   tensor.data)
+
+    def test_refresh_structure_after_prune(self, fresh_model, rng):
+        model = fresh_model()
+        reasoner = model.reasoners[0]
+        kg = reasoner.kg
+        victim = kg.nodes_at_level(2)[0]
+        kg.prune_node(victim.node_id)
+        kg.create_node(level=2, token_dim=model.embedding_model.token_dim,
+                       n_tokens=2, rng=rng)
+        reasoner.refresh_structure()
+        out = reasoner(rng.normal(size=(2, model.embedding_model.frame_dim)))
+        assert out.shape == (2, 8)
+
+    def test_frame_changes_output(self, fresh_model, embedding_model, rng):
+        model = fresh_model()
+        reasoner = model.reasoners[0]
+        f1 = rng.normal(size=(1, embedding_model.frame_dim))
+        f2 = rng.normal(size=(1, embedding_model.frame_dim))
+        assert not np.allclose(reasoner(f1).numpy(), reasoner(f2).numpy())
+
+
+class TestTemporalModel:
+    def test_last_output_shape(self, rng):
+        model = ShortTermTemporalModel(reasoning_dim=8, window=6,
+                                       rng=derive_rng(0, "t"))
+        out = model(Tensor(rng.normal(size=(3, 6, 8))))
+        assert out.shape == (3, 8)
+
+    def test_window_validation(self, rng):
+        model = ShortTermTemporalModel(reasoning_dim=8, window=6,
+                                       rng=derive_rng(0, "t"))
+        with pytest.raises(ValueError):
+            model(Tensor(rng.normal(size=(3, 4, 8))))
+        with pytest.raises(ValueError):
+            model(Tensor(rng.normal(size=(3, 6, 9))))
+
+
+class TestDecisionModel:
+    def test_probabilities_sum_to_one(self, rng):
+        head = DecisionModel(8, num_anomaly_types=2, rng=derive_rng(0, "d"))
+        probs = head.probabilities(Tensor(rng.normal(size=(4, 8)))).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_probability_decomposition(self):
+        probs = np.array([[0.6, 0.3, 0.1]])
+        assert DecisionModel.normal_probability(probs)[0] == pytest.approx(0.6)
+        assert DecisionModel.anomaly_probability(probs)[0] == pytest.approx(0.4)
+        posterior = DecisionModel.anomaly_type_posterior(probs)
+        np.testing.assert_allclose(posterior[0], [0.75, 0.25])
+
+    def test_posterior_sums_to_one_given_anomaly(self, rng):
+        head = DecisionModel(8, num_anomaly_types=3, rng=derive_rng(0, "d"))
+        probs = head.probabilities(Tensor(rng.normal(size=(5, 8)))).numpy()
+        posterior = DecisionModel.anomaly_type_posterior(probs)
+        np.testing.assert_allclose(posterior.sum(axis=-1), np.ones(5), atol=1e-9)
+
+    def test_at_least_one_type(self, rng):
+        with pytest.raises(ValueError):
+            DecisionModel(8, num_anomaly_types=0, rng=derive_rng(0, "d"))
+
+
+class TestMissionGNNModel:
+    def test_forward_logits_shape(self, fresh_model, embedding_model, rng):
+        model = fresh_model(window=4)
+        windows = rng.normal(size=(3, 4, embedding_model.frame_dim))
+        logits = model(windows)
+        assert logits.shape == (3, 2)  # normal + 1 anomaly type
+
+    def test_anomaly_scores_in_unit_interval(self, fresh_model, embedding_model, rng):
+        model = fresh_model(window=4)
+        windows = rng.normal(size=(6, 4, embedding_model.frame_dim))
+        scores = model.anomaly_scores(windows)
+        assert scores.shape == (6,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_requires_3d_windows(self, fresh_model, embedding_model):
+        model = fresh_model(window=4)
+        with pytest.raises(ValueError):
+            model(np.ones((4, embedding_model.frame_dim)))
+
+    def test_freeze_for_deployment(self, fresh_model):
+        model = fresh_model()
+        model.freeze_for_deployment()
+        assert all(not p.requires_grad for p in model.parameters())
+        assert all(t.requires_grad for t in model.token_parameters())
+        assert not model.temporal.training  # eval mode
+
+    def test_needs_at_least_one_kg(self, embedding_model):
+        with pytest.raises(ValueError):
+            MissionGNNModel([], embedding_model)
+
+    def test_multi_kg_concatenation(self, fresh_kg, embedding_model, rng):
+        kgs = [fresh_kg("Stealing"), fresh_kg("Robbery", seed=4)]
+        model = MissionGNNModel(kgs, embedding_model,
+                                MissionGNNConfig(temporal_window=4))
+        assert model.reasoning_dim == 16
+        logits = model(rng.normal(size=(2, 4, embedding_model.frame_dim)))
+        assert logits.shape == (2, 3)  # normal + 2 anomaly types
+
+    def test_deterministic_construction(self, fresh_kg, embedding_model, rng):
+        windows = rng.normal(size=(2, 4, embedding_model.frame_dim))
+
+        def build():
+            model = MissionGNNModel([fresh_kg("Stealing")], embedding_model,
+                                    MissionGNNConfig(temporal_window=4, seed=9))
+            model.eval()
+            return model(windows).numpy()
+
+        np.testing.assert_allclose(build(), build())

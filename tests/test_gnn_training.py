@@ -1,0 +1,76 @@
+"""Tests for the cloud-side decision-model trainer."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import DecisionModelTrainer, TrainingConfig
+
+
+def toy_task(fresh_model, frame_generator, rng, n_per_class=12, window=4):
+    """A tiny separable task: Stealing windows vs normal windows."""
+    model = fresh_model(window=window)
+    windows, labels = [], []
+    for _ in range(n_per_class):
+        windows.append(np.stack([frame_generator.normal_frame(rng)
+                                 for _ in range(window)]))
+        labels.append(0)
+        windows.append(np.stack([frame_generator.anomaly_frame("Stealing", rng)
+                                 for _ in range(window)]))
+        labels.append(1)
+    return model, np.stack(windows), np.array(labels, dtype=np.int64)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, fresh_model, frame_generator, rng):
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng)
+        trainer = DecisionModelTrainer(model, TrainingConfig(
+            steps=40, batch_size=12, learning_rate=5e-3))
+        result = trainer.train(windows, labels)
+        first = np.mean(result.losses[:5])
+        last = np.mean(result.losses[-5:])
+        assert last < first
+
+    def test_training_separates_classes(self, fresh_model, frame_generator, rng):
+        from repro.eval import roc_auc
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng,
+                                          n_per_class=16)
+        DecisionModelTrainer(model, TrainingConfig(
+            steps=80, batch_size=16, learning_rate=5e-3)).train(windows, labels)
+        scores = model.anomaly_scores(windows)
+        assert roc_auc(scores, labels) > 0.8
+
+    def test_model_left_in_eval_mode(self, fresh_model, frame_generator, rng):
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng)
+        DecisionModelTrainer(model, TrainingConfig(steps=2)).train(windows, labels)
+        assert not model.temporal.training
+
+    def test_result_bookkeeping(self, fresh_model, frame_generator, rng):
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng)
+        result = DecisionModelTrainer(model, TrainingConfig(steps=5)).train(
+            windows, labels)
+        assert result.steps == 5
+        assert len(result.losses) == 5
+        assert result.final_loss == result.losses[-1]
+
+    def test_validation_errors(self, fresh_model, frame_generator, rng):
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng)
+        trainer = DecisionModelTrainer(model, TrainingConfig(steps=1))
+        with pytest.raises(ValueError):
+            trainer.train(windows, labels[:-1])
+        with pytest.raises(ValueError):
+            trainer.train(windows[:0], labels[:0])
+        with pytest.raises(ValueError):
+            trainer.train(windows, labels + 5)
+
+    def test_balanced_batches_oversample_minority(self, fresh_model,
+                                                  frame_generator, rng):
+        """With 1 anomaly among many normals, balanced batches still train
+        without error (replacement sampling covers the shortfall)."""
+        model, windows, labels = toy_task(fresh_model, frame_generator, rng,
+                                          n_per_class=8)
+        labels = labels.copy()
+        labels[labels == 1] = 0
+        labels[0] = 1  # single anomaly
+        result = DecisionModelTrainer(model, TrainingConfig(
+            steps=3, batch_size=8)).train(windows, labels)
+        assert len(result.losses) == 3

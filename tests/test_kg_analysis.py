@@ -1,0 +1,85 @@
+"""Tests for KG statistics and adaptation diffing."""
+
+import numpy as np
+import pytest
+
+from repro.kg import ReasoningKG, diff_kgs, kg_from_dict, kg_statistics, kg_to_dict, to_networkx
+
+
+class TestStatistics:
+    def test_basic_counts(self, stealing_kg_template):
+        stats = kg_statistics(stealing_kg_template)
+        assert stats["num_nodes"] == stealing_kg_template.num_nodes
+        assert stats["num_edges"] == stealing_kg_template.num_edges
+        assert stats["depth"] == 3
+
+    def test_level_widths_cover_all_levels(self, stealing_kg_template):
+        stats = kg_statistics(stealing_kg_template)
+        assert set(stats["level_widths"]) == set(range(5))
+        assert stats["level_widths"][0] == 1  # sensor
+        assert stats["level_widths"][4] == 1  # embedding node
+
+    def test_generated_kg_fully_on_path(self, stealing_kg_template):
+        """Generation guarantees every concept node participates in
+        sensor->embedding reasoning."""
+        stats = kg_statistics(stealing_kg_template)
+        assert stats["is_dag"]
+        assert stats["num_reasoning_paths"] >= 1
+
+    def test_mean_fan_in_positive(self, stealing_kg_template):
+        assert kg_statistics(stealing_kg_template)["mean_fan_in"] >= 1.0
+
+    def test_to_networkx_preserves_structure(self, stealing_kg_template):
+        graph = to_networkx(stealing_kg_template)
+        assert graph.number_of_nodes() == stealing_kg_template.num_nodes
+        assert graph.number_of_edges() == stealing_kg_template.num_edges
+        node = stealing_kg_template.concept_nodes()[0]
+        assert graph.nodes[node.node_id]["text"] == node.text
+
+
+class TestDiff:
+    def _snapshot(self, kg):
+        return kg_from_dict(kg_to_dict(kg))
+
+    def test_no_change_empty_diff(self, fresh_kg):
+        kg = fresh_kg()
+        diff = diff_kgs(self._snapshot(kg), self._snapshot(kg))
+        assert not diff.pruned and not diff.created
+        assert diff.edges_added == 0 and diff.edges_removed == 0
+        assert diff.mean_drift == pytest.approx(0.0)
+
+    def test_token_drift_measured(self, fresh_kg):
+        kg = fresh_kg()
+        before = self._snapshot(kg)
+        node = kg.concept_nodes()[0]
+        node.token_embeddings = node.token_embeddings + 1.0
+        diff = diff_kgs(before, self._snapshot(kg))
+        moved = [d for d in diff.drifts if d.node_id == node.node_id]
+        assert len(moved) == 1
+        expected = np.sqrt(node.token_embeddings.size)
+        assert moved[0].l2_distance == pytest.approx(expected)
+
+    def test_prune_create_reflected(self, fresh_kg, rng):
+        kg = fresh_kg()
+        before = self._snapshot(kg)
+        victim = kg.nodes_at_level(2)[0]
+        kg.prune_node(victim.node_id)
+        kg.create_node(level=2, token_dim=8, n_tokens=2, rng=rng)
+        diff = diff_kgs(before, self._snapshot(kg))
+        assert victim.text in diff.pruned
+        assert len(diff.created) == 1
+        assert diff.edges_removed > 0
+
+    def test_max_drift_identifies_most_moved(self, fresh_kg):
+        kg = fresh_kg()
+        before = self._snapshot(kg)
+        nodes = kg.concept_nodes()
+        nodes[0].token_embeddings = nodes[0].token_embeddings + 0.1
+        nodes[1].token_embeddings = nodes[1].token_embeddings + 5.0
+        diff = diff_kgs(before, self._snapshot(kg))
+        assert diff.max_drift.node_id == nodes[1].node_id
+
+    def test_summary_renders(self, fresh_kg):
+        kg = fresh_kg()
+        diff = diff_kgs(self._snapshot(kg), self._snapshot(kg))
+        assert "pruned nodes" in diff.summary()

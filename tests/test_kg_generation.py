@@ -1,0 +1,121 @@
+"""Tests for the Fig. 3 KG generation framework (expansion + error correction)."""
+
+import pytest
+
+from repro.concepts import ANOMALY_CLASSES
+from repro.kg import (
+    DuplicatedConcept,
+    InvalidEdge,
+    KGGenerationConfig,
+    KGGenerator,
+    ReasoningKG,
+)
+from repro.llm import EdgeProposal, SyntheticLLM
+
+
+class TestErrorDetection:
+    def test_detects_duplicate_against_existing(self):
+        errors = KGGenerator.detect_errors(
+            existing={"sneaky": 1}, proposals=["sneaky", "new concept"],
+            edges=[], level=1)
+        dups = [e for e in errors if isinstance(e, DuplicatedConcept)]
+        assert len(dups) == 1
+        assert dups[0].concept == "sneaky"
+        assert dups[0].existing_level == 1
+
+    def test_detects_duplicate_within_proposals(self):
+        errors = KGGenerator.detect_errors(
+            existing={}, proposals=["a", "a"], edges=[], level=1)
+        assert any(isinstance(e, DuplicatedConcept) for e in errors)
+
+    def test_detects_invalid_edge_from_older_level(self):
+        errors = KGGenerator.detect_errors(
+            existing={"old": 1, "current": 2}, proposals=["new"],
+            edges=[EdgeProposal("old", "new")], level=2)
+        invalid = [e for e in errors if isinstance(e, InvalidEdge)]
+        assert len(invalid) == 1
+        assert invalid[0].source == "old"
+        assert invalid[0].source_level == 1
+
+    def test_valid_expansion_no_errors(self):
+        errors = KGGenerator.detect_errors(
+            existing={"current": 1}, proposals=["new"],
+            edges=[EdgeProposal("current", "new")], level=1)
+        assert errors == []
+
+    def test_edge_to_unknown_target_invalid(self):
+        errors = KGGenerator.detect_errors(
+            existing={"current": 1}, proposals=["new"],
+            edges=[EdgeProposal("current", "phantom")], level=1)
+        assert any(isinstance(e, InvalidEdge) for e in errors)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("mission", ["Stealing", "Robbery", "Explosion"])
+    def test_generates_valid_kg(self, ontology, mission):
+        oracle = SyntheticLLM(ontology, seed=3)
+        kg, report = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate(mission)
+        assert isinstance(kg, ReasoningKG)
+        kg.validate()
+        assert kg.mission == mission
+        assert kg.sensor_id is not None
+        assert kg.embedding_id is not None
+        for level in range(1, 4):
+            assert kg.nodes_at_level(level), f"level {level} empty"
+
+    def test_concepts_belong_to_mission(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=3, error_rate=0.0)
+        kg, _ = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Explosion")
+        mission_concepts = {c.text for c in ontology.concepts_for_class("Explosion")}
+        related = set()
+        for c in ontology.concepts_for_class("Explosion"):
+            related.update(ontology.related(c.text))
+        for node in kg.concept_nodes():
+            assert node.text in mission_concepts | related
+
+    def test_every_concept_node_reachable(self, ontology):
+        """No orphans: every concept node has at least one incoming edge."""
+        oracle = SyntheticLLM(ontology, seed=9, error_rate=0.3)
+        kg, _ = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Robbery")
+        for node in kg.concept_nodes():
+            assert kg.in_degree(node.node_id) >= 1
+
+    def test_high_error_rate_still_produces_valid_kg(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=1, error_rate=0.9,
+                              correction_error_rate=0.5)
+        kg, report = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Assault")
+        kg.validate()
+        assert report.errors_detected  # errors were actually exercised
+
+    def test_zero_error_rate_clean_run(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=3, error_rate=0.0)
+        kg, report = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Arson")
+        assert not report.errors_detected
+        assert report.corrections_applied == 0
+
+    def test_report_counts_llm_calls(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=3)
+        _, report = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Stealing")
+        # At minimum: 1 initial + (depth-1) x (nodes + edges).
+        assert report.llm_calls >= 1 + 2 * 2
+
+    def test_depth_config_respected(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=3)
+        kg, _ = KGGenerator(oracle, KGGenerationConfig(depth=2)).generate("Stealing")
+        assert kg.depth == 2
+        # Level 3 holds only the embedding terminal; no concept nodes.
+        assert all(not n.is_concept for n in kg.nodes_at_level(3))
+        assert kg.node(kg.embedding_id).level == 3
+
+    def test_determinism(self, ontology):
+        def run():
+            oracle = SyntheticLLM(ontology, seed=42)
+            kg, _ = KGGenerator(oracle, KGGenerationConfig(depth=3)).generate("Fighting")
+            return sorted(n.text for n in kg.concept_nodes()), kg.edges()
+        assert run() == run()
+
+    def test_all_thirteen_classes_generate(self, ontology):
+        for mission in ANOMALY_CLASSES:
+            oracle = SyntheticLLM(ontology, seed=5)
+            kg, _ = KGGenerator(oracle, KGGenerationConfig(depth=2)).generate(mission)
+            kg.validate()

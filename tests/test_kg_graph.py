@@ -1,0 +1,186 @@
+"""Tests for the hierarchical reasoning KG structure and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KGStructureError, ReasoningKG, UnknownNodeError
+from repro.kg.graph import EMBEDDING_TEXT, SENSOR_TEXT
+
+
+def build_small_kg() -> ReasoningKG:
+    kg = ReasoningKG(mission="Stealing", depth=2)
+    a = kg.add_node("sneaky", level=1)
+    b = kg.add_node("grabbing", level=1)
+    c = kg.add_node("quick snatch", level=2)
+    d = kg.add_node("pocketing object", level=2)
+    kg.add_edge(a, c)
+    kg.add_edge(b, c)
+    kg.add_edge(b, d)
+    kg.attach_terminals()
+    return kg
+
+
+class TestConstruction:
+    def test_depth_validation(self):
+        with pytest.raises(KGStructureError):
+            ReasoningKG(mission="x", depth=0)
+
+    def test_level_bounds(self):
+        kg = ReasoningKG(mission="x", depth=2)
+        with pytest.raises(KGStructureError):
+            kg.add_node("too deep", level=3)
+        with pytest.raises(KGStructureError):
+            kg.add_node("too shallow", level=0)
+
+    def test_duplicate_concept_rejected(self):
+        kg = ReasoningKG(mission="x", depth=2)
+        kg.add_node("sneaky", level=1)
+        with pytest.raises(KGStructureError):
+            kg.add_node("sneaky", level=2)
+
+    def test_edge_must_connect_consecutive_levels(self):
+        kg = ReasoningKG(mission="x", depth=3)
+        a = kg.add_node("a", level=1)
+        c = kg.add_node("c", level=3)
+        with pytest.raises(KGStructureError):
+            kg.add_edge(a, c)
+
+    def test_unknown_node_raises(self):
+        kg = ReasoningKG(mission="x", depth=1)
+        with pytest.raises(UnknownNodeError):
+            kg.node(99)
+
+
+class TestTerminals:
+    def test_sensor_connects_to_level1(self):
+        kg = build_small_kg()
+        successors = kg.successors(kg.sensor_id)
+        level1_ids = [n.node_id for n in kg.nodes_at_level(1)]
+        assert successors == sorted(level1_ids)
+
+    def test_last_level_connects_to_embedding(self):
+        kg = build_small_kg()
+        preds = kg.predecessors(kg.embedding_id)
+        last_ids = [n.node_id for n in kg.nodes_at_level(2) if n.is_concept]
+        assert preds == sorted(last_ids)
+
+    def test_double_attach_raises(self):
+        kg = build_small_kg()
+        with pytest.raises(KGStructureError):
+            kg.attach_terminals()
+
+    def test_terminal_flags(self):
+        kg = build_small_kg()
+        assert kg.node(kg.sensor_id).is_sensor
+        assert kg.node(kg.embedding_id).is_embedding
+        assert not kg.node(kg.sensor_id).is_concept
+
+    def test_validate_passes(self):
+        build_small_kg().validate()
+
+
+class TestQueries:
+    def test_edges_at_level(self):
+        kg = build_small_kg()
+        level2_edges = kg.edges_at_level(2)
+        assert len(level2_edges) == 3
+        for _, dst in level2_edges:
+            assert kg.node(dst).level == 2
+
+    def test_in_out_degree(self):
+        kg = build_small_kg()
+        c = next(n for n in kg.concept_nodes() if n.text == "quick snatch")
+        assert kg.in_degree(c.node_id) == 2
+        assert kg.out_degree(c.node_id) == 1  # to embedding node
+
+    def test_has_concept(self):
+        kg = build_small_kg()
+        assert kg.has_concept("sneaky")
+        assert not kg.has_concept("firearm")
+
+    def test_summary_mentions_levels(self):
+        text = build_small_kg().summary()
+        assert "L0" in text and "L3" in text
+
+
+class TestTokenInitialization:
+    def test_initialize_tokens(self, embedding_model):
+        kg = build_small_kg()
+        assert not kg.tokens_initialized()
+        kg.initialize_tokens(embedding_model)
+        assert kg.tokens_initialized()
+        for node in kg.concept_nodes():
+            assert node.token_ids
+            assert node.token_embeddings.shape == (
+                len(node.token_ids), embedding_model.token_dim)
+
+    def test_tokens_are_copies(self, embedding_model):
+        """Mutating a node's tokens must not corrupt the frozen vocab table."""
+        kg = build_small_kg()
+        kg.initialize_tokens(embedding_model)
+        node = kg.concept_nodes()[0]
+        before = embedding_model.token_table.vectors.copy()
+        node.token_embeddings += 100.0
+        np.testing.assert_allclose(embedding_model.token_table.vectors, before)
+
+
+class TestStructuralOps:
+    def test_prune_removes_node_and_edges(self):
+        kg = build_small_kg()
+        target = next(n for n in kg.concept_nodes() if n.text == "quick snatch")
+        n_edges = kg.num_edges
+        kg.prune_node(target.node_id)
+        assert not kg.has_concept("quick snatch")
+        assert kg.num_edges == n_edges - 3  # two in + one out
+        kg.validate()
+
+    def test_prune_terminal_raises(self):
+        kg = build_small_kg()
+        with pytest.raises(KGStructureError):
+            kg.prune_node(kg.sensor_id)
+
+    def test_create_node_random(self, rng):
+        kg = build_small_kg()
+        node_id = kg.create_node(level=2, token_dim=8, n_tokens=2, rng=rng)
+        node = kg.node(node_id)
+        assert node.level == 2
+        assert node.token_embeddings.shape == (2, 8)
+        assert kg.in_degree(node_id) >= 1  # participates in reasoning
+        kg.validate()
+
+    def test_create_node_with_token_bank(self, rng):
+        kg = build_small_kg()
+        bank = rng.normal(size=(20, 8))
+        node_id = kg.create_node(level=1, token_dim=8, n_tokens=3, rng=rng,
+                                 token_bank=bank, bank_noise=0.0)
+        node = kg.node(node_id)
+        # Every token row must be a bank row (noise disabled).
+        for row in node.token_embeddings:
+            assert any(np.allclose(row, bank_row) for bank_row in bank)
+
+    def test_create_node_bank_dim_mismatch(self, rng):
+        kg = build_small_kg()
+        with pytest.raises(ValueError):
+            kg.create_node(level=1, token_dim=8, n_tokens=2, rng=rng,
+                           token_bank=rng.normal(size=(10, 5)))
+
+    def test_create_node_level_bounds(self, rng):
+        kg = build_small_kg()
+        with pytest.raises(KGStructureError):
+            kg.create_node(level=0, token_dim=8, n_tokens=1, rng=rng)
+
+    def test_prune_then_create_keeps_validity(self, rng):
+        kg = build_small_kg()
+        victim = kg.nodes_at_level(1)[0]
+        kg.prune_node(victim.node_id)
+        kg.create_node(level=1, token_dim=8, n_tokens=2, rng=rng)
+        kg.validate()
+
+    def test_validate_catches_duplicate_texts(self):
+        kg = build_small_kg()
+        # Bypass add_node validation to simulate corruption.
+        node = kg.concept_nodes()[0]
+        other = kg.concept_nodes()[1]
+        other.text = node.text
+        with pytest.raises(KGStructureError):
+            kg.validate()

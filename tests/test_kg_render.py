@@ -1,0 +1,39 @@
+"""Tests for ASCII KG rendering."""
+
+import pytest
+
+from repro.kg import render_adjacency, render_levels
+
+
+class TestRenderLevels:
+    def test_all_nodes_appear(self, stealing_kg_template):
+        text = render_levels(stealing_kg_template)
+        for node in stealing_kg_template.concept_nodes():
+            assert node.text in text
+
+    def test_level_markers(self, stealing_kg_template):
+        text = render_levels(stealing_kg_template)
+        for level in range(stealing_kg_template.depth + 2):
+            assert f"L{level}" in text
+
+    def test_parents_shown(self, stealing_kg_template):
+        text = render_levels(stealing_kg_template)
+        assert "<- <sensor>" in text
+
+    def test_long_parent_lists_collapsed(self, stealing_kg_template):
+        text = render_levels(stealing_kg_template, max_width=30)
+        assert "parents)" in text
+
+
+class TestRenderAdjacency:
+    def test_groups_by_level(self, stealing_kg_template):
+        text = render_adjacency(stealing_kg_template)
+        for level in range(stealing_kg_template.depth + 1):
+            assert f"-- level {level} -> {level + 1} --" in text
+
+    def test_every_edge_rendered(self, stealing_kg_template):
+        kg = stealing_kg_template
+        text = render_adjacency(kg)
+        arrow_lines = [l for l in text.splitlines() if "->" in l and "--" not in l]
+        rendered_edges = sum(len(l.split("->")[1].split(",")) for l in arrow_lines)
+        assert rendered_edges == kg.num_edges

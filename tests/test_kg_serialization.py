@@ -1,0 +1,51 @@
+"""Tests for KG persistence (the deployment artifact)."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KGStructureError, kg_from_dict, kg_to_dict, load_kg, save_kg
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, stealing_kg_template):
+        kg = stealing_kg_template
+        restored = kg_from_dict(kg_to_dict(kg))
+        assert restored.mission == kg.mission
+        assert restored.depth == kg.depth
+        assert restored.num_nodes == kg.num_nodes
+        assert restored.edges() == kg.edges()
+        assert restored.sensor_id == kg.sensor_id
+        assert restored.embedding_id == kg.embedding_id
+
+    def test_tokens_preserved(self, stealing_kg_template):
+        kg = stealing_kg_template
+        restored = kg_from_dict(kg_to_dict(kg))
+        for node in kg.concept_nodes():
+            other = restored.node(node.node_id)
+            assert other.token_ids == node.token_ids
+            np.testing.assert_allclose(other.token_embeddings,
+                                       node.token_embeddings)
+
+    def test_file_roundtrip(self, stealing_kg_template, tmp_path):
+        path = tmp_path / "kg.json"
+        save_kg(stealing_kg_template, path)
+        restored = load_kg(path)
+        assert restored.num_nodes == stealing_kg_template.num_nodes
+
+    def test_restored_kg_validates(self, stealing_kg_template):
+        kg_from_dict(kg_to_dict(stealing_kg_template)).validate()
+
+    def test_corrupted_edges_rejected(self, stealing_kg_template):
+        payload = kg_to_dict(stealing_kg_template)
+        # Introduce a level-skipping edge.
+        levels = {n["id"]: n["level"] for n in payload["nodes"]}
+        l1 = next(i for i, lv in levels.items() if lv == 1)
+        l3 = next(i for i, lv in levels.items() if lv == 3)
+        payload["edges"].append([l1, l3])
+        with pytest.raises(KGStructureError):
+            kg_from_dict(payload)
+
+    def test_restored_arrays_are_writable(self, stealing_kg_template):
+        restored = kg_from_dict(kg_to_dict(stealing_kg_template))
+        node = restored.concept_nodes()[0]
+        node.token_embeddings += 1.0  # must not raise (frombuffer is read-only)

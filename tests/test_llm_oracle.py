@@ -1,0 +1,118 @@
+"""Tests for the SyntheticLLM oracle (GPT-4 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.llm import EdgeProposal, SyntheticLLM
+
+
+@pytest.fixture()
+def oracle(ontology):
+    return SyntheticLLM(ontology, seed=3)
+
+
+class TestInitialNodes:
+    def test_returns_depth1_concepts(self, oracle, ontology):
+        nodes = oracle.generate_initial_nodes("Stealing", count=4)
+        depth1 = {c.text for c in ontology.concepts_for_class("Stealing", depth=1)}
+        assert nodes
+        assert set(nodes) <= depth1
+
+    def test_count_respected(self, oracle):
+        assert len(oracle.generate_initial_nodes("Robbery", count=3)) == 3
+
+    def test_count_capped_by_pool(self, oracle, ontology):
+        pool = len(ontology.concepts_for_class("Arson", depth=1))
+        nodes = oracle.generate_initial_nodes("Arson", count=100)
+        assert len(nodes) == pool
+
+    def test_unknown_mission_raises(self, oracle):
+        with pytest.raises(KeyError):
+            oracle.generate_initial_nodes("NotAClass")
+
+    def test_prompt_logged(self, oracle):
+        oracle.generate_initial_nodes("Stealing")
+        assert any("Stealing" in p for p in oracle.prompt_log)
+
+
+class TestNextNodes:
+    def test_respects_forbidden_mostly(self, ontology):
+        # With error_rate=0 the oracle never proposes forbidden concepts.
+        oracle = SyntheticLLM(ontology, seed=1, error_rate=0.0)
+        forbidden = {"sneaky", "grabbing"}
+        proposals = oracle.generate_next_nodes(
+            "Stealing", ["concealment"], level=1, forbidden=forbidden)
+        assert not set(proposals) & forbidden
+
+    def test_error_injection_produces_duplicates(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=1, error_rate=1.0)
+        forbidden = {"sneaky"}
+        found_dup = False
+        for level in range(1, 3):
+            proposals = oracle.generate_next_nodes(
+                "Stealing", ["concealment"], level=level, forbidden=forbidden)
+            if set(proposals) & forbidden:
+                found_dup = True
+        assert found_dup
+
+    def test_deterministic_given_seed(self, ontology):
+        def run():
+            oracle = SyntheticLLM(ontology, seed=5)
+            return oracle.generate_next_nodes("Robbery", ["firearm"], level=1)
+        assert run() == run()
+
+
+class TestEdges:
+    def test_every_target_connected(self, oracle):
+        sources = ["sneaky", "grabbing"]
+        targets = ["quick snatch", "pocketing object"]
+        edges = oracle.generate_edges("Stealing", 1, sources, targets)
+        connected = {e.target for e in edges}
+        assert set(targets) <= connected
+
+    def test_edges_use_given_sources_without_errors(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=2, error_rate=0.0)
+        sources = ["sneaky"]
+        edges = oracle.generate_edges("Stealing", 1, sources, ["quick snatch"])
+        assert all(e.source == "sneaky" for e in edges)
+
+    def test_invalid_edge_injection(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=2, error_rate=1.0)
+        edges = oracle.generate_edges(
+            "Stealing", 2, ["pocketing object"], ["palming item"],
+            older_concepts=["sneaky"])
+        assert any(e.source == "sneaky" for e in edges)
+
+    def test_no_sources_raises(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.generate_edges("Stealing", 1, [], ["x"])
+
+
+class TestCorrections:
+    def test_correct_duplicate_avoids_forbidden(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=4, correction_error_rate=0.0)
+        forbidden = {"sneaky", "grabbing"}
+        fix = oracle.correct_duplicate("Stealing", "sneaky", forbidden)
+        assert fix is not None
+        assert fix not in forbidden
+
+    def test_correct_duplicate_exhausted_pool(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=4, correction_error_rate=0.0)
+        everything = {c.text for c in ontology.concepts_for_class("Stealing")}
+        assert oracle.correct_duplicate("Stealing", "sneaky", everything) is None
+
+    def test_correction_can_introduce_new_errors(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=4, correction_error_rate=1.0)
+        forbidden = {"sneaky"}
+        fix = oracle.correct_duplicate("Stealing", "grabbing", forbidden)
+        assert fix in forbidden  # the paper's "LLM may err during correction"
+
+    def test_correct_edge_rewires_to_valid_source(self, ontology):
+        oracle = SyntheticLLM(ontology, seed=4, correction_error_rate=0.0)
+        fix = oracle.correct_edge(1, "quick snatch", ["sneaky", "grabbing"])
+        assert isinstance(fix, EdgeProposal)
+        assert fix.source in {"sneaky", "grabbing"}
+        assert fix.target == "quick snatch"
+
+    def test_correct_edge_no_sources(self, oracle):
+        assert oracle.correct_edge(1, "x", []) is None

@@ -1,0 +1,127 @@
+"""Composite-module gradient checks against finite differences.
+
+The per-op gradients are verified in test_nn_tensor.py; these tests verify
+that *composed* graphs — attention, batch-norm in training mode, the full
+hierarchical GNN layer, and the token->score path used by continuous
+adaptation — still differentiate correctly end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GraphSpec, HierarchicalGNNLayer
+from repro.kg import ReasoningKG
+from repro.nn import BatchNorm, Dense, LayerNorm, MultiHeadAttention, Tensor
+from repro.nn.gradcheck import GradcheckError, check_gradients, numerical_gradient
+
+
+def make_rng():
+    return np.random.default_rng(0)
+
+
+class TestCheckGradientsMachinery:
+    def test_detects_correct_gradients(self):
+        w = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+
+        def loss():
+            return (w * w).sum()
+
+        check_gradients(loss, [("w", w)], sample=None)
+
+    def test_detects_wrong_gradients(self):
+        """A gradient path silently severed by detach() must be caught:
+        analytic sees d/dw (c*w) = c, finite differences see 2w."""
+        w = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+
+        def loss():
+            return (w.detach() * w).sum()
+
+        with pytest.raises(GradcheckError):
+            check_gradients(loss, [("w", w)], sample=None)
+
+    def test_numerical_gradient_sampling(self):
+        arr = np.arange(100.0)
+        grad = numerical_gradient(lambda: float((arr ** 2).sum()), arr,
+                                  sample=10)
+        mask = ~np.isnan(grad)
+        assert mask.sum() == 10
+        np.testing.assert_allclose(grad[mask], 2 * arr[mask], rtol=1e-5)
+
+
+class TestCompositeModules:
+    def test_dense_layernorm_chain(self):
+        rng = make_rng()
+        dense = Dense(4, 3, rng)
+        norm = LayerNorm(3)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+
+        def loss():
+            return (norm(dense(x)) ** 2).sum()
+
+        check_gradients(loss, [("x", x), ("w", dense.weight),
+                               ("gamma", norm.gamma)], sample=None)
+
+    def test_batchnorm_training_mode(self):
+        """Batch statistics make every output depend on every input row —
+        the classic place for a broadcasting bug."""
+        rng = make_rng()
+        bn = BatchNorm(3)
+        bn.train()
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        base_mean = bn.running_mean.copy()
+        base_var = bn.running_var.copy()
+
+        def loss():
+            # Freeze running-stat side effects so fn is a pure function.
+            bn.running_mean = base_mean.copy()
+            bn.running_var = base_var.copy()
+            return (bn(x) * np.arange(3)).sum()
+
+        check_gradients(loss, [("x", x), ("gamma", bn.gamma),
+                               ("beta", bn.beta)], sample=None, atol=5e-4)
+
+    def test_multihead_attention(self):
+        rng = make_rng()
+        attn = MultiHeadAttention(8, 2, rng, causal=True)
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+
+        def loss():
+            return (attn(x) ** 2).sum()
+
+        check_gradients(loss, [("x", x), ("wq", attn.w_q.weight),
+                               ("wo", attn.w_o.weight)], sample=30)
+
+    def test_hierarchical_gnn_layer(self):
+        """Eq. 1-4 end to end: dense + product messages + mean aggregation
+        + batch-norm + ELU."""
+        rng = make_rng()
+        kg = ReasoningKG(mission="m", depth=2)
+        a = kg.add_node("a", level=1)
+        b = kg.add_node("b", level=1)
+        c = kg.add_node("c", level=2)
+        kg.add_edge(a, c)
+        kg.add_edge(b, c)
+        kg.attach_terminals()
+        spec = GraphSpec(kg)
+        layer = HierarchicalGNNLayer(4, 4, rng)
+        layer.eval()  # running stats: pure function of inputs
+        x = Tensor(rng.normal(size=(2, spec.num_nodes, 4)), requires_grad=True)
+
+        def loss():
+            return (layer(x, spec, level=2) ** 2).sum()
+
+        check_gradients(loss, [("x", x), ("w", layer.dense.weight),
+                               ("gamma", layer.norm.gamma)], sample=30)
+
+    def test_token_to_score_path(self, embedding_model):
+        """The continuous-adaptation gradient path: node token embeddings
+        -> frozen text projection -> joint vector -> quadratic head."""
+        ids = embedding_model.tokenizer.encode("sneaky")
+        tokens = Tensor(embedding_model.token_table.lookup(ids),
+                        requires_grad=True)
+
+        def loss():
+            joint = embedding_model.encode_token_tensor(tokens)
+            return (joint * joint).sum()
+
+        check_gradients(loss, [("tokens", tokens)], sample=40)

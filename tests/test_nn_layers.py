@@ -1,0 +1,240 @@
+"""Tests for Module plumbing and the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    ELU,
+    Embedding,
+    LayerNorm,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+def make_rng():
+    return np.random.default_rng(0)
+
+
+class TestModulePlumbing:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.layers = [Inner(), Inner()]
+
+        outer = Outer()
+        names = dict(outer.named_parameters())
+        assert "inner.w" in names
+        assert "layers.0.w" in names
+        assert "layers.1.w" in names
+        assert len(list(outer.parameters())) == 3
+
+    def test_freeze_unfreeze(self):
+        layer = Dense(3, 2, make_rng())
+        assert not layer.frozen
+        layer.freeze()
+        assert layer.frozen
+        assert all(not p.requires_grad for p in layer.parameters())
+        layer.unfreeze()
+        assert not layer.frozen
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Dense(3, 3, make_rng()), BatchNorm(3))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Dense(4, 3, make_rng())
+        b = Dense(4, 3, np.random.default_rng(99))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = Dense(4, 3, make_rng())
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = Dense(4, 3, make_rng())
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_num_parameters(self):
+        layer = Dense(4, 3, make_rng())
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, make_rng())
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestDense:
+    def test_forward_matches_manual(self):
+        layer = Dense(3, 2, make_rng())
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer(Tensor(x)).numpy()
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out, expected)
+
+    def test_no_bias(self):
+        layer = Dense(3, 2, make_rng(), bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_gradients_flow_to_params(self):
+        layer = Dense(3, 2, make_rng())
+        loss = layer(Tensor(np.ones((4, 3)))).sum()
+        loss.backward()
+        assert layer.weight.grad.shape == (3, 2)
+        np.testing.assert_allclose(layer.bias.grad, 4 * np.ones(2))
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self):
+        bn = BatchNorm(3)
+        x = np.random.default_rng(1).normal(5.0, 3.0, size=(64, 3))
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(3), atol=1e-3)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm(2, momentum=0.5)
+        x = np.full((8, 2), 4.0)
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm(2)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            bn(Tensor(rng.normal(1.0, 2.0, size=(32, 2))))
+        bn.eval()
+        x = np.array([[1.0, 1.0]])
+        out = bn(Tensor(x)).numpy()
+        # Input at the running mean should normalize to ~0.
+        np.testing.assert_allclose(out, np.zeros((1, 2)), atol=0.2)
+
+    def test_eval_is_deterministic(self):
+        bn = BatchNorm(2)
+        bn(Tensor(np.random.default_rng(0).normal(size=(16, 2))))
+        bn.eval()
+        x = Tensor(np.ones((4, 2)))
+        np.testing.assert_allclose(bn(x).numpy(), bn(x).numpy())
+
+    def test_3d_input(self):
+        bn = BatchNorm(5)
+        out = bn(Tensor(np.random.default_rng(3).normal(size=(2, 7, 5))))
+        assert out.shape == (2, 7, 5)
+
+    def test_wrong_feature_dim_raises(self):
+        bn = BatchNorm(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.ones((4, 5))))
+
+    def test_gradient_flows(self):
+        bn = BatchNorm(3)
+        x = Tensor(np.random.default_rng(4).normal(size=(8, 3)),
+                   requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(6)
+        x = np.random.default_rng(5).normal(3.0, 2.0, size=(4, 6))
+        out = ln(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+
+    def test_gamma_beta_apply(self):
+        ln = LayerNorm(3)
+        ln.gamma.data = np.array([2.0, 2.0, 2.0])
+        ln.beta.data = np.array([1.0, 1.0, 1.0])
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = ln(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(), 1.0, atol=1e-9)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, make_rng())
+        out = emb(np.array([1, 5, 5]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.numpy()[1], out.numpy()[2])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, make_rng())
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_gradient_scatters(self):
+        emb = Embedding(5, 3, make_rng())
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[4], np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, make_rng())
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_train_zeroes_and_scales(self):
+        drop = Dropout(0.5, make_rng())
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).numpy()
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        # Surviving entries are scaled by 1/(1-p).
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, make_rng())
+
+
+class TestActivationsAndSequential:
+    def test_elu_module(self):
+        out = ELU()(Tensor(np.array([-1.0, 1.0]))).numpy()
+        np.testing.assert_allclose(out, [np.expm1(-1.0), 1.0])
+
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0]))).numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_sequential_chains(self):
+        rng = make_rng()
+        seq = Sequential(Dense(3, 4, rng), ReLU(), Dense(4, 2, rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)

@@ -1,0 +1,96 @@
+"""Tests for loss functions, including the paper's VAD regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    binary_cross_entropy,
+    cross_entropy,
+    mse_loss,
+    smoothness_loss,
+    sparsity_loss,
+    vad_loss,
+)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 0.0], [0.0, 3.0]])
+        targets = np.array([0, 1])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.mean([np.log(probs[0, 0]), np.log(probs[1, 1])])
+        assert loss == pytest.approx(expected, abs=1e-9)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0]])
+        assert cross_entropy(Tensor(logits), np.array([0])).item() < 1e-6
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        # Gradient is negative for the target class, positive elsewhere.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+
+class TestBinaryCrossEntropy:
+    def test_known_value(self):
+        probs = Tensor(np.array([0.9, 0.1]))
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0])).item()
+        assert loss == pytest.approx(-np.log(0.9), rel=1e-6)
+
+    def test_clipping_avoids_infinity(self):
+        probs = Tensor(np.array([0.0, 1.0]))
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0])).item()
+        assert np.isfinite(loss)
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = Tensor(np.ones(4))
+        assert mse_loss(x, np.ones(4)).item() == pytest.approx(0.0)
+
+    def test_known_value(self):
+        assert mse_loss(Tensor(np.zeros(2)), np.array([1.0, 1.0])).item() == \
+            pytest.approx(1.0)
+
+
+class TestVADRegularizers:
+    def test_sparsity_is_mean_abs(self):
+        probs = Tensor(np.array([0.2, 0.4]))
+        assert sparsity_loss(probs).item() == pytest.approx(0.3)
+
+    def test_smoothness_penalizes_jumps(self):
+        smooth = smoothness_loss(Tensor(np.array([0.5, 0.5, 0.5]))).item()
+        jumpy = smoothness_loss(Tensor(np.array([0.0, 1.0, 0.0]))).item()
+        assert smooth == pytest.approx(0.0)
+        assert jumpy > 0.5
+
+    def test_smoothness_single_element(self):
+        assert smoothness_loss(Tensor(np.array([0.3]))).item() == pytest.approx(0.0)
+
+    def test_vad_loss_composition(self):
+        logits = np.array([[3.0, 0.0], [0.0, 3.0]])
+        targets = np.array([0, 1])
+        base = cross_entropy(Tensor(logits), targets).item()
+        full = vad_loss(Tensor(logits), targets,
+                        lambda_spa=0.001, lambda_smt=0.001).item()
+        plain = vad_loss(Tensor(logits), targets,
+                         lambda_spa=0.0, lambda_smt=0.0).item()
+        assert plain == pytest.approx(base, abs=1e-9)
+        assert full > plain  # regularizers add positive mass
+
+    def test_vad_loss_gradient_flows(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 2)),
+                        requires_grad=True)
+        vad_loss(logits, np.array([0, 1, 0, 1])).backward()
+        assert logits.grad is not None
+        assert np.all(np.isfinite(logits.grad))

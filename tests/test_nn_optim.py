@@ -1,0 +1,130 @@
+"""Tests for optimizers, schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, AdamW, ExponentialDecay, Parameter, Tensor, clip_grad_norm
+
+
+def quadratic_step(param):
+    """Gradient of f(x) = 0.5 ||x - 3||^2."""
+    loss = ((param - 3.0) * (param - 3.0) * 0.5).sum()
+    param.zero_grad()
+    loss.backward()
+    return float(loss.item())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.2)
+        for _ in range(100):
+            quadratic_step(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(4), atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(2))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                quadratic_step(p)
+                opt.step()
+            return np.linalg.norm(p.data - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad -> unchanged
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(3), atol=1e-3)
+
+    def test_first_step_is_lr_sized(self):
+        """Adam's bias-corrected first step equals lr per coordinate."""
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.5)
+        p.grad = np.array([1.0, -1.0])
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data), 0.5 * np.ones(2), atol=1e-6)
+
+
+class TestAdamW:
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(10.0 * np.ones(2))
+        opt = AdamW([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(2)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_paper_defaults(self):
+        opt = AdamW([Parameter(np.ones(1))])
+        assert opt.lr == pytest.approx(1e-5)
+        assert opt.weight_decay == pytest.approx(1.0)
+        assert opt.beta1 == pytest.approx(0.9)
+        assert opt.beta2 == pytest.approx(0.999)
+        assert opt.eps == pytest.approx(1e-8)
+
+
+class TestOptimizerValidation:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_zero_grad_clears_all(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = SGD([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        p2.grad = np.ones(2)
+        opt.zero_grad()
+        assert p1.grad is None and p2.grad is None
+
+
+class TestClipGradNorm:
+    def test_clips_above_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = 10.0 * np.ones(4)  # norm 20
+        total = clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = 0.1 * np.ones(4)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, 0.1 * np.ones(4))
+
+    def test_ignores_none_grads(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestExponentialDecay:
+    def test_paper_alpha(self):
+        decay = ExponentialDecay(1.0, alpha=0.9999)
+        assert decay.value == pytest.approx(1.0)
+        decay.step()
+        assert decay.value == pytest.approx(0.9999)
+
+    def test_decays_monotonically(self):
+        decay = ExponentialDecay(2.0, alpha=0.9)
+        values = [decay.step() for _ in range(10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, alpha=1.5)
