@@ -1,0 +1,6 @@
+"""Paper-artifact benchmarks as a package.
+
+The ``__init__`` makes ``benchmarks`` importable as a proper package so
+the bench modules' relative imports (``from .conftest import emit``)
+resolve no matter where pytest is invoked from.
+"""

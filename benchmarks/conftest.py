@@ -1,21 +1,26 @@
 """Shared benchmark fixtures.
 
-One figure-quality experiment context is built per session; all paper-
-artifact benches (Fig. 5, Fig. 6, Table I) and ablations reuse its cached
-trained models, so the expensive cloud-side training happens once per
-mission class.
+One figure-quality pipeline is built per session; all paper-artifact
+benches (Fig. 5, Fig. 6, Table I) and ablations reuse its model registry,
+so the expensive cloud-side training happens once per mission class.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.eval import ExperimentConfig, ExperimentContext
+from repro.api import Pipeline, ReproConfig
 
 
 @pytest.fixture(scope="session")
-def context():
-    return ExperimentContext(ExperimentConfig())
+def pipeline():
+    return Pipeline.from_config(ReproConfig())
+
+
+@pytest.fixture(scope="session")
+def context(pipeline):
+    """Backwards-compatible ExperimentContext view of the session pipeline."""
+    return pipeline.context
 
 
 def emit(title: str, body: str) -> None:

@@ -8,15 +8,16 @@ Table I with measured AUC rows and FLOPs counted from the actual model.
 Run:  python examples/edge_vs_cloud.py
 """
 
+from repro.api import Pipeline, ReproConfig
 from repro.edge import EfficiencyComparison
-from repro.eval import EfficiencyExperiment, ExperimentConfig, ExperimentContext
+from repro.eval import EfficiencyExperiment
 
 
 def main() -> None:
     print("[1/2] Simulating one month of alternating anomaly trends ...")
-    context = ExperimentContext(ExperimentConfig())
+    pipeline = Pipeline.from_config(ReproConfig())
     experiment = EfficiencyExperiment(
-        context, class_a="Stealing", class_b="Robbery",
+        pipeline.context, class_a="Stealing", class_b="Robbery",
         alternations=4, steps_per_phase=10)
     measured = experiment.run()
     print(f"      baseline per-phase AUC: "
@@ -26,7 +27,7 @@ def main() -> None:
 
     print("[2/2] Building Table I ...\n")
     comparison = EfficiencyComparison(
-        model=context.train_model("Stealing"),
+        model=pipeline.train("Stealing"),
         auc_baseline=measured.auc_baseline,
         auc_proposed=measured.auc_proposed)
     print(comparison.format_table())

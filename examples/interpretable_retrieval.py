@@ -9,22 +9,18 @@ Run:  python examples/interpretable_retrieval.py
 """
 
 from repro.adaptation import InterpretableKGRetrieval
+from repro.api import Pipeline, ReproConfig
 from repro.data import TrendShiftConfig
-from repro.eval import (
-    ExperimentConfig,
-    ExperimentContext,
-    RetrievalDriftExperiment,
-    format_retrieval_drift,
-)
+from repro.eval import RetrievalDriftExperiment, format_retrieval_drift
 
 
 def main() -> None:
     print("[1/3] Training the Stealing-mission model ...")
-    context = ExperimentContext(ExperimentConfig())
+    pipeline = Pipeline.from_config(ReproConfig())
 
     print("[2/3] Running Stealing -> Robbery adaptation with drift tracking ...")
     experiment = RetrievalDriftExperiment(
-        context, initial_class="Stealing", shifted_class="Robbery",
+        pipeline.context, initial_class="Stealing", shifted_class="Robbery",
         tracked_word="sneaky", target_word="firearm",
         stream_config=TrendShiftConfig(
             initial_class="Stealing", shifted_class="Robbery",
@@ -36,8 +32,8 @@ def main() -> None:
 
     print("\n[3/3] Full interpretable retrieval of the adapted KG "
           "(Euclidean metric, the paper's choice):")
-    model = context.train_model("Stealing")  # fresh copy for comparison
-    retrieval = InterpretableKGRetrieval(context.embedding_model.token_table,
+    model = pipeline.train("Stealing")  # fresh registry copy for comparison
+    retrieval = InterpretableKGRetrieval(pipeline.embedding_model.token_table,
                                          metric="euclidean", top_k=2)
     for node_result in retrieval.retrieve_kg(model.kgs[0]):
         words = ", ".join(node_result.top_words(per_token=1))

@@ -5,7 +5,8 @@ type, concatenated reasoning embeddings, an (n+1)-way decision head with
 per-type posteriors p_{i|A}.  This example trains a three-mission model
 (Stealing, Explosion, Arrest — one per semantic cluster), evaluates
 detection per class and type classification among anomalies, then
-checkpoints the whole deployment to a single file and reloads it.
+checkpoints the whole runtime through :class:`repro.api.Deployment` and
+reloads it.
 
 Run:  python examples/multi_mission.py
 """
@@ -15,16 +16,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.eval import ExperimentConfig, ExperimentContext
+from repro.api import Deployment, Pipeline, ReproConfig
 from repro.eval.multimission import MultiMissionExperiment
-from repro.gnn import load_deployment, save_deployment
 
 
 def main() -> None:
     missions = ["Stealing", "Explosion", "Arrest"]
     print(f"[1/3] Training one model over {len(missions)} mission KGs ...")
-    context = ExperimentContext(ExperimentConfig())
-    experiment = MultiMissionExperiment(context, missions)
+    pipeline = Pipeline.from_config(ReproConfig())
+    experiment = MultiMissionExperiment(pipeline.context, missions)
     result = experiment.run()
     print()
     print(result.summary())
@@ -36,19 +36,19 @@ def main() -> None:
 
     print("\n[2/3] Checkpointing the deployment to one artifact ...")
     model = experiment.build_model()  # rebuild; run() trains its own copy
-    model.eval()  # deployments run with frozen normalization statistics
+    deployment = Deployment(model, mission="+".join(missions), adaptive=False)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "multi_mission_deployment.json"
-        save_deployment(model, path)
+        deployment.save(path)
         size_kb = path.stat().st_size / 1024
         print(f"      wrote {path.name} ({size_kb:.0f} KiB: weights, "
               f"norm stats, {len(missions)} KGs)")
 
         print("[3/3] Reloading on the 'edge' and verifying bit-identical scores ...")
-        loaded = load_deployment(path, context.embedding_model)
-        windows, _ = context.eval_windows("Stealing")
-        original = model.anomaly_scores(windows[:8])
-        restored = loaded.anomaly_scores(windows[:8])
+        loaded = Deployment.load(path, pipeline.embedding_model)
+        windows, _ = pipeline.eval_windows("Stealing")
+        original = deployment.scores(windows[:8])
+        restored = loaded.scores(windows[:8])
         assert np.allclose(original, restored, atol=1e-12)
         print("      scores match exactly.")
 

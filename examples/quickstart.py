@@ -1,77 +1,52 @@
 """Quickstart: generate a mission KG, train the decision model, detect.
 
-This walks the first two stages of the paper's pipeline (Fig. 2 A+B):
+This walks the first two stages of the paper's pipeline (Fig. 2 A+B)
+through the public :mod:`repro.api` facade:
 
 1. mission-specific reasoning-KG generation via the LLM oracle;
-2. training the lightweight hierarchical-GNN decision model;
+2. training the lightweight hierarchical-GNN decision model (served from
+   the pipeline's model registry);
 3. scoring held-out surveillance windows and reporting AUC.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.concepts import build_default_ontology
-from repro.data import FrameGenerator, SyntheticUCFCrime
-from repro.embedding import build_default_embedding_model
+from repro.api import Pipeline, ReproConfig
 from repro.eval import roc_auc
-from repro.gnn import (
-    DecisionModelTrainer,
-    MissionGNNConfig,
-    MissionGNNModel,
-    TrainingConfig,
-)
-from repro.kg import KGGenerationConfig, KGGenerator
-from repro.llm import SyntheticLLM
 
 MISSION = "Stealing"
-SEED = 7
 
 
 def main() -> None:
+    config = ReproConfig()
+    config.override("experiment.seed", 7)
+    config.override("experiment.train_steps", 300)
+    config.override("experiment.train_lr", 3e-3)
+    pipeline = Pipeline.from_config(config)
+
     # ------------------------------------------------------------------
     # Stage A: mission-specific KG generation (Fig. 3).
     # ------------------------------------------------------------------
-    print(f"[1/4] Generating the mission KG for {MISSION!r} ...")
-    ontology = build_default_ontology()
-    oracle = SyntheticLLM(ontology, seed=SEED)
-    generator = KGGenerator(oracle, KGGenerationConfig(depth=3))
-    kg, report = generator.generate(MISSION)
-    print(f"      {kg.num_nodes} nodes / {kg.num_edges} edges; "
-          f"{len(report.errors_detected)} LLM errors detected, "
-          f"{report.corrections_applied} corrected, "
-          f"{report.nodes_pruned} pruned")
+    print(f"[1/3] Generating the mission KG for {MISSION!r} ...")
+    kg = pipeline.generate_kg(MISSION)
+    print(f"      {kg.num_nodes} nodes / {kg.num_edges} edges")
     print("      " + kg.summary().replace("\n", "\n      "))
 
     # ------------------------------------------------------------------
-    # The frozen joint embedding model (ImageBind substitute) binds the
-    # KG's concept texts and the camera frames into one space.
+    # Stage B: train the GNN-based decision model (Fig. 2B).  The frozen
+    # joint embedding model (ImageBind substitute) and the synthetic
+    # UCF-Crime dataset are built lazily by the pipeline.
     # ------------------------------------------------------------------
-    print("[2/4] Building the joint embedding model and tokenizing the KG ...")
-    embedding_model = build_default_embedding_model(seed=SEED)
-    kg.initialize_tokens(embedding_model)
-
-    # ------------------------------------------------------------------
-    # Stage B: train the GNN-based decision model (Fig. 2B).
-    # ------------------------------------------------------------------
-    print("[3/4] Training the decision model on synthetic UCF-Crime ...")
-    frames = FrameGenerator(embedding_model, seed=SEED)
-    dataset = SyntheticUCFCrime(frames, scale=0.15, frames_per_video=40,
-                                seed=SEED)
-    windows, labels = dataset.mission_windows(
-        "train", MISSION, window=8, stride=4,
-        normal_videos=20, anomaly_videos=8)
-    model = MissionGNNModel([kg], embedding_model,
-                            MissionGNNConfig(temporal_window=8, seed=SEED))
-    result = DecisionModelTrainer(model, TrainingConfig(
-        steps=300, batch_size=32, learning_rate=3e-3)).train(windows, labels)
-    print(f"      {result.steps} steps; loss {result.losses[0]:.3f} -> "
-          f"{result.final_loss:.3f}")
+    print("[2/3] Training the decision model on synthetic UCF-Crime ...")
+    model = pipeline.train(MISSION)
+    print(f"      registry entries: {', '.join(pipeline.registry.keys())}")
 
     # ------------------------------------------------------------------
     # Inference: frame-level anomaly scores on the test split.
     # ------------------------------------------------------------------
-    print("[4/4] Scoring the test split ...")
-    test_windows, test_labels = dataset.mission_windows(
-        "test", MISSION, window=8, stride=4,
+    print("[3/3] Scoring the test split ...")
+    test_windows, test_labels = pipeline.dataset.mission_windows(
+        "test", MISSION, window=pipeline.config.experiment.window, stride=4,
         normal_videos=15, anomaly_videos=6)
     scores = model.anomaly_scores(test_windows)
     auc = roc_auc(scores, test_labels)

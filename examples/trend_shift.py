@@ -1,10 +1,10 @@
 """Trend-shift adaptation demo (the paper's Fig. 5 scenario).
 
-Deploys a Stealing-mission model on a simulated edge device, then shifts
-the anomaly trend to Robbery (weak shift).  Two copies of the model watch
-the same stream: one with continuous KG adaptive learning, one static.
-Prints the per-step test AUC of both so you can watch the drop-and-recover
-dynamics live.
+Deploys a Stealing-mission model on a simulated edge device through the
+:mod:`repro.api` facade, then shifts the anomaly trend to Robbery (weak
+shift).  Two deployments watch the same stream: one with continuous KG
+adaptive learning, one static.  Prints the per-step test AUC of both so
+you can watch the drop-and-recover dynamics live.
 
 Run:  python examples/trend_shift.py [strong]
       (pass "strong" to use the Stealing -> Explosion strong-shift scenario)
@@ -12,14 +12,8 @@ Run:  python examples/trend_shift.py [strong]
 
 import sys
 
-from repro.adaptation import ContinuousAdaptationController
-from repro.data import TrendShiftConfig, TrendShiftStream
-from repro.eval import (
-    ExperimentConfig,
-    ExperimentContext,
-    ascii_series,
-    roc_auc,
-)
+from repro.api import Pipeline, ReproConfig
+from repro.eval import ascii_series, roc_auc
 
 
 def main() -> None:
@@ -27,39 +21,36 @@ def main() -> None:
     shifted_class = "Explosion" if strong else "Robbery"
 
     print("[1/3] Training the Stealing-mission model (cloud side) ...")
-    context = ExperimentContext(ExperimentConfig())
-    adaptive = context.train_model("Stealing")
-    static = context.train_model("Stealing")
+    pipeline = Pipeline.from_config(ReproConfig())
+    adaptive = pipeline.deploy("Stealing", adaptive=True)
+    static = pipeline.deploy("Stealing", adaptive=False)  # registry hit: no retrain
 
     print(f"[2/3] Deploying and streaming a Stealing -> {shifted_class} "
           f"({'strong' if strong else 'weak'}) trend shift ...")
-    controller = ContinuousAdaptationController(
-        adaptive, normal_anchor_windows=context.normal_anchors("Stealing"))
-    stream_config = TrendShiftConfig(
-        initial_class="Stealing", shifted_class=shifted_class,
-        steps_before_shift=6, steps_after_shift=20, windows_per_step=24,
-        anomaly_fraction=0.3, window=8, seed=11)
+    stream = pipeline.stream(
+        "Stealing", shifted_class, steps_before_shift=6, steps_after_shift=20,
+        seed=11)
     eval_sets = {
-        cls: context.eval_windows(cls)
+        cls: pipeline.eval_windows(cls)
         for cls in ("Stealing", shifted_class)
     }
 
     adaptive_trace, static_trace = [], []
-    for batch in TrendShiftStream(context.generator, stream_config):
-        log = controller.process_batch(batch.windows)
+    for batch in stream:
+        log = adaptive.ingest(batch.windows)
         windows, labels = eval_sets[batch.active_class]
-        auc_a = roc_auc(adaptive.anomaly_scores(windows), labels)
-        auc_s = roc_auc(static.anomaly_scores(windows), labels)
+        auc_a = roc_auc(adaptive.scores(windows), labels)
+        auc_s = roc_auc(static.scores(windows), labels)
         adaptive_trace.append(auc_a)
         static_trace.append(auc_s)
-        marker = " <-- SHIFT" if batch.step == stream_config.steps_before_shift else ""
+        marker = " <-- SHIFT" if batch.step == stream.config.steps_before_shift else ""
         updated = f"k={log.k:<3d}" if log.updated else "     "
         print(f"  step {batch.step:2d} [{batch.active_class:9s}] {updated} "
               f"adaptive={auc_a:.3f}  static={auc_s:.3f}{marker}")
 
     print("\n[3/3] Summary")
-    print(f"  token updates: {controller.update_count}, "
-          f"nodes pruned: {controller.total_pruned}")
+    print(f"  token updates: {adaptive.update_count}, "
+          f"nodes pruned: {adaptive.total_pruned}")
     print("\n  adaptive AUC trace:")
     for line in ascii_series(adaptive_trace, width=36):
         print("   ", line)

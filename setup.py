@@ -1,3 +1,10 @@
+"""Legacy-path shim; all metadata lives in pyproject.toml.
+
+Kept so environments without the ``wheel`` package (where PEP 660
+editable builds fail) can still do
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
 from setuptools import setup
 
 setup()

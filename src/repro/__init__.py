@@ -9,14 +9,23 @@ interpretable KG retrieval).
 
 Quickstart
 ----------
->>> from repro.eval import ExperimentContext, ExperimentConfig
->>> ctx = ExperimentContext(ExperimentConfig(train_steps=50))
->>> model = ctx.train_model("Stealing")          # cloud-side training
->>> windows, labels = ctx.eval_windows("Stealing")
+>>> from repro.api import Pipeline, ReproConfig
+>>> cfg = ReproConfig().override("experiment.train_steps", 50)
+>>> pipe = Pipeline.from_config(cfg)
+>>> model = pipe.train("Stealing")                # cloud-side, registry-cached
+>>> windows, labels = pipe.eval_windows("Stealing")
 >>> scores = model.anomaly_scores(windows)        # deployed inference
+>>> deployment = pipe.deploy("Stealing")          # edge runtime (adaptive)
+>>> log = deployment.ingest(windows)              # may trigger KG adaptation
+
+``repro.api`` is the stable public surface; ``Deployment.save``/``load``
+checkpoint the full edge runtime (weights, BN statistics, KGs, monitor
+state) to a single JSON artifact.  The CLI mirrors it:
+``python -m repro.cli serve --mission Stealing --set adaptation.monitor.window=72``.
 
 Subpackages
 -----------
+``repro.api``         public deployment facade (Pipeline/Deployment/ReproConfig)
 ``repro.nn``          numpy autodiff + layers (PyTorch substitute)
 ``repro.concepts``    surveillance concept ontology (ConceptNet-lite)
 ``repro.embedding``   BPE tokenizer + joint text/image space (ImageBind sub)
@@ -29,9 +38,9 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
+    "api", "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
     "data", "edge", "eval", "utils",
 ]

@@ -20,12 +20,14 @@ so experiments (Fig. 5/6, Table I) can replay the decision trail.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..gnn.pipeline import MissionGNNModel
+from ..nn.optim import Adam
 from ..utils.rng import derive_rng
+from ..utils.serialization import decode_array, encode_array
 from .convergence import ConvergenceConfig, NodeConvergenceTracker
 from .monitor import AnomalyScoreMonitor, MonitorConfig
 from .structure import StructuralAdapter, StructuralEvent
@@ -94,7 +96,7 @@ class ContinuousAdaptationController:
             if normal_anchor_windows.ndim != 3:
                 raise ValueError("normal_anchor_windows must be (N, T, frame_dim)")
         self.normal_anchor_windows = normal_anchor_windows
-        self._anchor_rng = derive_rng((config or AdaptationConfig()).seed, "anchors")
+        self._anchor_rng = derive_rng(self.config.seed, "anchors")
 
         model.freeze_for_deployment()
         self.monitor = AnomalyScoreMonitor(self.config.monitor)
@@ -111,6 +113,12 @@ class ContinuousAdaptationController:
         self._window_buffer: deque[np.ndarray] = deque(maxlen=capacity)
         self.logs: list[AdaptationStepLog] = []
         self.update_count = 0  # total token-update iterations (Fig. 6 x-axis)
+        self._step_base = 0    # steps processed before a checkpoint restore
+
+    @property
+    def step_count(self) -> int:
+        """Total batches processed, across checkpoint restores."""
+        return self._step_base + len(self.logs)
 
     # ------------------------------------------------------------------
     def process_batch(self, windows: np.ndarray) -> AdaptationStepLog:
@@ -118,7 +126,7 @@ class ContinuousAdaptationController:
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim != 3:
             raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
-        step = len(self.logs)
+        step = self.step_count
         scores = self.model.anomaly_scores(windows)
         self.monitor.observe(scores)
         for w in windows:
@@ -271,3 +279,98 @@ class ContinuousAdaptationController:
     def mean_score_trace(self) -> np.ndarray:
         """Window-mean trace (the distribution the paper plots over time)."""
         return np.asarray(self.monitor.history)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (Deployment.save/load)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the loop's mutable runtime state.
+
+        Covers everything a restarted process needs to continue adapting
+        exactly where this one stopped: monitor scores, the recent-window
+        buffer, per-node convergence statistics, structural events, and
+        every RNG state.  Model weights and KG tokens are *not* included —
+        they travel in the deployment checkpoint's model section.
+        """
+        def key_str(key: tuple[int, int]) -> str:
+            return f"{key[0]}:{key[1]}"
+
+        tracker = self.tracker
+        optimizer = self.updater._optimizer
+        optimizer_state = {"step_count": optimizer.step_count}
+        if isinstance(optimizer, Adam):
+            optimizer_state["m"] = [encode_array(m) for m in optimizer._m]
+            optimizer_state["v"] = [encode_array(v) for v in optimizer._v]
+        return {
+            "step_count": self.step_count,
+            "update_count": self.update_count,
+            "optimizer": optimizer_state,
+            "monitor": {
+                "scores": [float(s) for s in self.monitor._scores],
+                "history": [float(h) for h in self.monitor.history],
+            },
+            "buffer": [encode_array(w) for w in self._window_buffer],
+            "anchor_rng": self._anchor_rng.bit_generator.state,
+            "structural_rng": self.structural.rng.bit_generator.state,
+            "structural_events": [asdict(e) for e in self.structural.events],
+            "tracker": {
+                "last_distance": {key_str(k): v
+                                  for k, v in tracker._last_distance.items()},
+                "increase_streak": {key_str(k): v
+                                    for k, v in tracker._increase_streak.items()},
+                "updates_seen": {key_str(k): v
+                                 for k, v in tracker._updates_seen.items()},
+                "distance_history": {key_str(k): v for k, v
+                                     in tracker.distance_history.items()},
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from an :meth:`export_state` snapshot.
+
+        The controller must wrap the same (restored) model the snapshot
+        was taken against; logs restart empty but ``step_count`` continues
+        from the checkpoint.
+        """
+        def key_tuple(text: str) -> tuple[int, int]:
+            kg, _, node = text.partition(":")
+            return int(kg), int(node)
+
+        self._step_base = int(state["step_count"])
+        self.logs = []
+        self.update_count = int(state["update_count"])
+        self.monitor._scores.clear()
+        self.monitor._scores.extend(float(s) for s in state["monitor"]["scores"])
+        self.monitor.history = [float(h) for h in state["monitor"]["history"]]
+        self._window_buffer.clear()
+        for payload in state["buffer"]:
+            self._window_buffer.append(decode_array(payload))
+        self._anchor_rng.bit_generator.state = state["anchor_rng"]
+        self.structural.rng.bit_generator.state = state["structural_rng"]
+        self.structural.events = [StructuralEvent(**e)
+                                  for e in state["structural_events"]]
+        tracker = self.tracker
+        tracker._last_distance = {key_tuple(k): float(v) for k, v
+                                  in state["tracker"]["last_distance"].items()}
+        tracker._increase_streak = {key_tuple(k): int(v) for k, v
+                                    in state["tracker"]["increase_streak"].items()}
+        tracker._updates_seen = {key_tuple(k): int(v) for k, v
+                                 in state["tracker"]["updates_seen"].items()}
+        tracker.distance_history = {
+            key_tuple(k): [float(d) for d in v]
+            for k, v in state["tracker"]["distance_history"].items()}
+        # Token tensors may have been replaced by the model restore; re-bind,
+        # then put back the optimizer's own state (Adam moments, step count)
+        # so the first post-resume update matches an uninterrupted run.
+        self.updater.rebuild_optimizer()
+        optimizer = self.updater._optimizer
+        saved_optimizer = state.get("optimizer", {})
+        optimizer.step_count = int(saved_optimizer.get("step_count", 0))
+        if isinstance(optimizer, Adam) and "m" in saved_optimizer:
+            moments_m = [decode_array(p) for p in saved_optimizer["m"]]
+            moments_v = [decode_array(p) for p in saved_optimizer["v"]]
+            if (len(moments_m) == len(optimizer._m)
+                    and all(a.shape == b.shape
+                            for a, b in zip(moments_m, optimizer._m))):
+                optimizer._m = moments_m
+                optimizer._v = moments_v

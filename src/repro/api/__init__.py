@@ -1,0 +1,42 @@
+"""Public deployment API: the stable entry point to the whole stack.
+
+This package is the supported way to build, train, deploy and persist the
+paper's system:
+
+>>> from repro.api import Pipeline, ReproConfig
+>>> cfg = ReproConfig().override("experiment.train_steps", 100)
+>>> pipe = Pipeline.from_config(cfg)
+>>> deployment = pipe.deploy("Stealing", adaptive=True)
+>>> for event in deployment.serve(pipe.stream("Stealing", "Robbery")):
+...     pass
+>>> deployment.save("deployment.json")  # doctest: +SKIP
+
+Pieces
+------
+:class:`ReproConfig`
+    Hierarchical config over every subsystem; dict/JSON round-trip and
+    dotted-path overrides (``cfg.override("adaptation.monitor.window", 72)``).
+:class:`Pipeline`
+    Facade that lazily builds ontology -> embedding -> LLM -> KG -> GNN
+    and trains per-mission decision models through the registry.
+:class:`Deployment`
+    Long-lived edge runtime (ingest / scores / serve / save / load).
+:class:`ModelRegistry`
+    Persistent store of trained models keyed by mission + config
+    fingerprint.
+"""
+
+from .config import ReproConfig, config_from_dict, config_to_dict
+from .deployment import Deployment, ServeEvent
+from .pipeline import Pipeline
+from .registry import ModelRegistry
+
+__all__ = [
+    "Pipeline",
+    "Deployment",
+    "ServeEvent",
+    "ReproConfig",
+    "ModelRegistry",
+    "config_to_dict",
+    "config_from_dict",
+]

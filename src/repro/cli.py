@@ -1,7 +1,8 @@
-"""Command-line interface for running the paper's experiments.
+"""Command-line interface for the deployment API and the paper's experiments.
 
-Usage (after ``pip install -e .``):
+Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent):
 
+    python -m repro.cli serve --mission Stealing --set adaptation.monitor.window=72
     python -m repro.cli fig5 --shift weak
     python -m repro.cli fig5 --shift strong
     python -m repro.cli fig6
@@ -9,65 +10,201 @@ Usage (after ``pip install -e .``):
     python -m repro.cli multimission --missions Stealing Robbery Explosion
     python -m repro.cli kg --mission Robbery
 
-Each subcommand builds the default experiment stack, runs the experiment,
-and prints the same report the corresponding benchmark emits.
+Every subcommand accepts ``--set key=value`` (repeatable) with dotted
+config paths into :class:`repro.api.ReproConfig` — e.g.
+``--set adaptation.monitor.window=72 --set experiment.train_steps=200`` —
+and ``--config path.json`` to start from a saved config file.  A
+subcommand's dedicated flags (``--stream-seed``, ``--steps-before``, ...)
+take precedence over the matching ``--set`` path; ``fig6`` keeps its
+paper-tuned adaptation defaults unless an ``adaptation.*`` override is
+given.
+
+``serve`` runs a streaming deployment end-to-end: cloud-side training (or
+a registry/checkpoint fetch), then continuous KG-adaptive serving over a
+trend-shift stream, with optional checkpointing via ``--save``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .data.streams import TrendShiftConfig
 
+_DEFAULT_SEED = 7
+_DEFAULT_TRAIN_STEPS = 400
+
+
+def _build_config(args):
+    """ReproConfig from ``--config`` + legacy flags + ``--set`` overrides.
+
+    With ``--config``, the file's values win over the legacy flags'
+    *defaults*; a flag still applies when set to a non-default value
+    (an explicitly typed default, e.g. ``--seed 7`` next to a config
+    file with another seed, is indistinguishable and the file wins —
+    use ``--set experiment.seed=7`` to force it).  ``--set`` overrides
+    are always applied last.
+    """
+    from .api import ReproConfig
+    using_file = bool(getattr(args, "config", None))
+    try:
+        config = ReproConfig.load(args.config) if using_file else ReproConfig()
+    except FileNotFoundError:
+        raise SystemExit(f"error: config file not found: {args.config}")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: bad config file {args.config}: {exc}")
+    seed = getattr(args, "seed", None)
+    if seed is not None and not (using_file and seed == _DEFAULT_SEED):
+        config.experiment.seed = seed
+    train_steps = getattr(args, "train_steps", None)
+    if train_steps is not None and not (using_file
+                                        and train_steps == _DEFAULT_TRAIN_STEPS):
+        config.experiment.train_steps = train_steps
+    try:
+        config.apply_overrides(getattr(args, "overrides", None))
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"error: {message}")
+    return config
+
+
+def _pipeline(args):
+    from .api import Pipeline
+    return Pipeline(_build_config(args))
+
 
 def _context(args):
-    from .eval import ExperimentConfig, ExperimentContext
-    return ExperimentContext(ExperimentConfig(
-        seed=args.seed, train_steps=args.train_steps))
+    return _pipeline(args).context
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", metavar="PATH", default=None,
+                        help="start from a ReproConfig JSON file")
+    parser.add_argument("--set", metavar="KEY=VALUE", action="append",
+                        dest="overrides", default=[],
+                        help="dotted-path config override, repeatable "
+                             "(e.g. adaptation.monitor.window=72)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=7,
+    _add_config_flags(parser)
+    parser.add_argument("--seed", type=int, default=_DEFAULT_SEED,
                         help="experiment seed (default 7)")
-    parser.add_argument("--train-steps", type=int, default=400,
+    parser.add_argument("--train-steps", type=int, default=_DEFAULT_TRAIN_STEPS,
                         help="cloud-side training steps (default 400)")
 
 
+def cmd_serve(args) -> int:
+    """Streaming deployment: train/fetch, serve a shifting stream, checkpoint."""
+    from .api import Deployment
+    pipeline = _pipeline(args)
+    mission = args.mission or pipeline.config.stream.initial_class
+    if args.resume:
+        print(f"[deploy] resuming deployment from {args.resume}")
+        try:
+            deployment = Deployment.load(args.resume, pipeline.embedding_model)
+        except FileNotFoundError:
+            raise SystemExit(f"error: checkpoint not found: {args.resume}")
+        except ValueError as exc:
+            raise SystemExit(f"error: cannot resume {args.resume}: {exc}")
+        mission = deployment.mission or mission
+        if args.static and deployment.adaptive:
+            print("[deploy] --static: freezing the resumed deployment "
+                  "(no further adaptation)")
+            deployment.freeze()
+    else:
+        print(f"[deploy] building the {mission!r} deployment "
+              f"(adaptive={not args.static})")
+        deployment = pipeline.deploy(mission, adaptive=not args.static)
+
+    stream = pipeline.stream(
+        mission, args.shifted,
+        steps_before_shift=args.steps_before, steps_after_shift=args.steps_after,
+        seed=args.stream_seed)
+    scfg = stream.config
+    print(f"[serve] streaming {scfg.total_steps} steps "
+          f"({scfg.initial_class} -> {scfg.shifted_class}, "
+          f"{scfg.windows_per_step} windows/step)")
+    for event in deployment.serve(stream):
+        log = event.log
+        flags = []
+        if log is not None and log.updated:
+            flags.append(f"adapted k={log.k}")
+        if log is not None and log.pruned:
+            flags.append(f"pruned {len(log.pruned)} node(s)")
+        note = ("  [" + ", ".join(flags) + "]") if flags else ""
+        print(f"  step {event.step:3d} [{event.active_class or '-':9s}] "
+              f"mean score {float(event.scores.mean()):.3f}{note}")
+    print(f"[serve] done: {deployment.step_count} steps total, "
+          f"{deployment.update_count} token updates, "
+          f"{deployment.total_pruned} nodes pruned")
+    if args.save:
+        deployment.save(args.save)
+        print(f"[serve] checkpointed deployment to {args.save}")
+    return 0
+
+
+def _experiment_stream(config, **replacements) -> TrendShiftConfig:
+    """The config's stream section with the subcommand's dedicated flags
+    layered on top, so ``--set stream.*`` overrides stay effective."""
+    return dataclasses.replace(config.stream,
+                               window=config.experiment.window, **replacements)
+
+
+def _adaptation_overridden(args) -> bool:
+    return any(o.partition("=")[0].strip().startswith("adaptation.")
+               for o in getattr(args, "overrides", None) or [])
+
+
 def cmd_fig5(args) -> int:
+    from .api import Pipeline
     from .eval import TrendShiftExperiment, format_trend_shift
     shifted = "Robbery" if args.shift == "weak" else "Explosion"
-    context = _context(args)
-    experiment = TrendShiftExperiment(context, TrendShiftConfig(
-        initial_class=args.initial, shifted_class=shifted,
-        steps_before_shift=args.steps_before, steps_after_shift=args.steps_after,
-        windows_per_step=24, anomaly_fraction=0.3, window=8,
-        seed=args.stream_seed))
+    config = _build_config(args)
+    pipeline = Pipeline(config)
+    experiment = TrendShiftExperiment(
+        pipeline.context,
+        _experiment_stream(config, initial_class=args.initial,
+                           shifted_class=shifted,
+                           steps_before_shift=args.steps_before,
+                           steps_after_shift=args.steps_after,
+                           seed=args.stream_seed),
+        adaptation_config=config.adaptation)
     print(format_trend_shift(experiment.run()))
     return 0
 
 
 def cmd_fig6(args) -> int:
+    from .api import Pipeline
     from .eval import RetrievalDriftExperiment, format_retrieval_drift
-    context = _context(args)
+    config = _build_config(args)
+    pipeline = Pipeline(config)
+    # Fig. 6 has paper-tuned aggressive adaptation defaults (applied when
+    # adaptation_config is None); only replace them when the user asked.
+    adaptation = config.adaptation if _adaptation_overridden(args) else None
     experiment = RetrievalDriftExperiment(
-        context, tracked_word=args.tracked, target_word=args.target,
-        stream_config=TrendShiftConfig(
-            initial_class="Stealing", shifted_class="Robbery",
+        pipeline.context, tracked_word=args.tracked, target_word=args.target,
+        stream_config=_experiment_stream(
+            config, initial_class="Stealing", shifted_class="Robbery",
             steps_before_shift=6, steps_after_shift=args.steps_after,
-            windows_per_step=24, anomaly_fraction=0.3, window=8,
-            seed=args.stream_seed))
+            seed=args.stream_seed),
+        adaptation_config=adaptation)
     print(format_retrieval_drift(experiment.run()))
     return 0
 
 
 def cmd_table1(args) -> int:
+    from .api import Pipeline
     from .edge import EfficiencyComparison
     from .eval import EfficiencyExperiment
-    context = _context(args)
+    config = _build_config(args)
+    pipeline = Pipeline(config)
+    context = pipeline.context
     experiment = EfficiencyExperiment(
         context, class_a="Stealing", class_b="Robbery",
-        alternations=args.alternations, steps_per_phase=10)
+        alternations=args.alternations, steps_per_phase=10,
+        adaptation_config=config.adaptation)
     measured = experiment.run()
     comparison = EfficiencyComparison(
         model=context.train_model("Stealing"),
@@ -93,8 +230,12 @@ def cmd_kg(args) -> int:
     from .concepts import build_default_ontology
     from .kg import KGGenerationConfig, KGGenerator, kg_statistics, render_levels
     from .llm import SyntheticLLM
-    oracle = SyntheticLLM(build_default_ontology(), seed=args.seed)
-    generator = KGGenerator(oracle, KGGenerationConfig(depth=args.depth))
+    config = _build_config(args)
+    # --depth wins when given a non-default value; otherwise the config's
+    # kg_depth applies (so --set experiment.kg_depth=... is effective).
+    depth = args.depth if args.depth != 3 else config.experiment.kg_depth
+    oracle = SyntheticLLM(build_default_ontology(), seed=config.experiment.seed)
+    generator = KGGenerator(oracle, KGGenerationConfig(depth=depth))
     kg, report = generator.generate(args.mission)
     print(render_levels(kg))
     print(f"\nerrors detected: {len(report.errors_detected)}, "
@@ -111,6 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Continuous KG-adaptive VAD reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve",
+                       help="run a streaming edge deployment end-to-end")
+    _add_common(p)
+    p.add_argument("--mission", default=None,
+                   help="mission class to deploy "
+                        "(default: config stream.initial_class)")
+    p.add_argument("--shifted", default=None,
+                   help="anomaly class after the trend shift "
+                        "(default: config stream section)")
+    p.add_argument("--steps-before", type=int, default=None,
+                   help="stream steps before the shift")
+    p.add_argument("--steps-after", type=int, default=None,
+                   help="stream steps after the shift")
+    p.add_argument("--stream-seed", type=int, default=None,
+                   help="stream RNG seed (default: config stream.seed)")
+    p.add_argument("--static", action="store_true",
+                   help="disable continuous adaptation (baseline serving)")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="checkpoint the deployment after serving")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume a previously saved deployment")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")
     _add_common(p)
@@ -141,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_multimission)
 
     p = sub.add_parser("kg", help="generate and inspect a mission KG")
+    _add_config_flags(p)
     p.add_argument("--mission", default="Stealing")
     p.add_argument("--depth", type=int, default=3)
     p.add_argument("--seed", type=int, default=7)

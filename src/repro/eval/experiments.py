@@ -6,31 +6,26 @@
 
 All harnesses share an :class:`ExperimentContext` that assembles the full
 stack (ontology -> embedding model -> LLM oracle -> mission KG -> trained
-decision model) deterministically from a seed, and caches trained models
-per mission so multi-phase experiments stay fast.
+decision model) deterministically from a seed.  ``ExperimentContext`` is
+now a thin backwards-compatible shim over :class:`repro.api.Pipeline`;
+new code should use the :mod:`repro.api` facade directly.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..adaptation.controller import AdaptationConfig, ContinuousAdaptationController
 from ..adaptation.retrieval import DriftTrajectory, InterpretableKGRetrieval
-from ..concepts.ontology import ConceptOntology, build_default_ontology
+from ..concepts.ontology import ConceptOntology
 from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..data.synthetic import FrameGenerator
 from ..data.ucf_crime import SyntheticUCFCrime
-from ..embedding.joint_space import JointEmbeddingModel, build_default_embedding_model
-from ..gnn.pipeline import MissionGNNConfig, MissionGNNModel
-from ..gnn.training import DecisionModelTrainer, TrainingConfig
-from ..kg.generation import KGGenerationConfig, KGGenerator
+from ..embedding.joint_space import JointEmbeddingModel
+from ..gnn.pipeline import MissionGNNModel
 from ..kg.graph import ReasoningKG
-from ..kg.serialization import kg_from_dict, kg_to_dict
-from ..llm.oracle import SyntheticLLM
-from ..utils.rng import derive_rng
 from .metrics import roc_auc
 
 __all__ = [
@@ -64,93 +59,67 @@ class ExperimentConfig:
 
 
 class ExperimentContext:
-    """Builds and caches the full pipeline for a given config."""
+    """Backwards-compatible view of :class:`repro.api.Pipeline`.
+
+    Historically this class hand-built and cached the whole stack; it now
+    delegates everything to a :class:`~repro.api.Pipeline` (whose model
+    registry replaced the old per-mission state-dict cache).  Existing
+    call sites keep working; new code should construct a ``Pipeline``.
+    """
 
     def __init__(self, config: ExperimentConfig | None = None):
-        self.config = config or ExperimentConfig()
-        cfg = self.config
-        self.ontology: ConceptOntology = build_default_ontology()
-        self.embedding_model: JointEmbeddingModel = build_default_embedding_model(
-            seed=cfg.seed)
-        self.generator = FrameGenerator(self.embedding_model, seed=cfg.seed)
-        self.dataset = SyntheticUCFCrime(self.generator, scale=cfg.dataset_scale,
-                                         frames_per_video=cfg.frames_per_video,
-                                         seed=cfg.seed)
-        self._kg_cache: dict[str, dict] = {}
-        self._model_cache: dict[str, tuple[dict, dict, np.ndarray]] = {}
+        from ..api.config import ReproConfig
+        from ..api.pipeline import Pipeline
+        self.pipeline = Pipeline(ReproConfig(experiment=config
+                                             or ExperimentConfig()))
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "ExperimentContext":
+        """Wrap an existing pipeline without rebuilding anything."""
+        context = cls.__new__(cls)
+        context.pipeline = pipeline
+        return context
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.pipeline.config.experiment
+
+    @property
+    def ontology(self) -> ConceptOntology:
+        return self.pipeline.ontology
+
+    @property
+    def embedding_model(self) -> JointEmbeddingModel:
+        return self.pipeline.embedding_model
+
+    @property
+    def generator(self) -> FrameGenerator:
+        return self.pipeline.generator
+
+    @property
+    def dataset(self) -> SyntheticUCFCrime:
+        return self.pipeline.dataset
 
     # ------------------------------------------------------------------
     def generate_kg(self, mission: str) -> ReasoningKG:
         """Mission KG via the LLM oracle (cached structurally, fresh tokens)."""
-        if mission not in self._kg_cache:
-            oracle = SyntheticLLM(self.ontology, seed=self.config.seed)
-            generator = KGGenerator(oracle,
-                                    KGGenerationConfig(depth=self.config.kg_depth))
-            kg, _ = generator.generate(mission)
-            kg.initialize_tokens(self.embedding_model)
-            self._kg_cache[mission] = kg_to_dict(kg)
-        return kg_from_dict(copy.deepcopy(self._kg_cache[mission]))
+        return self.pipeline.generate_kg(mission)
 
     def train_model(self, mission: str) -> MissionGNNModel:
-        """Cloud-side training for a mission; cached by state dict."""
-        cfg = self.config
-        if mission not in self._model_cache:
-            kg = self.generate_kg(mission)
-            model = MissionGNNModel([kg], self.embedding_model,
-                                    MissionGNNConfig(temporal_window=cfg.window,
-                                                     seed=cfg.seed))
-            windows, labels = self.train_windows(mission)
-            trainer = DecisionModelTrainer(model, TrainingConfig(
-                steps=cfg.train_steps, batch_size=cfg.train_batch,
-                learning_rate=cfg.train_lr, seed=cfg.seed))
-            trainer.train(windows, labels)
-            bn_state = {
-                f"bn{i}": (layer.norm.running_mean.copy(),
-                           layer.norm.running_var.copy())
-                for i, layer in enumerate(model.reasoners[0].gnn.layers)
-            }
-            self._model_cache[mission] = (model.state_dict(), bn_state,
-                                          kg_to_dict(model.kgs[0]))
-        state, bn_state, kg_dict = self._model_cache[mission]
-        kg = kg_from_dict(copy.deepcopy(kg_dict))
-        model = MissionGNNModel([kg], self.embedding_model,
-                                MissionGNNConfig(temporal_window=cfg.window,
-                                                 seed=cfg.seed))
-        model.load_state_dict(state)
-        for i, layer in enumerate(model.reasoners[0].gnn.layers):
-            mean, var = bn_state[f"bn{i}"]
-            layer.norm.running_mean = mean.copy()
-            layer.norm.running_var = var.copy()
-        model.eval()
-        return model
+        """Cloud-side training for a mission; served from the model registry."""
+        return self.pipeline.train(mission)
 
     # ------------------------------------------------------------------
     def train_windows(self, mission: str) -> tuple[np.ndarray, np.ndarray]:
-        cfg = self.config
-        return self.dataset.mission_windows(
-            "train", mission, window=cfg.window, stride=4,
-            normal_videos=cfg.train_normal_videos,
-            anomaly_videos=cfg.train_anomaly_videos)
+        return self.pipeline.train_windows(mission)
 
     def normal_anchors(self, mission: str, count: int = 60) -> np.ndarray:
-        windows, labels = self.train_windows(mission)
-        return windows[labels == 0][:count]
+        return self.pipeline.normal_anchors(mission, count=count)
 
     def eval_windows(self, anomaly_class: str,
                      seed_tag: str = "eval") -> tuple[np.ndarray, np.ndarray]:
         """Balanced held-out windows of one anomaly class vs normal."""
-        cfg = self.config
-        rng = derive_rng(cfg.seed, seed_tag, anomaly_class)
-        windows, labels = [], []
-        for _ in range(cfg.eval_normal_windows):
-            windows.append(np.stack([self.generator.normal_frame(rng)
-                                     for _ in range(cfg.window)]))
-            labels.append(0)
-        for _ in range(cfg.eval_anomaly_windows):
-            windows.append(np.stack([self.generator.anomaly_frame(anomaly_class, rng)
-                                     for _ in range(cfg.window)]))
-            labels.append(1)
-        return np.stack(windows), np.asarray(labels, dtype=np.int64)
+        return self.pipeline.eval_windows(anomaly_class, seed_tag=seed_tag)
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +216,7 @@ class RetrievalDriftResult:
     """Tracked-node drift between the initial and target concept words."""
 
     tracked_node_text: str
-    trajectory: DriftTrajectory = None
+    trajectory: DriftTrajectory | None = None
     retrieved_words: dict[int, list[str]] = field(default_factory=dict)
 
     @property

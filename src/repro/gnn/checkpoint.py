@@ -10,15 +10,14 @@ deployment can be checkpointed and inspected offline.
 
 from __future__ import annotations
 
-import base64
 import json
 from dataclasses import asdict
 from pathlib import Path
 
-import numpy as np
-
 from ..embedding.joint_space import JointEmbeddingModel
 from ..kg.serialization import kg_from_dict, kg_to_dict
+from ..utils.serialization import decode_array as _decode
+from ..utils.serialization import encode_array as _encode
 from .pipeline import MissionGNNConfig, MissionGNNModel
 
 __all__ = ["save_deployment", "load_deployment", "deployment_to_dict",
@@ -27,32 +26,17 @@ __all__ = ["save_deployment", "load_deployment", "deployment_to_dict",
 _FORMAT_VERSION = 1
 
 
-def _encode(array: np.ndarray) -> dict:
-    return {"shape": list(array.shape),
-            "data": base64.b64encode(array.astype(np.float64).tobytes()).decode()}
-
-
-def _decode(payload: dict) -> np.ndarray:
-    raw = base64.b64decode(payload["data"])
-    return np.frombuffer(raw, dtype=np.float64).reshape(payload["shape"]).copy()
-
-
 def deployment_to_dict(model: MissionGNNModel) -> dict:
-    """Serialize a trained model + its KGs to a JSON-safe dict."""
-    norm_stats = {}
-    for kg_index, reasoner in enumerate(model.reasoners):
-        for layer_index, layer in enumerate(reasoner.gnn.layers):
-            key = f"kg{kg_index}.layer{layer_index}"
-            norm_stats[key] = {
-                "running_mean": _encode(layer.norm.running_mean),
-                "running_var": _encode(layer.norm.running_var),
-            }
+    """Serialize a trained model + its KGs to a JSON-safe dict.
+
+    ``state_dict`` carries the batch-norm running statistics natively (they
+    are registered buffers), so ``weights`` is the complete model state.
+    """
     return {
         "format_version": _FORMAT_VERSION,
         "config": asdict(model.config),
         "weights": {name: _encode(value)
                     for name, value in model.state_dict().items()},
-        "norm_stats": norm_stats,
         "kgs": [kg_to_dict(kg) for kg in model.kgs],
     }
 
@@ -73,11 +57,15 @@ def deployment_from_dict(payload: dict,
     model = MissionGNNModel(kgs, embedding_model, config)
     model.load_state_dict({name: _decode(value)
                            for name, value in payload["weights"].items()})
+    # Older artifacts shipped BN statistics in a side section instead of the
+    # state dict; apply it when present so they stay loadable.
     for kg_index, reasoner in enumerate(model.reasoners):
         for layer_index, layer in enumerate(reasoner.gnn.layers):
-            stats = payload["norm_stats"][f"kg{kg_index}.layer{layer_index}"]
-            layer.norm.running_mean = _decode(stats["running_mean"])
-            layer.norm.running_var = _decode(stats["running_var"])
+            stats = payload.get("norm_stats", {}).get(
+                f"kg{kg_index}.layer{layer_index}")
+            if stats is not None:
+                layer.norm.running_mean = _decode(stats["running_mean"])
+                layer.norm.running_var = _decode(stats["running_var"])
     model.eval()
     return model
 

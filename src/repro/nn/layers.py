@@ -43,6 +43,7 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        self._buffer_names: list[str] = []
 
     # -- traversal ------------------------------------------------------
     def parameters(self) -> Iterator[Parameter]:
@@ -66,6 +67,51 @@ class Module:
                         yield from item.named_parameters(f"{name}.{i}")
                     elif isinstance(item, Parameter):
                         yield f"{name}.{i}", item
+
+    # -- buffers (non-trainable persistent state, e.g. BN running stats) --
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register ``value`` as persistent non-trainable state.
+
+        Buffers are plain attributes (reassignment works as usual) but are
+        included in :meth:`state_dict`, so deployment checkpoints carry
+        them without side channels.
+        """
+        if not hasattr(self, "_buffer_names"):
+            self._buffer_names = []
+        if name not in self._buffer_names:
+            self._buffer_names.append(name)
+        setattr(self, name, value)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for key in getattr(self, "_buffer_names", ()):
+            name = f"{prefix}{key}" if not prefix else f"{prefix}.{key}"
+            yield name, getattr(self, key)
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}" if not prefix else f"{prefix}.{key}"
+            if isinstance(value, Module):
+                yield from value.named_buffers(name)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_buffers(f"{name}.{i}")
+
+    def buffers(self) -> Iterator[np.ndarray]:
+        for _, buffer in self.named_buffers():
+            yield buffer
+
+    def _set_buffer_by_path(self, path: str, value: np.ndarray) -> None:
+        parts = path.split(".")
+        target: object = self
+        for part in parts[:-1]:
+            if isinstance(target, (list, tuple)):
+                target = target[int(part)]
+            else:
+                target = getattr(target, part)
+        current = getattr(target, parts[-1])
+        if np.shape(current) != np.shape(value):
+            raise ValueError(f"shape mismatch for buffer {path}: "
+                             f"{np.shape(current)} vs {np.shape(value)}")
+        setattr(target, parts[-1], value.copy())
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -114,12 +160,17 @@ class Module:
 
     # -- state dict (deployment: cloud-trained weights shipped to edge) --
     def state_dict(self) -> dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Parameters plus registered buffers (e.g. BN running statistics)."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update({name: np.asarray(buffer).copy()
+                      for name, buffer in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         params = dict(self.named_parameters())
+        buffer_names = {name for name, _ in self.named_buffers()}
         missing = set(params) - set(state)
-        unexpected = set(state) - set(params)
+        unexpected = set(state) - set(params) - buffer_names
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
@@ -128,6 +179,11 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{param.data.shape} vs {state[name].shape}")
             param.data = state[name].copy()
+        # Buffers absent from ``state`` (parameter-only dicts from older
+        # checkpoints) keep their current values.
+        for name in buffer_names:
+            if name in state:
+                self._set_buffer_by_path(name, np.asarray(state[name]))
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
@@ -169,8 +225,8 @@ class BatchNorm(Module):
         self.eps = eps
         self.gamma = Parameter(init.ones((num_features,)))
         self.beta = Parameter(init.zeros((num_features,)))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.num_features:

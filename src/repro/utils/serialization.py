@@ -1,0 +1,25 @@
+"""JSON-safe numpy array codec shared by every checkpoint format.
+
+Arrays are stored as base64-encoded float64 bytes plus a shape, which
+keeps deployment artifacts plain JSON (inspectable, diffable) while
+round-tripping bit-exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+__all__ = ["encode_array", "decode_array"]
+
+
+def encode_array(array: np.ndarray) -> dict:
+    array = np.asarray(array, dtype=np.float64)
+    return {"shape": list(array.shape),
+            "data": base64.b64encode(array.tobytes()).decode()}
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    return np.frombuffer(raw, dtype=np.float64).reshape(payload["shape"]).copy()

@@ -1,0 +1,143 @@
+"""Tests for the Deployment runtime (serve loop, checkpoint/resume)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import AdaptationConfig, MonitorConfig, TokenUpdateConfig
+from repro.api import Deployment, Pipeline, ReproConfig
+
+
+def deployment_config() -> ReproConfig:
+    """Small stack with an adaptation loop that actually triggers."""
+    cfg = ReproConfig()
+    cfg.experiment.train_steps = 50
+    cfg.experiment.eval_normal_windows = 12
+    cfg.experiment.eval_anomaly_windows = 6
+    cfg.adaptation = AdaptationConfig(
+        monitor=MonitorConfig(window=24, lag=12, min_k=4,
+                              trigger_threshold=0.005),
+        update=TokenUpdateConfig(learning_rate=0.08, inner_steps=2),
+        adaptation_rounds=2, min_trigger_k=1, min_confidence=0.0)
+    cfg.stream.windows_per_step = 12
+    cfg.stream.steps_before_shift = 2
+    cfg.stream.steps_after_shift = 4
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return Pipeline.from_config(deployment_config())
+
+
+class TestServing:
+    def test_serve_yields_one_event_per_batch(self, pipeline):
+        deployment = pipeline.deploy("Stealing")
+        events = list(deployment.serve(pipeline.stream("Stealing", "Robbery")))
+        assert len(events) == pipeline.config.stream.total_steps
+        assert [e.step for e in events] == list(range(len(events)))
+        assert events[0].active_class == "Stealing"
+        assert events[-1].active_class == "Robbery"
+        assert all(e.scores.shape == (12,) for e in events)
+        assert deployment.step_count == len(events)
+
+    def test_static_deployment_never_adapts(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        before = deployment.scores(windows[:5])
+        for _ in deployment.serve(pipeline.stream("Stealing", "Robbery")):
+            pass
+        np.testing.assert_allclose(deployment.scores(windows[:5]), before,
+                                   atol=1e-12)
+        assert deployment.update_count == 0
+        assert deployment.controller is None
+
+    def test_serve_accepts_raw_arrays(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        events = list(deployment.serve([windows[:4], windows[4:8]]))
+        assert len(events) == 2
+        assert events[0].active_class is None
+
+
+class TestCheckpointResume:
+    def test_save_load_preserves_scores(self, pipeline, tmp_path):
+        deployment = pipeline.deploy("Stealing")
+        for _ in deployment.serve(pipeline.stream("Stealing", "Robbery")):
+            pass
+        path = tmp_path / "deployment.json"
+        deployment.save(path)
+        loaded = Deployment.load(path, pipeline.embedding_model)
+        windows, _ = pipeline.eval_windows("Robbery")
+        np.testing.assert_allclose(loaded.scores(windows),
+                                   deployment.scores(windows), atol=1e-12)
+        assert loaded.mission == "Stealing"
+        assert loaded.step_count == deployment.step_count
+        assert loaded.update_count == deployment.update_count
+
+    def test_resumed_adaptation_matches_uninterrupted(self, pipeline, tmp_path):
+        """Interrupting a deployment mid-stream must not change its future."""
+        stream = pipeline.stream("Stealing", "Robbery")
+        batches = list(stream)
+        split = 3
+
+        straight = pipeline.deploy("Stealing")
+        for batch in batches:
+            straight.ingest(batch.windows)
+
+        interrupted = pipeline.deploy("Stealing")
+        for batch in batches[:split]:
+            interrupted.ingest(batch.windows)
+        path = tmp_path / "mid.json"
+        interrupted.save(path)
+        resumed = Deployment.load(path, pipeline.embedding_model)
+        logs = [resumed.ingest(batch.windows) for batch in batches[split:]]
+
+        assert straight.update_count > 0, "scenario must exercise adaptation"
+        assert resumed.update_count == straight.update_count
+        assert [log.step for log in logs] == list(range(split, len(batches)))
+        windows, _ = pipeline.eval_windows("Robbery")
+        np.testing.assert_allclose(resumed.scores(windows),
+                                   straight.scores(windows), atol=1e-12)
+
+    def test_adam_resume_matches_uninterrupted(self, tmp_path):
+        """Adam moments must survive the checkpoint (not reset to zero)."""
+        cfg = deployment_config()
+        cfg.adaptation.update.optimizer = "adam"
+        cfg.adaptation.update.learning_rate = 0.01
+        pipe = Pipeline.from_config(cfg)
+        batches = list(pipe.stream("Stealing", "Robbery"))
+        split = 4
+
+        straight = pipe.deploy("Stealing")
+        for batch in batches:
+            straight.ingest(batch.windows)
+        assert straight.update_count > 0, "scenario must exercise adaptation"
+
+        interrupted = pipe.deploy("Stealing")
+        for batch in batches[:split]:
+            interrupted.ingest(batch.windows)
+        path = tmp_path / "adam.json"
+        interrupted.save(path)
+        resumed = Deployment.load(path, pipe.embedding_model)
+        for batch in batches[split:]:
+            resumed.ingest(batch.windows)
+
+        windows, _ = pipe.eval_windows("Robbery")
+        np.testing.assert_allclose(resumed.scores(windows),
+                                   straight.scores(windows), atol=1e-12)
+
+    def test_wrong_embedding_model_rejected(self, pipeline, tmp_path):
+        from repro.embedding import build_default_embedding_model
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        path = tmp_path / "dep.json"
+        deployment.save(path)
+        other = build_default_embedding_model(seed=99)
+        with pytest.raises(ValueError, match="embedding model mismatch"):
+            Deployment.load(path, other)
+
+    def test_unknown_version_rejected(self, pipeline, tmp_path):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        payload = deployment.to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            Deployment.from_dict(payload, pipeline.embedding_model)

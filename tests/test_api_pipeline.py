@@ -1,0 +1,148 @@
+"""Tests for the Pipeline facade, the model registry, and BN buffer state."""
+
+import numpy as np
+import pytest
+
+from repro.api import ModelRegistry, Pipeline, ReproConfig
+from repro.eval import ExperimentConfig, ExperimentContext
+
+
+def small_config(**experiment_overrides) -> ReproConfig:
+    cfg = ReproConfig()
+    cfg.experiment.train_steps = 50
+    cfg.experiment.eval_normal_windows = 16
+    cfg.experiment.eval_anomaly_windows = 8
+    for key, value in experiment_overrides.items():
+        setattr(cfg.experiment, key, value)
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return Pipeline.from_config(small_config())
+
+
+class TestFromConfig:
+    def test_accepts_dict_and_overrides(self):
+        pipe = Pipeline.from_config(
+            {"experiment": {"train_steps": 9}},
+            overrides=["adaptation.monitor.window=24"])
+        assert pipe.config.experiment.train_steps == 9
+        assert pipe.config.adaptation.monitor.window == 24
+
+    def test_accepts_config_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        small_config(seed=13).save(path)
+        pipe = Pipeline.from_config(path)
+        assert pipe.config.experiment.seed == 13
+
+    def test_copies_config_object(self):
+        cfg = small_config()
+        pipe = Pipeline.from_config(cfg, overrides=["experiment.seed=99"])
+        assert pipe.config.experiment.seed == 99
+        assert cfg.experiment.seed == 7  # caller's object untouched
+
+
+class TestRegistryCaching:
+    def test_second_train_is_a_cache_hit(self, pipeline):
+        pipeline.train("Stealing")
+        trained_before = pipeline.trained_count
+        pipeline.train("Stealing")
+        assert pipeline.trained_count == trained_before
+        assert pipeline.registry.hits >= 2
+
+    def test_cached_model_is_fresh_and_deterministic(self, pipeline):
+        a = pipeline.train("Stealing")
+        b = pipeline.train("Stealing")
+        assert a is not b
+        windows, _ = pipeline.eval_windows("Stealing")
+        np.testing.assert_allclose(a.anomaly_scores(windows[:5]),
+                                   b.anomaly_scores(windows[:5]))
+
+    def test_config_change_changes_fingerprint(self):
+        a = Pipeline.from_config(small_config())
+        b = Pipeline.from_config(small_config(train_steps=51))
+        assert a._fingerprint() != b._fingerprint()
+
+    def test_disk_registry_survives_new_pipeline(self, tmp_path):
+        cfg = small_config(train_steps=30)
+        cfg.registry_dir = str(tmp_path / "models")
+        first = Pipeline.from_config(cfg)
+        model = first.train("Stealing")
+        assert first.trained_count == 1
+
+        second = Pipeline.from_config(cfg)
+        reloaded = second.train("Stealing")
+        assert second.trained_count == 0  # registry hit: no retraining
+        windows, _ = second.eval_windows("Stealing")
+        np.testing.assert_allclose(model.anomaly_scores(windows[:5]),
+                                   reloaded.anomaly_scores(windows[:5]),
+                                   atol=1e-12)
+
+    def test_registry_clear_and_keys(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        cfg = small_config(train_steps=20)
+        pipe = Pipeline.from_config(cfg, registry=registry)
+        pipe.train("Robbery")
+        assert len(registry.keys()) == 1
+        assert registry.contains("Robbery", pipe._fingerprint())
+        registry.clear()
+        assert registry.keys() == []
+
+
+class TestContextShim:
+    def test_context_view_shares_the_pipeline(self, pipeline):
+        context = pipeline.context
+        assert context.pipeline is pipeline
+        assert context.config is pipeline.config.experiment
+        assert context.embedding_model is pipeline.embedding_model
+
+    def test_legacy_constructor_matches_pipeline(self):
+        exp = ExperimentConfig(train_steps=40, eval_normal_windows=12,
+                               eval_anomaly_windows=6)
+        context = ExperimentContext(exp)
+        cfg = ReproConfig(experiment=exp)
+        pipe = Pipeline.from_config(cfg)
+        windows, _ = context.eval_windows("Stealing")
+        np.testing.assert_allclose(
+            context.train_model("Stealing").anomaly_scores(windows[:4]),
+            pipe.train("Stealing").anomaly_scores(windows[:4]))
+
+
+class TestBatchNormBuffers:
+    def test_state_dict_carries_running_stats(self, pipeline):
+        model = pipeline.train("Stealing")
+        state = model.state_dict()
+        bn_keys = [k for k in state if k.endswith("running_mean")]
+        assert bn_keys, "state_dict must include BN running statistics"
+        layer = model.reasoners[0].gnn.layers[0]
+        assert np.any(layer.norm.running_mean != 0.0)
+
+    def test_bn_stats_survive_state_dict_round_trip(self, pipeline):
+        model = pipeline.train("Stealing")
+        fresh = pipeline.train("Stealing")
+        for layer in fresh.reasoners[0].gnn.layers:
+            layer.norm.running_mean = np.zeros_like(layer.norm.running_mean)
+            layer.norm.running_var = np.ones_like(layer.norm.running_var)
+        fresh.load_state_dict(model.state_dict())
+        for src, dst in zip(model.reasoners[0].gnn.layers,
+                            fresh.reasoners[0].gnn.layers):
+            np.testing.assert_allclose(dst.norm.running_mean,
+                                       src.norm.running_mean)
+            np.testing.assert_allclose(dst.norm.running_var,
+                                       src.norm.running_var)
+        windows, _ = pipeline.eval_windows("Stealing")
+        np.testing.assert_allclose(fresh.anomaly_scores(windows[:5]),
+                                   model.anomaly_scores(windows[:5]),
+                                   atol=1e-12)
+
+    def test_parameter_only_state_dict_still_loads(self, pipeline):
+        """Legacy checkpoints without buffer entries keep current stats."""
+        model = pipeline.train("Stealing")
+        params_only = {name: p.data.copy()
+                       for name, p in model.named_parameters()}
+        target = pipeline.train("Stealing")
+        before = target.reasoners[0].gnn.layers[0].norm.running_mean.copy()
+        target.load_state_dict(params_only)
+        np.testing.assert_allclose(
+            target.reasoners[0].gnn.layers[0].norm.running_mean, before)
