@@ -11,7 +11,6 @@ Expected: the paper's rule matches or beats fixed-K (it sizes the pseudo-
 label set by the evidence of a shift) and clearly beats no adaptation.
 """
 
-import numpy as np
 import pytest
 
 from repro.adaptation import (

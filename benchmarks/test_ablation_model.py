@@ -13,7 +13,7 @@ settings perform comparably, confirming the architecture is not fragile.
 
 import pytest
 
-from repro.eval import ExperimentConfig, ExperimentContext, roc_auc
+from repro.eval import roc_auc
 from repro.gnn import (
     DecisionModelTrainer,
     MissionGNNConfig,

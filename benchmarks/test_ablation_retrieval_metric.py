@@ -10,7 +10,6 @@ Expected: Euclidean at least matches cosine/dot (consistent with the
 paper's choice); all metrics degrade as noise grows.
 """
 
-import numpy as np
 import pytest
 
 from repro.utils import derive_rng

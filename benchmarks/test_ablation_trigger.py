@@ -13,7 +13,6 @@ Expected: all three fire after the true shift; the paper's rule also
 yields a magnitude (K) that the alternatives lack.
 """
 
-import numpy as np
 import pytest
 
 from repro.adaptation import (

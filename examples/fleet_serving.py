@@ -1,0 +1,87 @@
+"""Fleet serving demo: many concurrent streams, one batched scoring loop.
+
+The paper deploys one edge camera per model; this example serves a whole
+fleet.  It builds 8 trend-shift streams over 2 missions, serves them
+through :class:`repro.serving.DeploymentFleet` — whose micro-batcher
+coalesces every round's arrival windows into one GNN forward per scoring
+model — then demonstrates the three fleet-specific capabilities:
+
+1. batched vs sequential throughput on identical arrivals (with the
+   bit-identical-scores guarantee that makes batching a free win);
+2. attaching and detaching streams mid-run;
+3. checkpointing the entire fleet (deployments, stream positions, shared
+   models stored once) and resuming it.
+
+Run:  python examples/fleet_serving.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Pipeline, ReproConfig
+from repro.serving import DeploymentFleet, build_fleet
+
+STREAMS = 8
+MISSIONS = ["Stealing", "Robbery"]
+
+
+def main() -> None:
+    config = ReproConfig()
+    config.override("experiment.train_steps", 150)  # demo-sized training
+    pipeline = Pipeline.from_config(config)
+
+    print(f"[1/4] Building a {STREAMS}-stream fleet over {MISSIONS} ...")
+    fleet = build_fleet(pipeline, MISSIONS, STREAMS, windows_per_step=2)
+    print(f"      {len(fleet)} streams attached: {', '.join(fleet.names)}")
+
+    print("\n[2/4] Batched vs sequential serving on identical arrivals ...")
+    sequential_fleet = build_fleet(pipeline, MISSIONS, STREAMS,
+                                   windows_per_step=2)
+    start = time.perf_counter()
+    sequential_events = [sequential_fleet.step(batched=False)
+                         for _ in range(6)]
+    sequential_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batched_events = [fleet.step(batched=True) for _ in range(6)]
+    batched_s = time.perf_counter() - start
+    diffs = [float(np.abs(b.scores - s.scores).max())
+             for b_round, s_round in zip(batched_events, sequential_events)
+             for b, s in zip(b_round, s_round)]
+    windows = sum(e.scores.size for r in batched_events for e in r)
+    print(f"      sequential: {windows / sequential_s:8.1f} windows/s")
+    print(f"      batched:    {windows / batched_s:8.1f} windows/s "
+          f"({sequential_s / batched_s:.2f}x, "
+          f"{fleet.batcher.batches_run} coalesced forwards)")
+    print(f"      max |batched - sequential| score diff: {max(diffs)}")
+
+    print("\n[3/4] Attaching/detaching streams mid-run ...")
+    fleet.add("latecomer",
+              sequential_fleet.remove(sequential_fleet.names[0]),
+              pipeline.stream("Stealing", None, windows_per_step=2, seed=999))
+    events = fleet.step()
+    print(f"      round now serves {len(events)} streams "
+          f"(latecomer joined at its step 0)")
+    fleet.remove("latecomer")
+    print(f"      after detach: {len(fleet)} streams")
+
+    print("\n[4/4] Checkpointing the whole fleet ...")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "fleet.json"
+        fleet.save(path)
+        size_kb = path.stat().st_size / 1024
+        restored = DeploymentFleet.load(path, pipeline.embedding_model,
+                                        pipeline.generator)
+        a = fleet.step()
+        b = restored.step()
+        identical = all(np.array_equal(x.scores, y.scores)
+                        for x, y in zip(a, b))
+        print(f"      {size_kb:.0f} KiB for {len(restored)} streams "
+              f"(shared models deduplicated)")
+        print(f"      resumed fleet's next round identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

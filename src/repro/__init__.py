@@ -26,6 +26,7 @@ state) to a single JSON artifact.  The CLI mirrors it:
 Subpackages
 -----------
 ``repro.api``         public deployment facade (Pipeline/Deployment/ReproConfig)
+``repro.serving``     multi-stream fleet serving (DeploymentFleet/MicroBatcher)
 ``repro.nn``          numpy autodiff + layers (PyTorch substitute)
 ``repro.concepts``    surveillance concept ontology (ConceptNet-lite)
 ``repro.embedding``   BPE tokenizer + joint text/image space (ImageBind sub)
@@ -38,9 +39,9 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "api", "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
-    "data", "edge", "eval", "utils",
+    "api", "serving", "nn", "concepts", "embedding", "llm", "kg", "gnn",
+    "adaptation", "data", "edge", "eval", "utils",
 ]

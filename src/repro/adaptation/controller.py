@@ -121,13 +121,27 @@ class ContinuousAdaptationController:
         return self._step_base + len(self.logs)
 
     # ------------------------------------------------------------------
-    def process_batch(self, windows: np.ndarray) -> AdaptationStepLog:
-        """Ingest one arrival batch; adapt if the monitor triggers."""
+    def process_batch(self, windows: np.ndarray,
+                      scores: np.ndarray | None = None) -> AdaptationStepLog:
+        """Ingest one arrival batch; adapt if the monitor triggers.
+
+        ``scores`` may carry precomputed anomaly scores for ``windows``
+        (the serving fleet's micro-batcher scores many streams in one
+        coalesced forward); when omitted they are computed here.  The
+        caller is responsible for the scores actually being this model's
+        output for ``windows`` — the batched path guarantees bit-equality.
+        """
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim != 3:
             raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
         step = self.step_count
-        scores = self.model.anomaly_scores(windows)
+        if scores is None:
+            scores = self.model.anomaly_scores(windows)
+        else:
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (windows.shape[0],):
+                raise ValueError(f"expected {windows.shape[0]} precomputed "
+                                 f"scores, got shape {scores.shape}")
         self.monitor.observe(scores)
         for w in windows:
             self._window_buffer.append(w)

@@ -15,7 +15,7 @@ node is flagged — both knobs default to mild smoothing and are ablatable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ConvergenceConfig", "NodeConvergenceTracker"]
 

@@ -21,7 +21,7 @@ of the ``N`` scores ending ``lag`` observations before the newest one.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

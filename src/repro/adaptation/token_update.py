@@ -21,7 +21,6 @@ import numpy as np
 from ..gnn.pipeline import MissionGNNModel
 from ..nn.losses import vad_loss
 from ..nn.optim import SGD, Adam, clip_grad_norm
-from ..nn.tensor import Tensor
 
 __all__ = ["TokenUpdateConfig", "TokenUpdateResult", "TokenEmbeddingUpdater"]
 

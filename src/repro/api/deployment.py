@@ -90,11 +90,19 @@ class Deployment:
         """Anomaly probabilities without feeding the adaptation monitor."""
         return self.model.anomaly_scores(windows)
 
-    def ingest(self, windows: np.ndarray) -> AdaptationStepLog:
-        """Feed one arrival batch; adaptive deployments may adapt on it."""
+    def ingest(self, windows: np.ndarray,
+               scores: np.ndarray | None = None) -> AdaptationStepLog:
+        """Feed one arrival batch; adaptive deployments may adapt on it.
+
+        ``scores`` may carry this model's precomputed anomaly scores for
+        ``windows`` (the fleet micro-batcher scores many streams in one
+        coalesced forward and dispatches the slices back here).
+        """
         if self.controller is not None:
-            return self.controller.process_batch(windows)
-        scores = self.model.anomaly_scores(np.asarray(windows, dtype=np.float64))
+            return self.controller.process_batch(windows, scores=scores)
+        if scores is None:
+            scores = self.model.anomaly_scores(
+                np.asarray(windows, dtype=np.float64))
         log = AdaptationStepLog(step=self._static_steps, scores=scores)
         self._static_steps += 1
         return log
@@ -144,14 +152,16 @@ class Deployment:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self, include_model: bool = True) -> dict:
+        """Serialize the runtime; ``include_model=False`` omits the model
+        section (the fleet checkpoint stores shared models separately)."""
         payload = {
             "format_version": _FORMAT_VERSION,
             "mission": self.mission,
             "adaptive": self.adaptive,
             "embedding_fingerprint": _embedding_fingerprint(
                 self.model.embedding_model),
-            "model": deployment_to_dict(self.model),
+            "model": deployment_to_dict(self.model) if include_model else None,
             "adaptation_config": config_to_dict(self.adaptation_config),
             "anchors": (None if self.normal_anchor_windows is None
                         else encode_array(self.normal_anchor_windows)),
@@ -166,8 +176,15 @@ class Deployment:
         Path(path).write_text(json.dumps(self.to_dict()))
 
     @classmethod
-    def from_dict(cls, payload: dict,
-                  embedding_model: JointEmbeddingModel) -> "Deployment":
+    def from_dict(cls, payload: dict, embedding_model: JointEmbeddingModel,
+                  model: MissionGNNModel | None = None) -> "Deployment":
+        """Rebuild from :meth:`to_dict` output.
+
+        ``model`` injects an already-restored model instance instead of
+        rebuilding one from ``payload["model"]`` — the fleet checkpoint
+        stores each shared scoring model once and passes it to every
+        deployment that referenced it.
+        """
         version = payload.get("format_version")
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported deployment format version: {version}")
@@ -178,7 +195,13 @@ class Deployment:
                 "embedding model mismatch: this deployment was built on a "
                 "different joint embedding vocabulary (check the experiment "
                 "seed used to construct the embedding model)")
-        model = deployment_from_dict(payload["model"], embedding_model)
+        if model is None:
+            if payload.get("model") is None:
+                raise ValueError(
+                    "payload has no model section (saved with "
+                    "include_model=False); pass the restored model via "
+                    "the `model` argument")
+            model = deployment_from_dict(payload["model"], embedding_model)
         anchors = (None if payload.get("anchors") is None
                    else decode_array(payload["anchors"]))
         adaptation = config_from_dict(AdaptationConfig,

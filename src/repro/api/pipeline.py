@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..concepts.ontology import ConceptOntology, build_default_ontology
-from ..data.streams import TrendShiftConfig, TrendShiftStream
+from ..data.streams import TrendShiftStream
 from ..data.synthetic import FrameGenerator
 from ..data.ucf_crime import SyntheticUCFCrime
 from ..embedding.joint_space import JointEmbeddingModel, build_default_embedding_model

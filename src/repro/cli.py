@@ -3,6 +3,8 @@
 Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent):
 
     python -m repro.cli serve --mission Stealing --set adaptation.monitor.window=72
+    python -m repro.cli fleet --streams 8 --missions Stealing Robbery
+    python -m repro.cli bench --quick --min-speedup 1.0
     python -m repro.cli fig5 --shift weak
     python -m repro.cli fig5 --shift strong
     python -m repro.cli fig6
@@ -29,6 +31,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 
 from .data.streams import TrendShiftConfig
 
@@ -142,6 +145,90 @@ def cmd_serve(args) -> int:
     if args.save:
         deployment.save(args.save)
         print(f"[serve] checkpointed deployment to {args.save}")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Batched multi-stream serving: N streams, mixed missions, one loop."""
+    from .serving import build_fleet
+    pipeline = _pipeline(args)
+    print(f"[fleet] building {args.streams} stream(s) over missions "
+          f"{args.missions} (adaptive={args.adaptive}, "
+          f"batched={not args.sequential})")
+    fleet = build_fleet(pipeline, args.missions, args.streams,
+                        adaptive=args.adaptive,
+                        windows_per_step=args.windows_per_step,
+                        stream_seed=args.stream_seed,
+                        max_batch_windows=args.max_batch_windows)
+    t0 = time.perf_counter()
+    total_windows = 0
+    for events in fleet.serve(max_rounds=args.rounds,
+                              batched=not args.sequential):
+        total_windows += sum(e.scores.size for e in events)
+        mean = sum(float(e.scores.mean()) for e in events) / len(events)
+        adapted = sum(1 for e in events if e.log is not None and e.log.updated)
+        note = f"  [{adapted} stream(s) adapted]" if adapted else ""
+        print(f"  round {fleet.rounds:3d}: {len(events):2d} stream(s), "
+              f"mean score {mean:.3f}{note}")
+    elapsed = time.perf_counter() - t0
+    print(f"[fleet] served {total_windows} windows over {fleet.rounds} "
+          f"round(s) in {elapsed:.2f}s "
+          f"({total_windows / max(elapsed, 1e-9):.1f} windows/s, "
+          f"{fleet.batcher.batches_run} batched forward(s))")
+    if args.save:
+        fleet.save(args.save)
+        print(f"[fleet] checkpointed fleet to {args.save}")
+    return 0
+
+
+_QUICK_BENCH_OVERRIDES = (
+    ("experiment.train_steps", 40),
+    ("experiment.dataset_scale", 0.1),
+    ("experiment.frames_per_video", 32),
+)
+
+
+def cmd_bench(args) -> int:
+    """Fleet-serving throughput benchmark; writes a BENCH_*.json artifact."""
+    from .serving import (BenchConfig, format_benchmark, run_benchmark,
+                          write_benchmark)
+    config = _build_config(args)
+    if args.quick:
+        # Shrink training so the CI smoke run finishes in seconds; explicit
+        # user choices (--set or a non-default --train-steps) still win.
+        overridden = {o.partition("=")[0].strip()
+                      for o in getattr(args, "overrides", None) or []}
+        for key, value in _QUICK_BENCH_OVERRIDES:
+            if key in overridden:
+                continue
+            if (key == "experiment.train_steps"
+                    and args.train_steps != _DEFAULT_TRAIN_STEPS):
+                continue
+            config.override(key, value)
+    from .api import Pipeline
+    pipeline = Pipeline(config)
+    # --rounds/--repeats default to None so --quick can shrink the profile
+    # without overriding an explicitly passed value.
+    rounds = args.rounds if args.rounds is not None else (5 if args.quick else 8)
+    repeats = (args.repeats if args.repeats is not None
+               else (3 if args.quick else 5))
+    bench_config = BenchConfig(
+        streams=args.streams, windows_per_step=args.windows_per_step,
+        rounds=rounds, repeats=repeats, warmup=args.warmup,
+        missions=args.missions, max_batch_windows=args.max_batch_windows,
+        stream_seed=args.stream_seed)
+    print(f"[bench] training {len(set(args.missions))} mission model(s)...")
+    result = run_benchmark(pipeline, bench_config)
+    print(format_benchmark(result))
+    path = write_benchmark(result, args.output)
+    print(f"[bench] wrote {path}")
+    if not result["parity"]["identical"]:
+        print("[bench] FAIL: batched scores diverged from sequential scores")
+        return 1
+    if args.min_speedup is not None and result["speedup"] < args.min_speedup:
+        print(f"[bench] FAIL: speedup {result['speedup']:.2f}x below "
+              f"required {args.min_speedup:.2f}x")
+        return 1
     return 0
 
 
@@ -275,6 +362,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="resume a previously saved deployment")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("fleet",
+                       help="serve many concurrent streams with micro-batching")
+    _add_common(p)
+    p.add_argument("--streams", type=int, default=4,
+                   help="number of concurrent streams (default 4)")
+    p.add_argument("--missions", nargs="+", default=["Stealing"],
+                   help="missions assigned round-robin across streams")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="serving rounds (default: run streams to exhaustion)")
+    p.add_argument("--windows-per-step", type=int, default=2,
+                   help="arrival windows per stream per round (default 2)")
+    p.add_argument("--stream-seed", type=int, default=100,
+                   help="base stream seed; stream i uses seed+i (default 100)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="continuously adapting deployments (private models; "
+                        "default: static shared scoring models)")
+    p.add_argument("--sequential", action="store_true",
+                   help="disable micro-batching (per-deployment scoring loop)")
+    p.add_argument("--max-batch-windows", type=int, default=None,
+                   help="cap windows per coalesced forward")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="checkpoint the whole fleet after serving")
+    p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("bench",
+                       help="fleet-serving throughput benchmark (BENCH_*.json)")
+    _add_common(p)
+    p.add_argument("--streams", type=int, default=16,
+                   help="concurrent streams (default 16)")
+    p.add_argument("--missions", nargs="+", default=["Stealing"])
+    p.add_argument("--windows-per-step", type=int, default=2,
+                   help="arrival windows per stream per round (default 2)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="serving rounds per timed pass (default 8; 5 with "
+                        "--quick)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed passes per mode (default 5; 3 with --quick)")
+    p.add_argument("--warmup", type=int, default=2,
+                   help="untimed passes per mode (default 2)")
+    p.add_argument("--stream-seed", type=int, default=100)
+    p.add_argument("--max-batch-windows", type=int, default=None)
+    p.add_argument("--quick", action="store_true",
+                   help="small training + fewer repeats (CI smoke profile)")
+    p.add_argument("--output", metavar="PATH", default="BENCH_2.json",
+                   help="result JSON path (default BENCH_2.json)")
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="exit non-zero if batched/sequential speedup is "
+                        "below this (CI gate)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")
     _add_common(p)

@@ -14,13 +14,12 @@ ground-truth labels for evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..concepts.ontology import ANOMALY_CLASSES
 from ..embedding.joint_space import JointEmbeddingModel
-from ..utils.rng import derive_rng
 
 __all__ = ["FrameGenerator", "Video", "make_windows"]
 

@@ -150,11 +150,11 @@ class SyntheticUCFCrime:
         """
         all_windows, all_labels = [], []
         for video in self.normal_videos(split, limit=normal_videos):
-            w, l = make_windows(video, window, stride)
-            all_windows.append(w)
-            all_labels.append(l)
+            windows_, labels_ = make_windows(video, window, stride)
+            all_windows.append(windows_)
+            all_labels.append(labels_)
         for video in self.class_videos(split, anomaly_class, limit=anomaly_videos):
-            w, l = make_windows(video, window, stride)
-            all_windows.append(w)
-            all_labels.append(l)
+            windows_, labels_ = make_windows(video, window, stride)
+            all_windows.append(windows_)
+            all_labels.append(labels_)
         return np.concatenate(all_windows), np.concatenate(all_labels)

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..concepts.ontology import ConceptOntology, build_default_ontology
 from ..concepts.vectors import ConceptSpace
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, pad_gemm_rows
 from ..utils.rng import derive_rng
 from .bpe import BPETokenizer
 from .corpus import build_domain_corpus
@@ -66,6 +66,11 @@ class JointEmbeddingModel:
         self._render = rng.normal(0.0, 1.0 / np.sqrt(self.joint_dim),
                                   size=(frame_dim, self.joint_dim))
         self._image_projection = np.linalg.pinv(self._render)
+        # Contiguous transpose for encode_image: a GEMM against a
+        # transposed view takes a different BLAS path whose tiny-M kernels
+        # are not row-stable, which would break micro-batch score parity.
+        self._image_projection_t = np.ascontiguousarray(
+            self._image_projection.T)
 
         # --- text path: ridge-fit pooled-token -> concept-vector map -----
         vocabulary = concept_space.ontology.vocabulary()
@@ -102,11 +107,25 @@ class JointEmbeddingModel:
         return frame
 
     def encode_image(self, frame: np.ndarray) -> np.ndarray:
-        """Embed raw frame features into the joint space (E_I in the paper)."""
+        """Embed raw frame features into the joint space (E_I in the paper).
+
+        Tiny batches are padded up to the row-stable GEMM floor so a
+        frame's encoding is bit-identical whether it is encoded alone or
+        inside a coalesced serving micro-batch.
+        """
         frame = np.asarray(frame, dtype=np.float64)
         if frame.shape[-1] != self.frame_dim:
             raise ValueError(f"frame feature dim must be {self.frame_dim}")
-        return frame @ self._image_projection.T
+        if frame.ndim >= 2:
+            # Always flatten to one 2-D GEMM: a stacked (..., B, T) matmul
+            # would run per-batch tiny-M kernels — the unstable regime the
+            # row floor exists to avoid — and pad tiny batches up to it.
+            lead = frame.shape[:-1]
+            flat = frame.reshape(-1, self.frame_dim)
+            flat, rows = pad_gemm_rows(flat)
+            out = flat @ self._image_projection_t
+            return out[:rows].reshape(lead + (self.joint_dim,))
+        return frame @ self._image_projection_t
 
     # ------------------------------------------------------------------
     # Text path

@@ -196,7 +196,7 @@ class TrendShiftExperiment:
 
         stream = TrendShiftStream(ctx.generator, scfg)
         for batch in stream:
-            log = controller.process_batch(batch.windows)
+            controller.process_batch(batch.windows)
             windows, labels = eval_sets[batch.active_class]
             result.steps.append(batch.step)
             result.auc_adaptive.append(

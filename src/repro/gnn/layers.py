@@ -40,9 +40,12 @@ class GraphSpec:
         ``depth + 2`` (sensor level 0 ... embedding level depth+1).
     edge_sources / edge_targets:
         Per level ``l``: integer row indices of E(l)'s endpoints.
-    aggregate / receive_mask:
-        Per level ``l``: the (|V|, |E(l)|) mean-aggregation matrix and the
-        (|V|, 1) indicator of nodes in V(l) that actually receive messages.
+    mean_scale / receive_mask / keep_mask:
+        Per level ``l``: the (|V|, 1) reciprocal in-degree of each node (0
+        for nodes receiving no messages), the (|V|, 1) indicator of nodes
+        in V(l) that actually receive messages, and its complement.
+        Together with a segment-sum over ``edge_targets`` these realize
+        Eq. 3's mean aggregation without a dense (|V|, |E(l)|) matrix.
     """
 
     def __init__(self, kg: ReasoningKG):
@@ -57,28 +60,31 @@ class GraphSpec:
         self.sensor_row = self._row[kg.sensor_id]
         self.embedding_row = self._row[kg.embedding_id]
         self.levels = np.array([kg.node(nid).level for nid in self.node_ids])
+        self.sensor_one_hot = np.zeros((self.num_nodes, 1))
+        self.sensor_one_hot[self.sensor_row, 0] = 1.0
 
+        ids = np.asarray(self.node_ids, dtype=np.int64)
         self.edge_sources: list[np.ndarray] = []
         self.edge_targets: list[np.ndarray] = []
-        self.aggregate: list[np.ndarray] = []
+        self.mean_scale: list[np.ndarray] = []
         self.receive_mask: list[np.ndarray] = []
+        self.keep_mask: list[np.ndarray] = []
         for level in range(self.num_levels):
-            edges = kg.edges_at_level(level)
-            sources = np.array([self._row[s] for s, _ in edges], dtype=np.int64)
-            targets = np.array([self._row[d] for _, d in edges], dtype=np.int64)
+            edges = np.asarray(kg.edges_at_level(level),
+                               dtype=np.int64).reshape(-1, 2)
+            # ``node_ids`` is sorted, so row lookup is a binary search.
+            sources = np.searchsorted(ids, edges[:, 0])
+            targets = np.searchsorted(ids, edges[:, 1])
             self.edge_sources.append(sources)
             self.edge_targets.append(targets)
-            agg = np.zeros((self.num_nodes, max(len(edges), 1)))
-            mask = np.zeros((self.num_nodes, 1))
-            if len(edges):
-                in_degree = np.zeros(self.num_nodes)
-                for t in targets:
-                    in_degree[t] += 1
-                for e, t in enumerate(targets):
-                    agg[t, e] = 1.0 / in_degree[t]
-                mask[np.unique(targets), 0] = 1.0
-            self.aggregate.append(agg)
+            in_degree = np.bincount(targets, minlength=self.num_nodes)
+            receives = in_degree > 0
+            scale = np.zeros((self.num_nodes, 1))
+            scale[receives, 0] = 1.0 / in_degree[receives]
+            mask = receives.astype(np.float64)[:, None]
+            self.mean_scale.append(scale)
             self.receive_mask.append(mask)
+            self.keep_mask.append(1.0 - mask)
 
     def row_of(self, node_id: int) -> int:
         """Row index of a node id in the embedding matrix."""
@@ -105,16 +111,23 @@ class HierarchicalGNNLayer(Module):
         if x.shape[1] != spec.num_nodes:
             raise ValueError("embedding matrix does not match the graph spec")
         refined = self.dense(x)  # Eq. 1, applied to all nodes
+        return self.finish(refined, spec, level)
 
+    def finish(self, refined: Tensor, spec: GraphSpec, level: int) -> Tensor:
+        """Sub-layers 2-5 (messages, aggregation, norm, activation) applied
+        to an already-refined ``phi_l(X)`` of shape ``(B, |V|, D_out)``."""
         sources = spec.edge_sources[level]
         if sources.size:
             targets = spec.edge_targets[level]
             # Eq. 2: per-edge messages X_s * X_d.
             messages = refined[:, sources, :] * refined[:, targets, :]
-            # Eq. 3: mean-aggregate into receiving nodes, identity elsewhere.
-            aggregated = Tensor(spec.aggregate[level]) @ messages
-            mask = Tensor(spec.receive_mask[level])
-            combined = refined * (1.0 - mask) + aggregated * mask
+            # Eq. 3: mean-aggregate into receiving nodes (segment-sum over
+            # the target indices, scaled by reciprocal in-degree), identity
+            # elsewhere.  ``mean_scale`` is zero on non-receiving nodes, so
+            # the aggregated term needs no extra masking.
+            summed = Tensor.segment_sum(messages, targets, spec.num_nodes)
+            aggregated = summed * Tensor(spec.mean_scale[level])
+            combined = refined * Tensor(spec.keep_mask[level]) + aggregated
         else:
             combined = refined
 

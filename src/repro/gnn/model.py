@@ -63,6 +63,32 @@ class HierarchicalGNN(Module):
             h = layer(h, spec, level)
         return h[:, spec.embedding_row, :]
 
+    def forward_embedded(self, base: Tensor, encoded: Tensor,
+                         spec: GraphSpec) -> Tensor:
+        """Like :meth:`forward`, from the factored GNN input.
+
+        ``base`` is the (|V|, input_dim) static node matrix (concept rows
+        from the text path, sensor row ignored) and ``encoded`` the
+        (B, input_dim) frame encodings destined for the sensor row.  The
+        layer-0 dense refinement distributes over that row structure, so
+        instead of materializing the (B, |V|, input_dim) input — by far the
+        largest tensor of the whole forward pass, ``input_dim`` being the
+        joint-space width — we refine the two factors separately and
+        assemble the much smaller (B, |V|, hidden) result.
+        """
+        if spec.depth != self.depth:
+            raise ValueError(f"spec depth {spec.depth} != model depth {self.depth}")
+        first = self.layers[0]
+        refined_base = first.dense(base)        # (|V|, hidden)
+        refined_frames = first.dense(encoded)   # (B, hidden)
+        sensor = Tensor(spec.sensor_one_hot)    # (|V|, 1)
+        refined = (refined_base * (1.0 - sensor)
+                   + refined_frames.reshape(encoded.shape[0], 1, -1) * sensor)
+        h = first.finish(refined, spec, 0)
+        for level, layer in enumerate(self.layers[1:], start=1):
+            h = layer(h, spec, level)
+        return h[:, spec.embedding_row, :]
+
 
 class KGReasoner(Module):
     """Binds one reasoning KG + the joint embedding model + a GNN.
@@ -156,16 +182,8 @@ class KGReasoner(Module):
         frames = np.asarray(frames, dtype=np.float64)
         if frames.ndim == 1:
             frames = frames[None, :]
-        batch = frames.shape[0]
         encoded = self.embedding_model.encode_image(frames)  # (B, joint_dim)
-
         base = self.node_embedding_matrix()  # (|V|, joint)
-        sensor_mask = np.zeros((self.spec.num_nodes, 1))
-        sensor_mask[self.spec.sensor_row, 0] = 1.0
-        # Broadcast the static node matrix over the batch and inject the
-        # frame encoding into the sensor row.
-        x = base * (1.0 - sensor_mask)  # zero the sensor row, keep concepts
-        x = x.reshape(1, self.spec.num_nodes, -1)
-        sensor_inject = encoded[:, None, :] * sensor_mask[None, :, :]
-        x = x + Tensor(sensor_inject)  # frames are data: constant on the tape
-        return self.gnn(x, self.spec)
+        # Frames are data (constant on the tape); adaptation gradients flow
+        # through the concept rows of ``base`` into the token embeddings.
+        return self.gnn.forward_embedded(base, Tensor(encoded), self.spec)

@@ -17,7 +17,7 @@ device.  The sensor and embedding nodes have no tokens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import init
-from .layers import Dense, Dropout, LayerNorm, Module, Parameter
+from .layers import Dense, Dropout, LayerNorm, Module
 from .tensor import Tensor
 
 __all__ = ["MultiHeadAttention", "TransformerEncoderLayer", "TransformerEncoder",
@@ -55,21 +54,32 @@ class MultiHeadAttention(Module):
         # (B, T, D) -> (B, H, T, Dh)
         return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, last_only: bool = False) -> Tensor:
+        """Self-attention over ``(B, T, D)``.
+
+        With ``last_only`` the query set is restricted to the final
+        position, returning ``(B, 1, D)``.  For a *causal* model whose
+        consumer only reads the last time step (the paper's short-term
+        temporal model) this computes exactly that step's attention output
+        while skipping the other ``T - 1`` query rows, and needs no mask:
+        the final position attends to the whole window.
+        """
         if x.ndim != 3:
             raise ValueError(f"expected (B, T, D), got shape {x.shape}")
         batch, length, _ = x.shape
-        q = self._split_heads(self.w_q(x), batch, length)
+        query_in = x[:, length - 1:, :] if last_only else x
+        q = self._split_heads(self.w_q(query_in), batch, 1 if last_only else length)
         k = self._split_heads(self.w_k(x), batch, length)
         v = self._split_heads(self.w_v(x), batch, length)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
-        if self.causal:
+        if self.causal and not last_only:
             mask = np.triu(np.full((length, length), -1e9), k=1)
             scores = scores + Tensor(mask)
         attn = scores.softmax(axis=-1)
-        context = attn @ v  # (B, H, T, Dh)
-        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        context = attn @ v  # (B, H, Tq, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(
+            batch, 1 if last_only else length, self.dim)
         return self.w_o(merged)
 
 
@@ -87,11 +97,16 @@ class TransformerEncoderLayer(Module):
         self.ff2 = Dense(ff_dim, dim, rng)
         self.drop = Dropout(dropout, rng) if dropout > 0 else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        attn_out = self.attn(self.norm1(x))
+    def forward(self, x: Tensor, last_only: bool = False) -> Tensor:
+        """One encoder block; ``last_only`` restricts the output (and all
+        position-wise work — feed-forward, second norm, residuals) to the
+        final time step, returning ``(B, 1, D)``.  Only valid as the *last*
+        block of a stack, since downstream blocks would need the full
+        sequence."""
+        attn_out = self.attn(self.norm1(x), last_only=last_only)
         if self.drop is not None:
             attn_out = self.drop(attn_out)
-        x = x + attn_out
+        x = (x[:, x.shape[1] - 1:, :] if last_only else x) + attn_out
         ff_out = self.ff2(self.ff1(self.norm2(x)).relu())
         if self.drop is not None:
             ff_out = self.drop(ff_out)
@@ -136,5 +151,20 @@ class TransformerEncoder(Module):
         return self.out_proj(self.final_norm(h))
 
     def last_output(self, x: Tensor) -> Tensor:
-        """Return the output embedding at the final position, shape (B, D_in)."""
-        return self.forward(x)[:, -1, :]
+        """Return the output embedding at the final position, shape (B, D_in).
+
+        For a causal stack only the final position is needed downstream of
+        the last block, so that block (plus the final norm and output
+        projection) runs on a single time step — the bulk of the
+        position-wise compute in the window-scoring hot path.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, D), got shape {x.shape}")
+        length = x.shape[1]
+        if length > self.max_length:
+            raise ValueError(f"sequence length {length} exceeds max {self.max_length}")
+        h = self.in_proj(x) + Tensor(self.positions[:length])
+        for layer in self.layers[:-1]:
+            h = layer(h)
+        h = self.layers[-1](h, last_only=True)
+        return self.out_proj(self.final_norm(h))[:, -1, :]

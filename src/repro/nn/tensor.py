@@ -23,13 +23,37 @@ Design notes
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
+           "MIN_STABLE_GEMM_ROWS", "pad_gemm_rows"]
 
 _GRAD_ENABLED = True
+
+# BLAS kernels switch algorithm (and with it the K-accumulation order) for
+# very small row counts, so the same logical row can produce last-ulp
+# different results depending on how many rows share the GEMM call.  The
+# serving layer relies on row-stable matmuls: a window's score must be
+# bit-identical whether it is scored alone or coalesced into a micro-batch.
+# Empirically the blocked-kernel regime is reached by 16 rows across the
+# K values this codebase uses; padding tiny inputs up to that floor keeps
+# every call in the same regime at negligible cost.
+MIN_STABLE_GEMM_ROWS = 16
+
+
+def pad_gemm_rows(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Zero-pad a 2-D array to at least :data:`MIN_STABLE_GEMM_ROWS` rows.
+
+    Returns the (possibly padded) matrix and the original row count.
+    """
+    rows = matrix.shape[0]
+    if rows >= MIN_STABLE_GEMM_ROWS:
+        return matrix, rows
+    padded = np.zeros((MIN_STABLE_GEMM_ROWS,) + matrix.shape[1:])
+    padded[:rows] = matrix
+    return padded, rows
 
 
 @contextlib.contextmanager
@@ -328,15 +352,17 @@ class Tensor:
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
         """Exponential linear unit — the activation in the paper's GNN layer (Eq. 4)."""
-        positive = self.data > 0
-        # expm1 is only used on the negative branch; clamp to avoid overflow
-        # warnings from large positive entries that the branch discards.
-        expm1 = np.expm1(np.minimum(self.data, 0.0))
-        value = np.where(positive, self.data, alpha * expm1)
+        negative = self.data <= 0
+        # The transcendental is the expensive part: evaluate expm1 only on
+        # the negative entries instead of over the whole array.
+        neg_expm1 = np.expm1(self.data[negative])
+        value = self.data.copy()
+        value[negative] = alpha * neg_expm1
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
-                local = np.where(positive, 1.0, alpha * (expm1 + 1.0))
+                local = np.ones_like(self.data)
+                local[negative] = alpha * (neg_expm1 + 1.0)
                 self._accumulate(out.grad * local)
 
         return Tensor._make(value, (self,), backward)
@@ -444,6 +470,43 @@ class Tensor:
                 self._accumulate(grad)
 
         return Tensor._make(self.data[index], (self,), backward)
+
+    @staticmethod
+    def segment_sum(values: "Tensor", segment_ids: np.ndarray,
+                    num_segments: int) -> "Tensor":
+        """Scatter-add rows of ``values`` into ``num_segments`` bins.
+
+        ``values`` has shape ``(..., E, D)``; ``segment_ids`` maps each of
+        the ``E`` rows to a bin index; the result has shape
+        ``(..., num_segments, D)`` where bin ``s`` holds the sum of all rows
+        with ``segment_ids == s`` (empty bins are zero).  This is the
+        adjoint of an integer gather along the same axis, which is exactly
+        what the backward pass is: ``grad_values = grad_out[..., ids, :]``.
+
+        Backs the GNN's hierarchical message aggregation (Eq. 3) without
+        materializing a dense (num_nodes, num_edges) matrix per level.
+        """
+        values = as_tensor(values)
+        ids = np.asarray(segment_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError(f"segment_ids must be 1-D, got shape {ids.shape}")
+        if values.ndim < 2 or values.shape[-2] != ids.size:
+            raise ValueError(
+                f"values shape {values.shape} does not provide {ids.size} "
+                "rows along the second-to-last axis")
+        if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+            raise IndexError("segment id out of range")
+        # Move the segment axis first so np.add.at's fancy index is on axis 0.
+        moved = np.moveaxis(values.data, -2, 0)
+        summed = np.zeros((num_segments,) + moved.shape[1:])
+        np.add.at(summed, ids, moved)
+
+        def backward(out: Tensor) -> None:
+            if values.requires_grad:
+                gathered = np.moveaxis(out.grad, -2, 0)[ids]
+                values._accumulate(np.moveaxis(gathered, 0, -2))
+
+        return Tensor._make(np.moveaxis(summed, 0, -2), (values,), backward)
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":

@@ -1,0 +1,36 @@
+"""Multi-stream serving: deployment fleets, micro-batching, benchmarks.
+
+The paper's runtime is one camera, one stream, one model.  This package
+is the production layer above it:
+
+:class:`MicroBatcher`
+    Coalesces pending windows across streams that share a scoring model
+    into single batched forwards, with bit-identical scores.
+:class:`DeploymentFleet`
+    Owns N concurrent :class:`~repro.api.Deployment` streams (mixed
+    missions, mid-run attach/detach), serves them in batched lock-step
+    rounds, and checkpoints the whole fleet to one file.
+:func:`run_benchmark`
+    The throughput harness behind ``repro bench``: sequential-vs-batched
+    windows/sec with p50/p95 latency, written as ``BENCH_*.json`` for CI
+    regression gating.
+"""
+
+from .batcher import MicroBatcher, ScoreRequest
+from .bench import (BenchConfig, DEFAULT_BENCH_PATH, format_benchmark,
+                    run_benchmark, write_benchmark)
+from .fleet import DeploymentFleet, FleetEvent, StreamSlot, build_fleet
+
+__all__ = [
+    "MicroBatcher",
+    "ScoreRequest",
+    "DeploymentFleet",
+    "FleetEvent",
+    "StreamSlot",
+    "build_fleet",
+    "BenchConfig",
+    "run_benchmark",
+    "write_benchmark",
+    "format_benchmark",
+    "DEFAULT_BENCH_PATH",
+]

@@ -1,0 +1,91 @@
+"""Micro-batching for multi-stream serving.
+
+Many concurrent streams each deliver a small arrival batch per tick; one
+forward pass per stream wastes most of its time on per-call fixed costs
+(node-matrix assembly, tape construction, op dispatch) rather than on the
+windows themselves.  :class:`MicroBatcher` coalesces the pending windows
+of all streams that share a scoring model into one batched
+``anomaly_scores`` call and slices the results back out per stream.
+
+Because every op in the scoring path is batch-independent per window
+(eval-mode BatchNorm, per-window attention, row-stable GEMMs — see
+:data:`repro.nn.tensor.MIN_STABLE_GEMM_ROWS`), the coalesced scores are
+**bit-identical** to scoring each stream's windows separately; micro-
+batching is purely a throughput decision, never an accuracy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScoreRequest", "MicroBatcher"]
+
+
+@dataclass
+class ScoreRequest:
+    """One stream's pending windows plus the model that must score them."""
+
+    model: object                # anything with ``anomaly_scores(windows)``
+    windows: np.ndarray          # (B, T, frame_dim)
+
+    def __post_init__(self) -> None:
+        self.windows = np.asarray(self.windows, dtype=np.float64)
+        if self.windows.ndim != 3:
+            raise ValueError(
+                f"expected (B, T, frame_dim) windows, got {self.windows.shape}")
+
+
+class MicroBatcher:
+    """Coalesces score requests across streams into batched forwards.
+
+    Requests are grouped by scoring-model identity (streams served by the
+    same model instance can share a forward; adaptive deployments own
+    diverging model copies and keep their own group).  Each group is
+    scored in one call, optionally chunked to ``max_batch_windows`` to
+    bound peak memory.  Results come back in request order.
+    """
+
+    def __init__(self, max_batch_windows: int | None = None):
+        if max_batch_windows is not None and max_batch_windows < 1:
+            raise ValueError("max_batch_windows must be >= 1")
+        self.max_batch_windows = max_batch_windows
+        self.batches_run = 0     # forwards actually executed
+        self.windows_scored = 0  # total windows pushed through
+
+    def score(self, requests: list[ScoreRequest]) -> list[np.ndarray]:
+        """Score all requests, coalescing per model; returns per-request
+        score arrays in input order."""
+        groups: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(id(request.model), []).append(index)
+
+        results: list[np.ndarray | None] = [None] * len(requests)
+        for indices in groups.values():
+            model = requests[indices[0]].model
+            shapes = {requests[i].windows.shape[1:] for i in indices}
+            if len(shapes) > 1:
+                raise ValueError(
+                    f"cannot coalesce windows of mixed shapes {sorted(shapes)} "
+                    "into one batch")
+            stacked = np.concatenate([requests[i].windows for i in indices])
+            scores = self._score_chunked(model, stacked)
+            offset = 0
+            for i in indices:
+                count = requests[i].windows.shape[0]
+                results[i] = scores[offset:offset + count]
+                offset += count
+            self.windows_scored += stacked.shape[0]
+        return results  # type: ignore[return-value]
+
+    def _score_chunked(self, model, windows: np.ndarray) -> np.ndarray:
+        cap = self.max_batch_windows
+        if cap is None or windows.shape[0] <= cap:
+            self.batches_run += 1
+            return model.anomaly_scores(windows)
+        parts = []
+        for start in range(0, windows.shape[0], cap):
+            self.batches_run += 1
+            parts.append(model.anomaly_scores(windows[start:start + cap]))
+        return np.concatenate(parts)

@@ -1,0 +1,185 @@
+"""Fleet-serving performance harness.
+
+Measures multi-stream window-scoring throughput two ways over the *same*
+fleet and the *same* pre-materialized arrival batches:
+
+* **sequential** — the per-deployment loop (one ``Deployment.scores``
+  call per stream per round), the way PR 1's API serves streams;
+* **batched** — the :class:`~repro.serving.MicroBatcher` path (windows of
+  all streams sharing a scoring model coalesced into one forward).
+
+Both paths are timed with warmup rounds and repeated interleaved passes,
+reporting windows/sec plus p50/p95 per-round latency, and the harness
+verifies the two paths' scores are bit-identical — the batched fleet is
+only a throughput optimization, never an accuracy change.  Results are
+written as a ``BENCH_*.json`` artifact so CI can gate on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .batcher import MicroBatcher, ScoreRequest
+from .fleet import build_fleet
+
+__all__ = ["BenchConfig", "run_benchmark", "write_benchmark"]
+
+DEFAULT_BENCH_PATH = "BENCH_2.json"
+
+
+@dataclass
+class BenchConfig:
+    """Shape of the serving benchmark.
+
+    ``windows_per_step`` defaults to small arrival batches — an edge
+    camera emits a window every few frames, so per-tick arrivals are tiny
+    and per-call fixed costs dominate the sequential loop.  That is the
+    regime micro-batching exists for.
+    """
+
+    streams: int = 16
+    windows_per_step: int = 2
+    rounds: int = 8          # serving rounds measured per pass
+    repeats: int = 5         # timed passes per mode (interleaved)
+    warmup: int = 2          # untimed passes per mode
+    missions: list[str] = field(default_factory=lambda: ["Stealing"])
+    max_batch_windows: int | None = None
+    stream_seed: int = 100
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _mode_stats(latencies: list[float], windows_per_round: int) -> dict:
+    total = float(np.sum(latencies))
+    return {
+        "rounds_timed": len(latencies),
+        "total_seconds": total,
+        "windows_per_sec": windows_per_round * len(latencies) / total,
+        "p50_ms": _percentile(latencies, 50) * 1e3,
+        "p95_ms": _percentile(latencies, 95) * 1e3,
+    }
+
+
+def run_benchmark(pipeline, config: BenchConfig | None = None) -> dict:
+    """Run the fleet-serving benchmark over ``pipeline``; returns the
+    result payload (see module docstring for what is measured)."""
+    cfg = config or BenchConfig()
+    fleet = build_fleet(pipeline, cfg.missions, cfg.streams,
+                        adaptive=False, share_models=True,
+                        windows_per_step=cfg.windows_per_step,
+                        stream_seed=cfg.stream_seed,
+                        max_batch_windows=cfg.max_batch_windows)
+    batcher = MicroBatcher(cfg.max_batch_windows)
+    slots = fleet.slots
+
+    # Pre-materialize every round's arrival windows so stream generation
+    # is excluded from the timings (we are measuring scoring, not the
+    # synthetic data generator).  Rounds are clamped to the streams'
+    # length: a benchmark cannot serve more steps than the streams hold.
+    available = min(len(slot.stream) for slot in slots)
+    timed_rounds = min(cfg.rounds, available)
+    rounds: list[list[np.ndarray]] = []
+    for round_index in range(timed_rounds):
+        rounds.append([np.asarray(slot.stream.batch(round_index).windows,
+                                  dtype=np.float64)
+                       for slot in slots])
+    windows_per_round = sum(w.shape[0] for w in rounds[0])
+
+    def run_sequential(round_windows: list[np.ndarray]) -> list[np.ndarray]:
+        return [slot.deployment.scores(w)
+                for slot, w in zip(slots, round_windows)]
+
+    def run_batched(round_windows: list[np.ndarray]) -> list[np.ndarray]:
+        return batcher.score([ScoreRequest(slot.deployment.model, w)
+                              for slot, w in zip(slots, round_windows)])
+
+    # Parity first: the batched path must reproduce the sequential scores
+    # bit for bit on every round.
+    max_abs_diff = 0.0
+    identical = True
+    for round_windows in rounds:
+        seq = run_sequential(round_windows)
+        bat = run_batched(round_windows)
+        for a, b in zip(seq, bat):
+            if not np.array_equal(a, b):
+                identical = False
+                max_abs_diff = max(max_abs_diff, float(np.abs(a - b).max()))
+
+    for _ in range(cfg.warmup):
+        for round_windows in rounds:
+            run_sequential(round_windows)
+            run_batched(round_windows)
+
+    sequential_lat: list[float] = []
+    batched_lat: list[float] = []
+    for _ in range(cfg.repeats):
+        # Interleave the two modes so machine drift hits both equally.
+        for round_windows in rounds:
+            start = time.perf_counter()
+            run_sequential(round_windows)
+            sequential_lat.append(time.perf_counter() - start)
+        for round_windows in rounds:
+            start = time.perf_counter()
+            run_batched(round_windows)
+            batched_lat.append(time.perf_counter() - start)
+
+    sequential = _mode_stats(sequential_lat, windows_per_round)
+    batched = _mode_stats(batched_lat, windows_per_round)
+    return {
+        "benchmark": "fleet_serving",
+        "config": {
+            "streams": cfg.streams,
+            "windows_per_step": cfg.windows_per_step,
+            "rounds": timed_rounds,
+            "repeats": cfg.repeats,
+            "warmup": cfg.warmup,
+            "missions": list(cfg.missions),
+            "max_batch_windows": cfg.max_batch_windows,
+            "windows_per_round": windows_per_round,
+        },
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": batched["windows_per_sec"] / sequential["windows_per_sec"],
+        "parity": {"identical": identical, "max_abs_diff": max_abs_diff},
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+    }
+
+
+def write_benchmark(result: dict, path: str = DEFAULT_BENCH_PATH) -> str:
+    """Write the benchmark payload as pretty JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a benchmark payload."""
+    cfg = result["config"]
+    seq = result["sequential"]
+    bat = result["batched"]
+    parity = result["parity"]
+    lines = [
+        f"fleet serving benchmark: {cfg['streams']} streams x "
+        f"{cfg['windows_per_step']} windows/step "
+        f"({cfg['windows_per_round']} windows/round, "
+        f"{cfg['rounds']} rounds x {cfg['repeats']} repeats)",
+        f"  sequential: {seq['windows_per_sec']:9.1f} windows/s   "
+        f"p50 {seq['p50_ms']:7.2f} ms   p95 {seq['p95_ms']:7.2f} ms",
+        f"  batched:    {bat['windows_per_sec']:9.1f} windows/s   "
+        f"p50 {bat['p50_ms']:7.2f} ms   p95 {bat['p95_ms']:7.2f} ms",
+        f"  speedup:    {result['speedup']:.2f}x   "
+        f"scores identical: {parity['identical']}",
+    ]
+    return "\n".join(lines)

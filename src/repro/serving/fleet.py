@@ -1,0 +1,312 @@
+"""The deployment fleet: many concurrent streams behind one serving loop.
+
+The paper deploys one edge camera against one drifting anomaly stream;
+production serving means N cameras with mixed missions, each backed by a
+:class:`~repro.api.Deployment`, all scored as fast as the hardware
+allows.  :class:`DeploymentFleet` owns the per-stream runtimes and drives
+them in lock-step rounds: each round pulls every live stream's arrival
+batch, scores all pending windows through the :class:`MicroBatcher`
+(streams sharing a scoring model coalesce into one forward), and
+dispatches the per-stream score slices back into each deployment's
+monitor/controller.
+
+Streams can be attached and detached mid-run, and a whole fleet —
+deployments, adaptation state, stream positions — checkpoints to a single
+JSON file, deduplicating scoring models shared across static streams.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..adaptation.controller import AdaptationStepLog
+from ..api.config import config_from_dict, config_to_dict
+from ..api.deployment import Deployment
+from ..data.streams import TrendShiftConfig, TrendShiftStream
+from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
+from .batcher import MicroBatcher, ScoreRequest
+
+__all__ = ["FleetEvent", "StreamSlot", "DeploymentFleet", "build_fleet"]
+
+_FLEET_FORMAT_VERSION = 1
+
+
+@dataclass
+class FleetEvent:
+    """One stream's result within a fleet round."""
+
+    stream: str
+    mission: str | None
+    step: int
+    scores: np.ndarray
+    log: AdaptationStepLog | None = None
+    active_class: str | None = None
+    is_post_shift: bool | None = None
+
+
+class StreamSlot:
+    """One attached stream: a deployment plus its arrival source.
+
+    ``stream`` is ideally a :class:`~repro.data.TrendShiftStream` (or any
+    object with ``batch(step)`` and ``__len__``), which makes the slot
+    random-access and therefore checkpointable; any iterable of
+    :class:`~repro.data.StreamBatch` objects or raw ``(B, T, frame_dim)``
+    arrays also works but cannot be saved mid-run.
+    """
+
+    def __init__(self, name: str, deployment: Deployment, stream):
+        self.name = name
+        self.deployment = deployment
+        self.stream = stream
+        self.cursor = 0       # next step for random-access streams
+        self.done = False
+        self._iterator = None  # lazily created for plain iterables
+
+    @property
+    def indexable(self) -> bool:
+        return hasattr(self.stream, "batch") and hasattr(self.stream, "__len__")
+
+    def next_batch(self):
+        """The stream's next arrival batch, or ``None`` when exhausted."""
+        if self.done:
+            return None
+        if self.indexable:
+            if self.cursor >= len(self.stream):
+                self.done = True
+                return None
+            batch = self.stream.batch(self.cursor)
+            self.cursor += 1
+            return batch
+        if self._iterator is None:
+            self._iterator = iter(self.stream)
+        try:
+            batch = next(self._iterator)
+        except StopIteration:
+            self.done = True
+            return None
+        self.cursor += 1
+        return batch
+
+
+class DeploymentFleet:
+    """Batched lock-step serving over many concurrent deployment streams."""
+
+    def __init__(self, batcher: MicroBatcher | None = None):
+        self.batcher = batcher or MicroBatcher()
+        self._slots: dict[str, StreamSlot] = {}
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def add(self, name: str, deployment: Deployment, stream) -> StreamSlot:
+        """Attach a stream under ``name``; serving picks it up next round.
+
+        A model instance may be shared across *static* deployments (that
+        is what lets the micro-batcher coalesce their windows), but never
+        where any sharer is adaptive: adaptation mutates the shared
+        weights mid-round, which would make batched and sequential
+        serving diverge and entangle the streams' trajectories.
+        """
+        if name in self._slots:
+            raise ValueError(f"stream {name!r} already attached")
+        for other in self._slots.values():
+            if (other.deployment.model is deployment.model
+                    and (deployment.adaptive or other.deployment.adaptive)):
+                raise ValueError(
+                    f"stream {name!r} shares a scoring model with "
+                    f"{other.name!r} and at least one of them is adaptive; "
+                    "adaptive deployments need private model copies")
+        slot = StreamSlot(name, deployment, stream)
+        self._slots[name] = slot
+        return slot
+
+    def remove(self, name: str) -> Deployment:
+        """Detach a stream mid-run; returns its deployment for disposal."""
+        try:
+            slot = self._slots.pop(name)
+        except KeyError:
+            raise KeyError(f"no stream named {name!r} attached") from None
+        return slot.deployment
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._slots
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._slots)
+
+    @property
+    def slots(self) -> list[StreamSlot]:
+        return list(self._slots.values())
+
+    @property
+    def active_count(self) -> int:
+        return sum(not slot.done for slot in self._slots.values())
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def step(self, batched: bool = True) -> list[FleetEvent]:
+        """One serving round over every live stream.
+
+        With ``batched`` (the default) all pending windows are scored
+        through the micro-batcher — one coalesced forward per distinct
+        scoring model — and each deployment ingests its precomputed score
+        slice.  With ``batched=False`` each deployment scores its own
+        windows (the sequential per-deployment loop; the benchmark's
+        baseline).  Both paths produce bit-identical scores and adaptation
+        decisions.
+        """
+        pulls = []
+        for slot in self._slots.values():
+            batch = slot.next_batch()
+            if batch is not None:
+                pulls.append((slot, batch))
+        if not pulls:
+            return []
+
+        if batched:
+            requests = [ScoreRequest(slot.deployment.model,
+                                     getattr(batch, "windows", batch))
+                        for slot, batch in pulls]
+            all_scores = self.batcher.score(requests)
+        else:
+            all_scores = [None] * len(pulls)
+
+        events = []
+        for (slot, batch), scores in zip(pulls, all_scores):
+            windows = getattr(batch, "windows", batch)
+            log = slot.deployment.ingest(windows, scores=scores)
+            events.append(FleetEvent(
+                stream=slot.name, mission=slot.deployment.mission,
+                step=log.step, scores=log.scores, log=log,
+                active_class=getattr(batch, "active_class", None),
+                is_post_shift=getattr(batch, "is_post_shift", None)))
+        self.rounds += 1
+        return events
+
+    def serve(self, max_rounds: int | None = None, batched: bool = True):
+        """Yield per-round event lists until every stream is exhausted
+        (or ``max_rounds`` rounds have run)."""
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            events = self.step(batched=batched)
+            if not events:
+                return
+            yield events
+            rounds += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Whole-fleet snapshot; scoring models shared across slots are
+        stored once and re-shared on restore."""
+        models: list[dict] = []
+        model_index: dict[int, int] = {}
+        slots = []
+        for slot in self._slots.values():
+            if not slot.indexable or not isinstance(slot.stream,
+                                                    TrendShiftStream):
+                raise ValueError(
+                    f"stream {slot.name!r} is not a TrendShiftStream; "
+                    "only random-access streams can be checkpointed")
+            key = id(slot.deployment.model)
+            if key not in model_index:
+                model_index[key] = len(models)
+                models.append(deployment_to_dict(slot.deployment.model))
+            slots.append({
+                "name": slot.name,
+                "model_index": model_index[key],
+                "deployment": slot.deployment.to_dict(include_model=False),
+                "stream_config": config_to_dict(slot.stream.config),
+                "cursor": slot.cursor,
+                "done": slot.done,
+            })
+        return {"fleet_format_version": _FLEET_FORMAT_VERSION,
+                "models": models, "slots": slots,
+                "max_batch_windows": self.batcher.max_batch_windows,
+                "rounds": self.rounds}
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def from_dict(cls, payload: dict, embedding_model,
+                  generator) -> "DeploymentFleet":
+        """Rebuild a fleet saved by :meth:`save`.
+
+        Like :meth:`Deployment.load`, the shared joint embedding model —
+        and here also the frame generator backing the synthetic streams —
+        are infrastructure passed in rather than stored.
+        """
+        version = payload.get("fleet_format_version")
+        if version != _FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet format version: {version}")
+        fleet = cls(MicroBatcher(payload.get("max_batch_windows")))
+        fleet.rounds = int(payload.get("rounds", 0))
+        models = [deployment_from_dict(p, embedding_model)
+                  for p in payload["models"]]
+        for entry in payload["slots"]:
+            deployment = Deployment.from_dict(
+                entry["deployment"], embedding_model,
+                model=models[entry["model_index"]])
+            stream = TrendShiftStream(
+                generator,
+                config_from_dict(TrendShiftConfig, entry["stream_config"]))
+            slot = fleet.add(entry["name"], deployment, stream)
+            slot.cursor = int(entry["cursor"])
+            slot.done = bool(entry["done"])
+        return fleet
+
+    @classmethod
+    def load(cls, path: str | Path, embedding_model,
+             generator) -> "DeploymentFleet":
+        return cls.from_dict(json.loads(Path(path).read_text()),
+                             embedding_model, generator)
+
+
+def build_fleet(pipeline, missions: list[str], streams: int,
+                adaptive: bool = False, share_models: bool = True,
+                windows_per_step: int = 2, stream_seed: int = 100,
+                max_batch_windows: int | None = None,
+                **stream_overrides) -> DeploymentFleet:
+    """Assemble a fleet of ``streams`` trend-shift streams over a
+    :class:`~repro.api.Pipeline`.
+
+    Missions are assigned round-robin.  Static fleets (``adaptive=False``)
+    with ``share_models`` reuse one trained scoring model per mission, the
+    configuration under which micro-batching coalesces across streams;
+    adaptive deployments always own a private model copy, since continuous
+    KG adaptation makes each stream's weights diverge.
+    """
+    if streams < 1:
+        raise ValueError("need at least one stream")
+    if not missions:
+        raise ValueError("need at least one mission")
+    fleet = DeploymentFleet(MicroBatcher(max_batch_windows))
+    shared: dict[str, object] = {}
+    for index in range(streams):
+        mission = missions[index % len(missions)]
+        if adaptive:
+            deployment = pipeline.deploy(mission, adaptive=True)
+        elif share_models:
+            if mission not in shared:
+                shared[mission] = pipeline.train(mission)
+            deployment = Deployment(shared[mission], mission=mission,
+                                    adaptive=False)
+        else:
+            deployment = pipeline.deploy(mission, adaptive=False)
+        stream = pipeline.stream(mission, None,
+                                 windows_per_step=windows_per_step,
+                                 seed=stream_seed + index, **stream_overrides)
+        fleet.add(f"{mission.lower()}-{index}", deployment, stream)
+    return fleet

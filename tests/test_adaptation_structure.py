@@ -1,7 +1,6 @@
 """Tests for structural KG adaptation (node pruning + creation)."""
 
 import numpy as np
-import pytest
 
 from repro.adaptation import StructuralAdapter
 from repro.utils import derive_rng

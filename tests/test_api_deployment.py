@@ -141,3 +141,18 @@ class TestCheckpointResume:
         payload["format_version"] = 99
         with pytest.raises(ValueError):
             Deployment.from_dict(payload, pipeline.embedding_model)
+
+
+class TestModelInjection:
+    def test_from_dict_without_model_section_needs_injection(
+            self, fresh_model, embedding_model):
+        deployment = Deployment(fresh_model(window=4), mission="Stealing",
+                                adaptive=False)
+        payload = deployment.to_dict(include_model=False)
+        assert payload["model"] is None
+        with pytest.raises(ValueError, match="include_model=False"):
+            Deployment.from_dict(payload, embedding_model)
+        restored = Deployment.from_dict(payload, embedding_model,
+                                        model=deployment.model)
+        assert restored.mission == "Stealing"
+        assert restored.model is deployment.model

@@ -1,6 +1,5 @@
 """Tests for the BPE tokenizer (training, round trips, persistence)."""
 
-import numpy as np
 import pytest
 
 from repro.embedding import BPETokenizer, build_domain_corpus

@@ -43,6 +43,41 @@ class TestParser:
         assert args.mission == "Stealing"
         assert args.depth == 3
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.streams == 4
+        assert args.missions == ["Stealing"]
+        assert args.rounds is None
+        assert not args.adaptive and not args.sequential
+
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--streams", "8", "--missions", "Stealing", "Robbery",
+             "--adaptive", "--sequential", "--rounds", "5",
+             "--save", "fleet.json"])
+        assert args.streams == 8
+        assert args.missions == ["Stealing", "Robbery"]
+        assert args.adaptive and args.sequential
+        assert args.rounds == 5
+        assert args.save == "fleet.json"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.streams == 16
+        assert args.windows_per_step == 2
+        assert args.output == "BENCH_2.json"
+        assert args.min_speedup is None
+        assert not args.quick
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--min-speedup", "1.5",
+             "--output", "out.json", "--max-batch-windows", "64"])
+        assert args.quick
+        assert args.min_speedup == 1.5
+        assert args.output == "out.json"
+        assert args.max_batch_windows == 64
+
 
 class TestKGCommand:
     def test_kg_command_runs(self, capsys):

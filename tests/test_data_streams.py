@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import StreamBatch, TrendShiftConfig, TrendShiftStream
+from repro.data import TrendShiftConfig, TrendShiftStream
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import FrameGenerator, Video, make_windows
+from repro.data import make_windows
 
 
 class TestFrameGenerator:

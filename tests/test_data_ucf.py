@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.concepts import ANOMALY_CLASSES
-from repro.data import FrameGenerator, SyntheticUCFCrime
+from repro.data import SyntheticUCFCrime
 
 
 @pytest.fixture(scope="module")

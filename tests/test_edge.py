@@ -1,6 +1,5 @@
 """Tests for the edge/cloud cost models (Table I substrate)."""
 
-import numpy as np
 import pytest
 
 from repro.edge import (

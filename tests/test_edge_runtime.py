@@ -1,6 +1,5 @@
 """Tests for the metered edge deployment simulator."""
 
-import numpy as np
 import pytest
 
 from repro.adaptation import AdaptationConfig, MonitorConfig

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.embedding import (
-    BPETokenizer,
-    JointEmbeddingModel,
     TokenEmbeddingTable,
     build_default_embedding_model,
     build_domain_corpus,
@@ -140,3 +138,17 @@ class TestJointEmbeddingModel:
         corpus = build_domain_corpus()
         assert len(corpus) > 100
         assert corpus == build_domain_corpus()
+
+
+class TestEncodeImageRowStability:
+    def test_3d_input_matches_per_window_encoding(self):
+        """A window's frame encodings must not depend on how many windows
+        share the encode_image call (micro-batch parity substrate)."""
+        model = build_default_embedding_model(seed=7)
+        rng = np.random.default_rng(0)
+        windows = rng.normal(size=(3, 8, model.frame_dim))
+        together = model.encode_image(windows)
+        assert together.shape == (3, 8, model.joint_dim)
+        for i in range(3):
+            alone = model.encode_image(windows[i])
+            np.testing.assert_array_equal(together[i], alone)

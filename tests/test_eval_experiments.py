@@ -10,11 +10,8 @@ import pytest
 from repro.data import TrendShiftConfig
 from repro.eval import (
     EfficiencyExperiment,
-    ExperimentConfig,
-    ExperimentContext,
     RetrievalDriftExperiment,
     TrendShiftExperiment,
-    TrendShiftResult,
     ascii_series,
     format_retrieval_drift,
     format_trend_shift,

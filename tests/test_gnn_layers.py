@@ -31,17 +31,43 @@ class TestGraphSpec:
         assert spec.num_levels == 4  # sensor, L1, L2, embedding
         assert spec.num_nodes == 5
 
-    def test_aggregate_rows_mean(self):
-        """Receiving nodes average their incoming messages (Eq. 3)."""
+    def test_mean_scale_is_reciprocal_in_degree(self):
+        """Receiving nodes average their incoming messages (Eq. 3): the
+        segment-sum scale is 1/in-degree on receivers, 0 elsewhere, and the
+        keep mask is the receive mask's complement."""
         spec = GraphSpec(build_kg())
         for level in range(spec.num_levels):
-            agg = spec.aggregate[level]
+            in_degree = np.bincount(spec.edge_targets[level],
+                                    minlength=spec.num_nodes)
+            scale = spec.mean_scale[level][:, 0]
             mask = spec.receive_mask[level][:, 0]
-            for row, receives in zip(agg, mask):
-                if receives:
-                    assert row.sum() == pytest.approx(1.0)
+            for node in range(spec.num_nodes):
+                if in_degree[node]:
+                    assert mask[node] == 1.0
+                    assert scale[node] == pytest.approx(1.0 / in_degree[node])
                 else:
-                    assert row.sum() == pytest.approx(0.0)
+                    assert mask[node] == 0.0
+                    assert scale[node] == 0.0
+            np.testing.assert_allclose(spec.keep_mask[level][:, 0], 1.0 - mask)
+
+    def test_segment_aggregation_matches_dense_matrix(self, rng):
+        """The segment-sum path reproduces the dense mean-aggregation
+        matrix formulation it replaced."""
+        spec = GraphSpec(build_kg())
+        for level in range(spec.num_levels):
+            edges = spec.edge_targets[level].size
+            if not edges:
+                continue
+            messages = rng.normal(size=(3, edges, 4))
+            dense_agg = np.zeros((spec.num_nodes, edges))
+            for e, t in enumerate(spec.edge_targets[level]):
+                dense_agg[t, e] = spec.mean_scale[level][t, 0]
+            expected = dense_agg @ messages
+            summed = Tensor.segment_sum(Tensor(messages),
+                                        spec.edge_targets[level],
+                                        spec.num_nodes)
+            actual = summed.numpy() * spec.mean_scale[level]
+            np.testing.assert_allclose(actual, expected, atol=1e-12)
 
     def test_sensor_level_has_no_incoming(self):
         spec = GraphSpec(build_kg())

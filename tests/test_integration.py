@@ -13,7 +13,6 @@ from repro.adaptation import (
     ContinuousAdaptationController,
     InterpretableKGRetrieval,
     MonitorConfig,
-    TokenUpdateConfig,
 )
 from repro.data import TrendShiftConfig, TrendShiftStream
 from repro.eval import roc_auc

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kg import ReasoningKG, diff_kgs, kg_from_dict, kg_statistics, kg_to_dict, to_networkx
+from repro.kg import diff_kgs, kg_from_dict, kg_statistics, kg_to_dict, to_networkx
 
 
 class TestStatistics:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.kg import KGStructureError, ReasoningKG, UnknownNodeError
-from repro.kg.graph import EMBEDDING_TEXT, SENSOR_TEXT
 
 
 def build_small_kg() -> ReasoningKG:

@@ -1,6 +1,5 @@
 """Tests for ASCII KG rendering."""
 
-import pytest
 
 from repro.kg import render_adjacency, render_levels
 
@@ -34,6 +33,8 @@ class TestRenderAdjacency:
     def test_every_edge_rendered(self, stealing_kg_template):
         kg = stealing_kg_template
         text = render_adjacency(kg)
-        arrow_lines = [l for l in text.splitlines() if "->" in l and "--" not in l]
-        rendered_edges = sum(len(l.split("->")[1].split(",")) for l in arrow_lines)
+        arrow_lines = [line for line in text.splitlines()
+                       if "->" in line and "--" not in line]
+        rendered_edges = sum(len(line.split("->")[1].split(","))
+                             for line in arrow_lines)
         assert rendered_edges == kg.num_edges

@@ -1,6 +1,5 @@
 """Tests for the SyntheticLLM oracle (GPT-4 substitute)."""
 
-import numpy as np
 import pytest
 
 from repro.llm import EdgeProposal, SyntheticLLM

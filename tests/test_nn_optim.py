@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, AdamW, ExponentialDecay, Parameter, Tensor, clip_grad_norm
+from repro.nn import SGD, Adam, AdamW, ExponentialDecay, Parameter, clip_grad_norm
 
 
 def quadratic_step(param):

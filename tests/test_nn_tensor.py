@@ -312,3 +312,71 @@ class TestTapeMechanics:
     def test_scalar_exponent_only(self):
         with pytest.raises(TypeError):
             Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+
+class TestSegmentSum:
+    def test_forward_bins_rows(self):
+        values = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        out = Tensor.segment_sum(values, np.array([1, 1, 0]), 3)
+        np.testing.assert_array_equal(
+            out.numpy(), [[5.0, 6.0], [4.0, 6.0], [0.0, 0.0]])
+
+    def test_forward_batched(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(4, 5, 3))
+        ids = np.array([0, 2, 2, 1, 0])
+        out = Tensor.segment_sum(Tensor(values), ids, 3).numpy()
+        expected = np.zeros((4, 3, 3))
+        for e, t in enumerate(ids):
+            expected[:, t, :] += values[:, e, :]
+        np.testing.assert_allclose(out, expected)
+
+    def test_backward_is_gather(self):
+        values = Tensor(np.random.default_rng(1).normal(size=(2, 4, 3)),
+                        requires_grad=True)
+        ids = np.array([1, 0, 1, 2])
+        out = Tensor.segment_sum(values, ids, 3)
+        upstream = np.random.default_rng(2).normal(size=out.shape)
+        out.backward(upstream)
+        np.testing.assert_allclose(values.grad, upstream[:, ids, :])
+
+    def test_gradcheck(self):
+        from repro.nn.gradcheck import check_gradients
+        values = Tensor(np.random.default_rng(3).normal(size=(2, 6, 4)),
+                        requires_grad=True)
+        ids = np.array([0, 1, 1, 3, 3, 3])
+
+        def loss():
+            return (Tensor.segment_sum(values, ids, 4) ** 2).sum()
+
+        check_gradients(loss, [("values", values)], sample=None)
+
+    def test_empty_segments(self):
+        out = Tensor.segment_sum(Tensor(np.zeros((2, 0, 3))),
+                                 np.array([], dtype=np.int64), 4)
+        np.testing.assert_array_equal(out.numpy(), np.zeros((2, 4, 3)))
+
+    def test_id_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Tensor.segment_sum(Tensor(np.zeros((2, 2))), np.array([0, 5]), 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Tensor.segment_sum(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]), 3)
+        with pytest.raises(ValueError):
+            Tensor.segment_sum(Tensor(np.zeros(3)), np.array([0, 1, 2]), 3)
+
+
+class TestRowStableGemm:
+    def test_pad_gemm_rows_pads_small(self):
+        from repro.nn.tensor import MIN_STABLE_GEMM_ROWS, pad_gemm_rows
+        padded, rows = pad_gemm_rows(np.ones((3, 5)))
+        assert rows == 3
+        assert padded.shape == (MIN_STABLE_GEMM_ROWS, 5)
+        np.testing.assert_array_equal(padded[3:], 0.0)
+
+    def test_pad_gemm_rows_passthrough(self):
+        from repro.nn.tensor import MIN_STABLE_GEMM_ROWS, pad_gemm_rows
+        big = np.ones((MIN_STABLE_GEMM_ROWS, 2))
+        padded, rows = pad_gemm_rows(big)
+        assert padded is big and rows == MIN_STABLE_GEMM_ROWS

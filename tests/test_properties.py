@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.adaptation import AnomalyScoreMonitor, MonitorConfig
 from repro.embedding import BPETokenizer
 from repro.eval import roc_auc
-from repro.kg import KGStructureError, ReasoningKG
+from repro.kg import ReasoningKG
 from repro.nn import Tensor
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""Tests for the serving micro-batcher (coalescing + score parity)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import MicroBatcher, ScoreRequest
+
+
+class CountingModel:
+    """Stand-in scorer: deterministic per-window score, counts forwards."""
+
+    def __init__(self, offset: float = 0.0):
+        self.offset = offset
+        self.calls = 0
+        self.batch_sizes = []
+
+    def anomaly_scores(self, windows):
+        self.calls += 1
+        self.batch_sizes.append(windows.shape[0])
+        return windows.mean(axis=(1, 2)) + self.offset
+
+
+def make_windows(rng, count, window=4, dim=6):
+    return rng.normal(size=(count, window, dim))
+
+
+class TestScoreRequest:
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            ScoreRequest(CountingModel(), np.zeros((3, 4)))
+
+    def test_coerces_dtype(self):
+        request = ScoreRequest(CountingModel(), np.zeros((1, 2, 3), dtype=np.float32))
+        assert request.windows.dtype == np.float64
+
+
+class TestMicroBatcher:
+    def test_single_model_coalesces_to_one_forward(self, rng):
+        model = CountingModel()
+        requests = [ScoreRequest(model, make_windows(rng, n)) for n in (2, 3, 1)]
+        MicroBatcher().score(requests)
+        assert model.calls == 1
+        assert model.batch_sizes == [6]
+
+    def test_results_in_request_order_and_exact(self, rng):
+        model = CountingModel()
+        requests = [ScoreRequest(model, make_windows(rng, n)) for n in (2, 5, 3)]
+        results = MicroBatcher().score(requests)
+        for request, scores in zip(requests, results):
+            expected = request.windows.mean(axis=(1, 2))
+            np.testing.assert_array_equal(scores, expected)
+            assert scores.shape == (request.windows.shape[0],)
+
+    def test_groups_by_model_identity(self, rng):
+        a, b = CountingModel(0.0), CountingModel(10.0)
+        requests = [ScoreRequest(a, make_windows(rng, 2)),
+                    ScoreRequest(b, make_windows(rng, 2)),
+                    ScoreRequest(a, make_windows(rng, 1))]
+        results = MicroBatcher().score(requests)
+        assert a.calls == 1 and a.batch_sizes == [3]
+        assert b.calls == 1 and b.batch_sizes == [2]
+        assert np.all(results[1] > 5)  # model b's offset applied
+        assert np.all(results[0] < 5)
+
+    def test_max_batch_windows_chunks(self, rng):
+        model = CountingModel()
+        requests = [ScoreRequest(model, make_windows(rng, 4)) for _ in range(3)]
+        batcher = MicroBatcher(max_batch_windows=5)
+        results = batcher.score(requests)
+        assert model.batch_sizes == [5, 5, 2]
+        assert batcher.batches_run == 3
+        for request, scores in zip(requests, results):
+            np.testing.assert_array_equal(
+                scores, request.windows.mean(axis=(1, 2)))
+
+    def test_mixed_window_shapes_rejected(self, rng):
+        model = CountingModel()
+        requests = [ScoreRequest(model, make_windows(rng, 2, window=4)),
+                    ScoreRequest(model, make_windows(rng, 2, window=8))]
+        with pytest.raises(ValueError, match="mixed shapes"):
+            MicroBatcher().score(requests)
+
+    def test_empty_request_list(self):
+        assert MicroBatcher().score([]) == []
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_windows=0)
+
+    def test_counters(self, rng):
+        model = CountingModel()
+        batcher = MicroBatcher()
+        batcher.score([ScoreRequest(model, make_windows(rng, 3))])
+        batcher.score([ScoreRequest(model, make_windows(rng, 2))])
+        assert batcher.windows_scored == 5
+        assert batcher.batches_run == 2
+
+
+class TestRealModelParity:
+    """Micro-batched scores must be bit-identical to per-stream scores on
+    the real scoring path — the property the serving layer is built on."""
+
+    def test_bitwise_parity_across_batch_sizes(self, fresh_model, rng):
+        model = fresh_model(window=4)
+        model.eval()
+        chunks = [rng.normal(size=(n, 4, 192)) for n in (1, 2, 5, 3)]
+        separate = [model.anomaly_scores(c) for c in chunks]
+        batched = MicroBatcher().score(
+            [ScoreRequest(model, c) for c in chunks])
+        for a, b in zip(separate, batched):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,55 @@
+"""Tests for the fleet-serving benchmark harness."""
+
+import json
+
+import numpy as np
+
+from repro.serving import (BenchConfig, format_benchmark, run_benchmark,
+                           write_benchmark)
+
+
+def tiny_config():
+    return BenchConfig(streams=3, windows_per_step=2, rounds=2,
+                       repeats=1, warmup=0)
+
+
+class TestRunBenchmark:
+    def test_result_shape_and_parity(self, trained_context):
+        result = run_benchmark(trained_context.pipeline, tiny_config())
+        assert result["benchmark"] == "fleet_serving"
+        assert result["config"]["streams"] == 3
+        assert result["config"]["windows_per_round"] == 6
+        for mode in ("sequential", "batched"):
+            stats = result[mode]
+            assert stats["windows_per_sec"] > 0
+            assert stats["p50_ms"] > 0
+            assert stats["p95_ms"] >= stats["p50_ms"]
+            assert stats["rounds_timed"] == 2
+        assert result["speedup"] > 0
+        # The load-bearing guarantee: coalescing never changes a score.
+        assert result["parity"]["identical"] is True
+        assert result["parity"]["max_abs_diff"] == 0.0
+
+    def test_write_benchmark_json(self, trained_context, tmp_path):
+        result = run_benchmark(trained_context.pipeline, tiny_config())
+        path = write_benchmark(result, str(tmp_path / "BENCH_test.json"))
+        payload = json.loads(open(path).read())
+        assert payload["benchmark"] == "fleet_serving"
+        assert payload["parity"]["identical"] is True
+        assert np.isclose(payload["speedup"], result["speedup"])
+
+    def test_format_benchmark_summary(self, trained_context):
+        result = run_benchmark(trained_context.pipeline, tiny_config())
+        text = format_benchmark(result)
+        assert "windows/s" in text
+        assert "speedup" in text
+        assert "identical: True" in text
+
+
+class TestRoundClamping:
+    def test_rounds_clamped_to_stream_length(self, trained_context):
+        config = tiny_config()
+        config.rounds = 10_000  # far beyond the default 24-step streams
+        result = run_benchmark(trained_context.pipeline, config)
+        assert result["config"]["rounds"] == 24
+        assert result["sequential"]["rounds_timed"] == 24

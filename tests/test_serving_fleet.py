@@ -1,0 +1,244 @@
+"""Tests for the deployment fleet: lifecycle, parity, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.api import Deployment
+from repro.data import TrendShiftConfig, TrendShiftStream
+from repro.serving import DeploymentFleet
+
+
+def make_stream(frame_generator, seed=11, windows_per_step=3,
+                before=2, after=2, window=4):
+    return TrendShiftStream(frame_generator, TrendShiftConfig(
+        steps_before_shift=before, steps_after_shift=after,
+        windows_per_step=windows_per_step, window=window, seed=seed))
+
+
+@pytest.fixture()
+def static_deployment(fresh_model):
+    def make(model=None, mission="Stealing"):
+        model = model or fresh_model(mission, window=4)
+        model.eval()
+        return Deployment(model, mission=mission, adaptive=False)
+    return make
+
+
+class TestLifecycle:
+    def test_add_and_step(self, static_deployment, frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("cam-0", static_deployment(), make_stream(frame_generator, 1))
+        fleet.add("cam-1", static_deployment(), make_stream(frame_generator, 2))
+        events = fleet.step()
+        assert len(events) == 2
+        assert {e.stream for e in events} == {"cam-0", "cam-1"}
+        assert all(e.scores.shape == (3,) for e in events)
+        assert all(e.active_class == "Stealing" for e in events)
+
+    def test_duplicate_name_rejected(self, static_deployment, frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("cam", static_deployment(), make_stream(frame_generator, 1))
+        with pytest.raises(ValueError, match="already attached"):
+            fleet.add("cam", static_deployment(), make_stream(frame_generator, 2))
+
+    def test_remove_mid_run(self, static_deployment, frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("a", static_deployment(), make_stream(frame_generator, 1))
+        fleet.add("b", static_deployment(), make_stream(frame_generator, 2))
+        fleet.step()
+        removed = fleet.remove("b")
+        assert isinstance(removed, Deployment)
+        assert "b" not in fleet and len(fleet) == 1
+        events = fleet.step()
+        assert [e.stream for e in events] == ["a"]
+
+    def test_remove_missing_raises(self, static_deployment, frame_generator):
+        with pytest.raises(KeyError):
+            DeploymentFleet().remove("ghost")
+
+    def test_add_mid_run_joins_next_round(self, static_deployment,
+                                          frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("a", static_deployment(), make_stream(frame_generator, 1))
+        fleet.step()
+        fleet.add("late", static_deployment(), make_stream(frame_generator, 9))
+        events = fleet.step()
+        assert {e.stream for e in events} == {"a", "late"}
+        # The late stream starts from its own step 0.
+        late = next(e for e in events if e.stream == "late")
+        assert late.active_class == "Stealing"
+
+    def test_exhaustion_ends_serving(self, static_deployment, frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("a", static_deployment(),
+                  make_stream(frame_generator, 1, before=1, after=1))
+        rounds = list(fleet.serve())
+        assert len(rounds) == 2  # 1 pre-shift + 1 post-shift step
+        assert fleet.active_count == 0
+        assert fleet.step() == []
+
+    def test_serve_max_rounds(self, static_deployment, frame_generator):
+        fleet = DeploymentFleet()
+        fleet.add("a", static_deployment(), make_stream(frame_generator, 1))
+        rounds = list(fleet.serve(max_rounds=1))
+        assert len(rounds) == 1
+
+
+class TestBatchedSequentialParity:
+    def test_scores_identical_within_zero(self, fresh_model, frame_generator):
+        """The acceptance property: batched fleet scoring equals the
+        sequential per-deployment loop exactly (max abs diff 0.0)."""
+        model = fresh_model(window=4)
+        model.eval()
+        batched_fleet = DeploymentFleet()
+        sequential_fleet = DeploymentFleet()
+        for index in range(4):
+            for fleet in (batched_fleet, sequential_fleet):
+                fleet.add(f"cam-{index}",
+                          Deployment(model, mission="Stealing", adaptive=False),
+                          make_stream(frame_generator, seed=40 + index))
+        for _ in range(3):
+            batched = batched_fleet.step(batched=True)
+            sequential = sequential_fleet.step(batched=False)
+            for b, s in zip(batched, sequential):
+                assert b.stream == s.stream
+                assert float(np.abs(b.scores - s.scores).max()) == 0.0
+
+    def test_shared_model_coalesces(self, fresh_model, frame_generator):
+        model = fresh_model(window=4)
+        model.eval()
+        fleet = DeploymentFleet()
+        for index in range(3):
+            fleet.add(f"cam-{index}",
+                      Deployment(model, mission="Stealing", adaptive=False),
+                      make_stream(frame_generator, seed=50 + index))
+        fleet.step()
+        assert fleet.batcher.batches_run == 1  # one forward for all streams
+        assert fleet.batcher.windows_scored == 9
+
+    def test_adaptive_ingest_precomputed_scores_equivalent(
+            self, fresh_model, frame_generator):
+        """An adaptive deployment fed micro-batched scores must follow the
+        exact trajectory of one that scores its own windows."""
+        stream = make_stream(frame_generator, seed=60)
+        batched = Deployment(fresh_model(window=4), mission="Stealing")
+        solo = Deployment(fresh_model(window=4), mission="Stealing")
+
+        fleet = DeploymentFleet()
+        fleet.add("cam", batched, make_stream(frame_generator, seed=60))
+        for batch in stream:
+            fleet.step(batched=True)
+            log = solo.ingest(batch.windows)
+            fleet_log = batched.controller.logs[-1]
+            np.testing.assert_array_equal(fleet_log.scores, log.scores)
+            assert fleet_log.k == log.k
+            assert fleet_log.updated == log.updated
+
+
+class TestFleetCheckpoint:
+    def test_roundtrip_continues_identically(self, fresh_model,
+                                             frame_generator,
+                                             embedding_model, tmp_path):
+        model = fresh_model(window=4)
+        model.eval()
+        fleet = DeploymentFleet()
+        for index in range(3):
+            fleet.add(f"cam-{index}",
+                      Deployment(model, mission="Stealing", adaptive=False),
+                      make_stream(frame_generator, seed=70 + index))
+        fleet.step()
+        path = tmp_path / "fleet.json"
+        fleet.save(path)
+
+        restored = DeploymentFleet.load(path, embedding_model, frame_generator)
+        assert restored.names == fleet.names
+        assert restored.rounds == fleet.rounds
+        original_next = fleet.step()
+        restored_next = restored.step()
+        for a, b in zip(original_next, restored_next):
+            assert a.stream == b.stream
+            assert a.step == b.step
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_shared_models_stored_once(self, fresh_model, frame_generator):
+        model = fresh_model(window=4)
+        model.eval()
+        fleet = DeploymentFleet()
+        for index in range(3):
+            fleet.add(f"cam-{index}",
+                      Deployment(model, mission="Stealing", adaptive=False),
+                      make_stream(frame_generator, seed=80 + index))
+        payload = fleet.to_dict()
+        assert len(payload["models"]) == 1
+        assert [s["model_index"] for s in payload["slots"]] == [0, 0, 0]
+
+    def test_restored_shared_models_are_shared(self, fresh_model,
+                                               frame_generator,
+                                               embedding_model, tmp_path):
+        model = fresh_model(window=4)
+        model.eval()
+        fleet = DeploymentFleet()
+        for index in range(2):
+            fleet.add(f"cam-{index}",
+                      Deployment(model, mission="Stealing", adaptive=False),
+                      make_stream(frame_generator, seed=90 + index))
+        path = tmp_path / "fleet.json"
+        fleet.save(path)
+        restored = DeploymentFleet.load(path, embedding_model, frame_generator)
+        models = {id(slot.deployment.model) for slot in restored.slots}
+        assert len(models) == 1
+
+    def test_adaptive_fleet_roundtrip(self, fresh_model, frame_generator,
+                                      embedding_model, tmp_path):
+        fleet = DeploymentFleet()
+        fleet.add("cam", Deployment(fresh_model(window=4), mission="Stealing"),
+                  make_stream(frame_generator, seed=95))
+        fleet.step()
+        path = tmp_path / "fleet.json"
+        fleet.save(path)
+        restored = DeploymentFleet.load(path, embedding_model, frame_generator)
+        slot = restored.slots[0]
+        assert slot.deployment.adaptive
+        assert slot.deployment.step_count == 1
+        original = fleet.step()
+        resumed = restored.step()
+        np.testing.assert_array_equal(original[0].scores, resumed[0].scores)
+
+    def test_plain_iterable_stream_not_checkpointable(self, static_deployment,
+                                                      frame_generator, rng):
+        fleet = DeploymentFleet()
+        fleet.add("raw", static_deployment(),
+                  [rng.normal(size=(2, 4, 192)) for _ in range(2)])
+        assert fleet.step()  # serving plain iterables works...
+        with pytest.raises(ValueError, match="checkpoint"):
+            fleet.to_dict()   # ...but saving them mid-run does not
+
+    def test_bad_version_rejected(self, embedding_model, frame_generator):
+        with pytest.raises(ValueError, match="format version"):
+            DeploymentFleet.from_dict({"fleet_format_version": 99},
+                                      embedding_model, frame_generator)
+
+
+class TestSharedModelGuard:
+    def test_shared_model_with_adaptive_sharer_rejected(self, fresh_model,
+                                                        frame_generator):
+        model = fresh_model(window=4)
+        fleet = DeploymentFleet()
+        fleet.add("adaptive", Deployment(model, mission="Stealing"),
+                  make_stream(frame_generator, seed=1))
+        with pytest.raises(ValueError, match="private model"):
+            fleet.add("static", Deployment(model, mission="Stealing",
+                                           adaptive=False),
+                      make_stream(frame_generator, seed=2))
+
+    def test_static_then_adaptive_sharer_rejected(self, fresh_model,
+                                                  frame_generator):
+        model = fresh_model(window=4)
+        model.eval()
+        fleet = DeploymentFleet()
+        fleet.add("static", Deployment(model, mission="Stealing",
+                                       adaptive=False),
+                  make_stream(frame_generator, seed=1))
+        with pytest.raises(ValueError, match="private model"):
+            fleet.add("adaptive", Deployment(model, mission="Stealing"),
+                      make_stream(frame_generator, seed=2))
