@@ -100,9 +100,18 @@ class Deployment:
         """
         if self.controller is not None:
             return self.controller.process_batch(windows, scores=scores)
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (B, T, frame_dim), got {windows.shape}")
         if scores is None:
-            scores = self.model.anomaly_scores(
-                np.asarray(windows, dtype=np.float64))
+            scores = self.model.anomaly_scores(windows)
+        else:
+            # Mirror the controller's validation: a mis-sliced micro-batch
+            # result must raise here, not silently log garbage scores.
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (windows.shape[0],):
+                raise ValueError(f"expected {windows.shape[0]} precomputed "
+                                 f"scores, got shape {scores.shape}")
         log = AdaptationStepLog(step=self._static_steps, scores=scores)
         self._static_steps += 1
         return log

@@ -150,34 +150,48 @@ def cmd_serve(args) -> int:
 
 def cmd_fleet(args) -> int:
     """Batched multi-stream serving: N streams, mixed missions, one loop."""
-    from .serving import build_fleet
+    from .serving import build_fleet, build_sharded_fleet
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
     pipeline = _pipeline(args)
+    sharded = args.shards > 1
     print(f"[fleet] building {args.streams} stream(s) over missions "
           f"{args.missions} (adaptive={args.adaptive}, "
-          f"batched={not args.sequential})")
-    fleet = build_fleet(pipeline, args.missions, args.streams,
-                        adaptive=args.adaptive,
-                        windows_per_step=args.windows_per_step,
-                        stream_seed=args.stream_seed,
-                        max_batch_windows=args.max_batch_windows)
-    t0 = time.perf_counter()
-    total_windows = 0
-    for events in fleet.serve(max_rounds=args.rounds,
-                              batched=not args.sequential):
-        total_windows += sum(e.scores.size for e in events)
-        mean = sum(float(e.scores.mean()) for e in events) / len(events)
-        adapted = sum(1 for e in events if e.log is not None and e.log.updated)
-        note = f"  [{adapted} stream(s) adapted]" if adapted else ""
-        print(f"  round {fleet.rounds:3d}: {len(events):2d} stream(s), "
-              f"mean score {mean:.3f}{note}")
-    elapsed = time.perf_counter() - t0
-    print(f"[fleet] served {total_windows} windows over {fleet.rounds} "
-          f"round(s) in {elapsed:.2f}s "
-          f"({total_windows / max(elapsed, 1e-9):.1f} windows/s, "
-          f"{fleet.batcher.batches_run} batched forward(s))")
-    if args.save:
-        fleet.save(args.save)
-        print(f"[fleet] checkpointed fleet to {args.save}")
+          f"batched={not args.sequential}"
+          + (f", shards={args.shards}" if sharded else "") + ")")
+    build = build_sharded_fleet if sharded else build_fleet
+    extra = {"shards": args.shards} if sharded else {}
+    fleet = build(pipeline, args.missions, args.streams,
+                  adaptive=args.adaptive,
+                  windows_per_step=args.windows_per_step,
+                  stream_seed=args.stream_seed,
+                  max_batch_windows=args.max_batch_windows, **extra)
+    try:
+        t0 = time.perf_counter()
+        total_windows = 0
+        for events in fleet.serve(max_rounds=args.rounds,
+                                  batched=not args.sequential):
+            total_windows += sum(e.scores.size for e in events)
+            mean = sum(float(e.scores.mean()) for e in events) / len(events)
+            adapted = sum(1 for e in events
+                          if e.log is not None and e.log.updated)
+            note = f"  [{adapted} stream(s) adapted]" if adapted else ""
+            print(f"  round {fleet.rounds:3d}: {len(events):2d} stream(s), "
+                  f"mean score {mean:.3f}{note}")
+        elapsed = time.perf_counter() - t0
+        batches_run = (fleet.batcher_stats()["batches_run"] if sharded
+                       else fleet.batcher.batches_run)
+        print(f"[fleet] served {total_windows} windows over {fleet.rounds} "
+              f"round(s) in {elapsed:.2f}s "
+              f"({total_windows / max(elapsed, 1e-9):.1f} windows/s, "
+              f"{batches_run} batched forward(s)"
+              + (f" across {args.shards} shard(s)" if sharded else "") + ")")
+        if args.save:
+            fleet.save(args.save)
+            print(f"[fleet] checkpointed fleet to {args.save}")
+    finally:
+        if sharded:
+            fleet.close()
     return 0
 
 
@@ -188,10 +202,21 @@ _QUICK_BENCH_OVERRIDES = (
 )
 
 
+def _shard_curve(shards: int) -> tuple[int, ...]:
+    """Doubling shard counts up to ``shards`` (e.g. 4 -> (1, 2, 4))."""
+    counts = {1, shards}
+    power = 2
+    while power < shards:
+        counts.add(power)
+        power *= 2
+    return tuple(sorted(counts))
+
+
 def cmd_bench(args) -> int:
     """Fleet-serving throughput benchmark; writes a BENCH_*.json artifact."""
-    from .serving import (BenchConfig, format_benchmark, run_benchmark,
-                          write_benchmark)
+    from .serving import (BenchConfig, DEFAULT_BENCH_PATH,
+                          DEFAULT_SHARD_BENCH_PATH, format_benchmark,
+                          run_benchmark, run_shard_benchmark, write_benchmark)
     config = _build_config(args)
     if args.quick:
         # Shrink training so the CI smoke run finishes in seconds; explicit
@@ -217,18 +242,37 @@ def cmd_bench(args) -> int:
         rounds=rounds, repeats=repeats, warmup=args.warmup,
         missions=args.missions, max_batch_windows=args.max_batch_windows,
         stream_seed=args.stream_seed)
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
+    if args.min_shard_speedup is not None and args.shards is None:
+        raise SystemExit("error: --min-shard-speedup requires --shards")
     print(f"[bench] training {len(set(args.missions))} mission model(s)...")
-    result = run_benchmark(pipeline, bench_config)
+    if args.shards is not None:
+        curve = _shard_curve(args.shards)
+        print(f"[bench] shard-scaling curve over {curve} shard(s)...")
+        result = run_shard_benchmark(pipeline, bench_config,
+                                     shard_counts=curve)
+        output = args.output or DEFAULT_SHARD_BENCH_PATH
+    else:
+        result = run_benchmark(pipeline, bench_config)
+        output = args.output or DEFAULT_BENCH_PATH
     print(format_benchmark(result))
-    path = write_benchmark(result, args.output)
+    path = write_benchmark(result, output)
     print(f"[bench] wrote {path}")
     if not result["parity"]["identical"]:
-        print("[bench] FAIL: batched scores diverged from sequential scores")
+        print("[bench] FAIL: scores diverged between serving modes")
         return 1
     if args.min_speedup is not None and result["speedup"] < args.min_speedup:
         print(f"[bench] FAIL: speedup {result['speedup']:.2f}x below "
               f"required {args.min_speedup:.2f}x")
         return 1
+    if args.min_shard_speedup is not None:
+        top = result["shards"][str(max(_shard_curve(args.shards)))]
+        if top["speedup_vs_batched"] < args.min_shard_speedup:
+            print(f"[bench] FAIL: {args.shards}-shard speedup "
+                  f"{top['speedup_vs_batched']:.2f}x vs batched below "
+                  f"required {args.min_shard_speedup:.2f}x")
+            return 1
     return 0
 
 
@@ -381,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "default: static shared scoring models)")
     p.add_argument("--sequential", action="store_true",
                    help="disable micro-batching (per-deployment scoring loop)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the fleet across N worker processes "
+                        "(default 1: single-process serving)")
     p.add_argument("--max-batch-windows", type=int, default=None,
                    help="cap windows per coalesced forward")
     p.add_argument("--save", metavar="PATH", default=None,
@@ -404,13 +451,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="untimed passes per mode (default 2)")
     p.add_argument("--stream-seed", type=int, default=100)
     p.add_argument("--max-batch-windows", type=int, default=None)
+    p.add_argument("--shards", type=int, default=None,
+                   help="also benchmark multi-process sharded serving over "
+                        "a doubling curve up to N shards (writes "
+                        "BENCH_3.json by default)")
     p.add_argument("--quick", action="store_true",
                    help="small training + fewer repeats (CI smoke profile)")
-    p.add_argument("--output", metavar="PATH", default="BENCH_2.json",
-                   help="result JSON path (default BENCH_2.json)")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="result JSON path (default BENCH_2.json, or "
+                        "BENCH_3.json with --shards)")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit non-zero if batched/sequential speedup is "
                         "below this (CI gate)")
+    p.add_argument("--min-shard-speedup", type=float, default=None,
+                   help="exit non-zero if the top shard count's speedup vs "
+                        "single-process batched is below this (needs real "
+                        "cores; CI gates on parity instead)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")

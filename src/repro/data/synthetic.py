@@ -80,6 +80,16 @@ class FrameGenerator:
             for name in ANOMALY_CLASSES
         }
         self._normal_concepts = [c.text for c in ontology.normal_concepts()]
+        self._pool_matrices: dict[tuple[str, ...], np.ndarray] = {}
+
+    def _pool_matrix(self, pool: list[str]) -> np.ndarray:
+        """Concept vectors for ``pool`` stacked once (batched mixture path)."""
+        key = tuple(pool)
+        if key not in self._pool_matrices:
+            space = self.model.concept_space
+            self._pool_matrices[key] = np.stack(
+                [space.concept_vector(text) for text in pool])
+        return self._pool_matrices[key]
 
     # ------------------------------------------------------------------
     def _mixture(self, anchor: np.ndarray, pool: list[str],
@@ -111,6 +121,73 @@ class FrameGenerator:
                                  self._normal_concepts, rng,
                                  anchor_weight=self.normal_anchor_weight)
         return self.model.render_semantic(semantic, rng=rng, noise=self.sensor_noise)
+
+    # ------------------------------------------------------------------
+    # Batched generation (bit-identical to the per-frame methods)
+    # ------------------------------------------------------------------
+    def _frames_batch(self, count: int, anchor: np.ndarray, pool: list[str],
+                      rng: np.random.Generator,
+                      anchor_weight: float) -> np.ndarray:
+        """``count`` frames in bulk, bit-identical to ``count`` sequential
+        single-frame calls on the same generator state.
+
+        Bit-exactness constrains the implementation: the RNG draws stay in
+        the original per-frame interleaved order (concept choice, semantic
+        noise, sensor noise — ``choice`` consumes a data-dependent amount
+        of the bit stream, so draws cannot be hoisted across frames), and
+        row norms / renders stay per-row (batched reductions and GEMMs
+        accumulate in a different order).  Everything else — the mixture
+        accumulation, noise application, normalization — is elementwise
+        and vectorizes exactly.
+        """
+        space = self.model.concept_space
+        dim = space.dim
+        frame_dim = self.model.frame_dim
+        if count == 0:
+            return np.empty((0, frame_dim))
+        k = min(self.concepts_per_frame, len(pool))
+        choices = np.empty((count, k), dtype=np.intp)
+        semantic_noise = np.empty((count, dim))
+        sensor_noise = (np.empty((count, frame_dim))
+                        if self.sensor_noise > 0 else None)
+        for index in range(count):
+            choices[index] = rng.choice(len(pool), size=k, replace=False)
+            semantic_noise[index] = rng.normal(size=dim)
+            if sensor_noise is not None:
+                sensor_noise[index] = rng.normal(0.0, self.sensor_noise,
+                                                 size=frame_dim)
+        pool_matrix = self._pool_matrix(pool)
+        semantics = np.tile(anchor_weight * anchor, (count, 1))
+        for pick in range(k):
+            semantics = semantics + (self.concept_weight / k) * pool_matrix[
+                choices[:, pick]]
+        semantics = semantics + self.semantic_noise * semantic_noise
+        norms = np.empty(count)
+        for index in range(count):
+            norms[index] = max(np.linalg.norm(semantics[index]), 1e-12)
+        semantics = semantics / norms[:, None]
+        frames = self.model.render_semantics(semantics)
+        if sensor_noise is not None:
+            frames = frames + sensor_noise
+        return frames
+
+    def anomaly_frames(self, anomaly_class: str, count: int,
+                       rng: np.random.Generator) -> np.ndarray:
+        """``count`` raw frames of ``anomaly_class``, bit-identical to
+        ``count`` sequential :meth:`anomaly_frame` calls."""
+        if anomaly_class not in self._class_concepts:
+            raise KeyError(f"unknown anomaly class: {anomaly_class!r}")
+        return self._frames_batch(
+            count, self.model.concept_space.class_anchor(anomaly_class),
+            self._class_concepts[anomaly_class], rng, self.anchor_weight)
+
+    def normal_frames(self, count: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        """``count`` raw normal frames, bit-identical to ``count``
+        sequential :meth:`normal_frame` calls."""
+        return self._frames_batch(
+            count, self.model.concept_space.normal_anchor(),
+            self._normal_concepts, rng, self.normal_anchor_weight)
 
     # ------------------------------------------------------------------
     def normal_video(self, num_frames: int, rng: np.random.Generator) -> Video:

@@ -112,6 +112,7 @@ class EdgeDeploymentSimulator:
         self.device_flops_per_second = device_flops_per_second
         self.report = DeploymentReport()
         self._forward_flops = count_model_forward(model).total
+        self._structural_seen = self.controller.total_pruned
 
     # ------------------------------------------------------------------
     def _adaptation_flops(self, updates: int) -> float:
@@ -132,6 +133,10 @@ class EdgeDeploymentSimulator:
         log = self.controller.process_batch(windows)
         updates_done = self.controller.update_count - updates_before
 
+        # This step's inference ran on the pre-adaptation structure (the
+        # controller scores before it adapts), so it is billed at the
+        # cached per-forward cost; the cache is refreshed below once any
+        # structural change lands.
         inference = windows.shape[0] * self._forward_flops
         adaptation = self._adaptation_flops(updates_done)
         total = inference + adaptation
@@ -145,6 +150,12 @@ class EdgeDeploymentSimulator:
                 total, self.device_flops_per_second),
             adapted=updates_done > 0)
         self.report.steps.append(meter)
+        if self.controller.total_pruned != self._structural_seen:
+            # Structural adaptation pruned/created KG nodes, changing the
+            # true per-forward cost (edge counts shifted); a cached figure
+            # from __init__ would mis-bill every subsequent window.
+            self._forward_flops = count_model_forward(self.model).total
+            self._structural_seen = self.controller.total_pruned
         return log, meter
 
     def run(self, stream) -> DeploymentReport:

@@ -106,6 +106,23 @@ class JointEmbeddingModel:
             frame = frame + rng.normal(0.0, noise, size=self.frame_dim)
         return frame
 
+    def render_semantics(self, semantics: np.ndarray) -> np.ndarray:
+        """Render a batch of semantic vectors, noiselessly.
+
+        Row ``i`` is bit-identical to ``render_semantic(semantics[i])``:
+        the render stays a per-row GEMV (a batched GEMM accumulates in a
+        different order and would change low bits, breaking the stream
+        generators' bit-exactness guarantee).  Callers add sensor noise
+        themselves so they control the RNG draw order.
+        """
+        if semantics.ndim != 2 or semantics.shape[1] != self.joint_dim:
+            raise ValueError(
+                f"semantics must have shape (n, {self.joint_dim})")
+        frames = np.empty((semantics.shape[0], self.frame_dim))
+        for index in range(semantics.shape[0]):
+            frames[index] = self._render @ semantics[index]
+        return frames
+
     def encode_image(self, frame: np.ndarray) -> np.ndarray:
         """Embed raw frame features into the joint space (E_I in the paper).
 

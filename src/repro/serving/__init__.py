@@ -10,16 +10,24 @@ is the production layer above it:
     Owns N concurrent :class:`~repro.api.Deployment` streams (mixed
     missions, mid-run attach/detach), serves them in batched lock-step
     rounds, and checkpoints the whole fleet to one file.
-:func:`run_benchmark`
-    The throughput harness behind ``repro bench``: sequential-vs-batched
-    windows/sec with p50/p95 latency, written as ``BENCH_*.json`` for CI
-    regression gating.
+:class:`ShardedFleet`
+    Partitions a fleet across worker processes (round-robin by attach
+    order, one micro-batcher per shard) and merges per-round events back
+    in stable stream order — scores bit-identical to single-process
+    batched serving, throughput scaling with physical cores.
+:func:`run_benchmark` / :func:`run_shard_benchmark`
+    The throughput harnesses behind ``repro bench``: sequential-vs-
+    batched windows/sec with p50/p95 latency, plus the shard-scaling
+    curve, written as ``BENCH_*.json`` for CI regression gating.
 """
 
 from .batcher import MicroBatcher, ScoreRequest
-from .bench import (BenchConfig, DEFAULT_BENCH_PATH, format_benchmark,
-                    run_benchmark, write_benchmark)
+from .bench import (BenchConfig, DEFAULT_BENCH_PATH,
+                    DEFAULT_SHARD_BENCH_PATH, format_benchmark,
+                    run_benchmark, run_shard_benchmark, write_benchmark)
 from .fleet import DeploymentFleet, FleetEvent, StreamSlot, build_fleet
+from .sharded import (FleetInfra, ShardedFleet, build_sharded_fleet,
+                      partition_fleet_payload)
 
 __all__ = [
     "MicroBatcher",
@@ -28,9 +36,15 @@ __all__ = [
     "FleetEvent",
     "StreamSlot",
     "build_fleet",
+    "FleetInfra",
+    "ShardedFleet",
+    "build_sharded_fleet",
+    "partition_fleet_payload",
     "BenchConfig",
     "run_benchmark",
+    "run_shard_benchmark",
     "write_benchmark",
     "format_benchmark",
     "DEFAULT_BENCH_PATH",
+    "DEFAULT_SHARD_BENCH_PATH",
 ]

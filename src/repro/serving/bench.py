@@ -18,6 +18,7 @@ written as a ``BENCH_*.json`` artifact so CI can gate on regressions.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -26,10 +27,13 @@ import numpy as np
 
 from .batcher import MicroBatcher, ScoreRequest
 from .fleet import build_fleet
+from .sharded import build_sharded_fleet
 
-__all__ = ["BenchConfig", "run_benchmark", "write_benchmark"]
+__all__ = ["BenchConfig", "run_benchmark", "run_shard_benchmark",
+           "write_benchmark"]
 
 DEFAULT_BENCH_PATH = "BENCH_2.json"
+DEFAULT_SHARD_BENCH_PATH = "BENCH_3.json"
 
 
 @dataclass
@@ -67,9 +71,16 @@ def _mode_stats(latencies: list[float], windows_per_round: int) -> dict:
     }
 
 
-def run_benchmark(pipeline, config: BenchConfig | None = None) -> dict:
+def run_benchmark(pipeline, config: BenchConfig | None = None,
+                  _collect_batched_scores: list | None = None) -> dict:
     """Run the fleet-serving benchmark over ``pipeline``; returns the
-    result payload (see module docstring for what is measured)."""
+    result payload (see module docstring for what is measured).
+
+    ``_collect_batched_scores`` (internal) receives one ``{stream name:
+    scores}`` dict per timed round from the parity pass — the shard
+    benchmark reuses them as its bit-parity reference instead of
+    re-scoring every round.
+    """
     cfg = config or BenchConfig()
     fleet = build_fleet(pipeline, cfg.missions, cfg.streams,
                         adaptive=False, share_models=True,
@@ -107,6 +118,9 @@ def run_benchmark(pipeline, config: BenchConfig | None = None) -> dict:
     for round_windows in rounds:
         seq = run_sequential(round_windows)
         bat = run_batched(round_windows)
+        if _collect_batched_scores is not None:
+            _collect_batched_scores.append(
+                {slot.name: s for slot, s in zip(slots, bat)})
         for a, b in zip(seq, bat):
             if not np.array_equal(a, b):
                 identical = False
@@ -148,11 +162,95 @@ def run_benchmark(pipeline, config: BenchConfig | None = None) -> dict:
         "batched": batched,
         "speedup": batched["windows_per_sec"] / sequential["windows_per_sec"],
         "parity": {"identical": identical, "max_abs_diff": max_abs_diff},
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-        },
+        "environment": _environment(),
+    }
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_shard_benchmark(pipeline, config: BenchConfig | None = None,
+                        shard_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Shard-scaling curve next to the sequential/batched baselines.
+
+    Runs :func:`run_benchmark` for the single-process baselines, then for
+    each shard count builds a :class:`~repro.serving.ShardedFleet` over
+    the *same* streams and models, pre-materializes the same arrival
+    rounds inside each worker, verifies the sharded scores are
+    bit-identical to the single-process batched scores, and times the
+    multi-process rounds.  Speedups are relative to the single-process
+    *batched* fleet — the bar sharding has to clear.
+
+    Sharded throughput scales with physical cores; on a 1–2 core machine
+    the curve records IPC overhead instead of speedup (``environment.
+    cpu_count`` is stored so readers can tell which regime a result came
+    from), which is why CI gates on parity, not speedup.
+    """
+    cfg = config or BenchConfig()
+    # The baseline run's parity pass doubles as the sharded reference:
+    # one {stream: scores} dict per round of single-process batched
+    # scoring (streams are seed-deterministic, so the sharded fleets
+    # below serve identical arrivals).
+    reference: list[dict[str, np.ndarray]] = []
+    base = run_benchmark(pipeline, cfg, _collect_batched_scores=reference)
+    timed_rounds = base["config"]["rounds"]
+    windows_per_round = base["config"]["windows_per_round"]
+
+    batched_wps = base["batched"]["windows_per_sec"]
+    shard_results: dict[str, dict] = {}
+    all_identical = base["parity"]["identical"]
+    for count in shard_counts:
+        sharded = build_sharded_fleet(
+            pipeline, cfg.missions, cfg.streams, shards=count,
+            adaptive=False, share_models=True,
+            windows_per_step=cfg.windows_per_step,
+            stream_seed=cfg.stream_seed,
+            max_batch_windows=cfg.max_batch_windows)
+        try:
+            sharded.prime(timed_rounds)
+            identical = True
+            max_abs_diff = 0.0
+            for index in range(timed_rounds):
+                scored = sharded.score_round(index)
+                for name, expected in reference[index].items():
+                    if not np.array_equal(scored[name], expected):
+                        identical = False
+                        max_abs_diff = max(max_abs_diff, float(
+                            np.abs(scored[name] - expected).max()))
+            for _ in range(cfg.warmup):
+                for index in range(timed_rounds):
+                    sharded.score_round(index)
+            latencies: list[float] = []
+            for _ in range(cfg.repeats):
+                for index in range(timed_rounds):
+                    start = time.perf_counter()
+                    sharded.score_round(index)
+                    latencies.append(time.perf_counter() - start)
+        finally:
+            sharded.close()
+        stats = _mode_stats(latencies, windows_per_round)
+        stats["speedup_vs_batched"] = stats["windows_per_sec"] / batched_wps
+        stats["parity"] = {"identical": identical,
+                           "max_abs_diff": max_abs_diff}
+        all_identical = all_identical and identical
+        shard_results[str(count)] = stats
+
+    return {
+        "benchmark": "sharded_fleet_serving",
+        "config": {**base["config"], "shard_counts": list(shard_counts)},
+        "sequential": base["sequential"],
+        "batched": base["batched"],
+        "speedup": base["speedup"],
+        "shards": shard_results,
+        "parity": {"identical": all_identical,
+                   "batched": base["parity"]},
+        "environment": _environment(),
     }
 
 
@@ -182,4 +280,12 @@ def format_benchmark(result: dict) -> str:
         f"  speedup:    {result['speedup']:.2f}x   "
         f"scores identical: {parity['identical']}",
     ]
+    for count, stats in result.get("shards", {}).items():
+        lines.append(
+            f"  {count:>2s} shard(s): {stats['windows_per_sec']:9.1f} windows/s   "
+            f"p50 {stats['p50_ms']:7.2f} ms   "
+            f"{stats['speedup_vs_batched']:.2f}x vs batched   "
+            f"identical: {stats['parity']['identical']}")
+    if "shards" in result:
+        lines.append(f"  cores: {result['environment']['cpu_count']}")
     return "\n".join(lines)

@@ -30,9 +30,10 @@ from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
 from .batcher import MicroBatcher, ScoreRequest
 
-__all__ = ["FleetEvent", "StreamSlot", "DeploymentFleet", "build_fleet"]
+__all__ = ["FLEET_FORMAT_VERSION", "FleetEvent", "StreamSlot",
+           "DeploymentFleet", "build_fleet"]
 
-_FLEET_FORMAT_VERSION = 1
+FLEET_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -231,7 +232,7 @@ class DeploymentFleet:
                 "cursor": slot.cursor,
                 "done": slot.done,
             })
-        return {"fleet_format_version": _FLEET_FORMAT_VERSION,
+        return {"fleet_format_version": FLEET_FORMAT_VERSION,
                 "models": models, "slots": slots,
                 "max_batch_windows": self.batcher.max_batch_windows,
                 "rounds": self.rounds}
@@ -249,7 +250,7 @@ class DeploymentFleet:
         are infrastructure passed in rather than stored.
         """
         version = payload.get("fleet_format_version")
-        if version != _FLEET_FORMAT_VERSION:
+        if version != FLEET_FORMAT_VERSION:
             raise ValueError(f"unsupported fleet format version: {version}")
         fleet = cls(MicroBatcher(payload.get("max_batch_windows")))
         fleet.rounds = int(payload.get("rounds", 0))

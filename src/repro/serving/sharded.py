@@ -1,0 +1,607 @@
+"""Sharded multi-process fleet serving.
+
+:class:`~repro.serving.DeploymentFleet` coalesces N streams into batched
+forwards, but the whole fleet still runs in one Python process on one
+core: throughput is capped by a single GEMM queue no matter how many
+cameras attach.  :class:`ShardedFleet` partitions a fleet across worker
+processes — deterministic round-robin shard assignment in stream attach
+order — runs one :class:`~repro.serving.MicroBatcher` per shard, and
+merges per-round :class:`~repro.serving.FleetEvent` lists back in stable
+stream order.
+
+Scores are bit-identical to single-process batched serving: shards own
+disjoint streams and disjoint model instances, per-shard coalescing keeps
+the row-stable GEMM guarantees, and model/stream state crosses the
+process boundary through the existing fleet checkpoint format
+(``to_dict``/``from_dict`` are the wire format), whose round-trip is
+exact.  Workers are spawn-safe: each child rebuilds the frozen joint
+embedding model and frame generator from seeds and the fleet from its
+shard's checkpoint payload, so nothing unpicklable is ever shipped.
+
+A whole sharded fleet checkpoints to a *single* file in the plain fleet
+format (plus a ``"shards"`` hint), so ``DeploymentFleet.load`` can open a
+sharded checkpoint and vice versa.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..api.config import config_from_dict, config_to_dict
+from ..api.deployment import Deployment
+from ..data.streams import TrendShiftConfig, TrendShiftStream
+from ..data.synthetic import FrameGenerator
+from .batcher import ScoreRequest
+from .fleet import FLEET_FORMAT_VERSION, DeploymentFleet, build_fleet
+
+__all__ = ["FleetInfra", "ShardedFleet", "build_sharded_fleet",
+           "partition_fleet_payload"]
+
+#: FrameGenerator hyperparameters that shape generated frames; they must
+#: match between the parent's streams and the workers' rebuilt generator
+#: or sharded scores silently diverge from single-process serving.
+_GENERATOR_PARAMS = ("anchor_weight", "normal_anchor_weight",
+                     "concept_weight", "concepts_per_frame",
+                     "semantic_noise", "sensor_noise")
+
+
+def _generator_param_defaults() -> dict:
+    signature = inspect.signature(FrameGenerator.__init__)
+    return {name: signature.parameters[name].default
+            for name in _GENERATOR_PARAMS}
+
+
+@dataclass(frozen=True)
+class FleetInfra:
+    """Seeds + hyperparameters from which a worker rebuilds the shared
+    infrastructure.
+
+    The joint embedding model and the synthetic frame generator are
+    infrastructure shipped once, not per deployment (see
+    :meth:`Deployment.load`); across a process boundary "shipped" means
+    rebuilt deterministically from seeds.  ``generator_params`` carries
+    any non-default :class:`~repro.data.FrameGenerator` hyperparameters
+    (which shape the frames streams emit); stream *contents* do not
+    depend on the generator's own seed, so that one is carried for
+    fidelity, not determinism.
+    """
+
+    embedding_seed: int = 7
+    generator_seed: int = 7
+    generator_params: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "FleetInfra":
+        return cls.from_generator(pipeline.config.experiment.seed,
+                                  pipeline.generator)
+
+    @classmethod
+    def from_generator(cls, embedding_seed: int,
+                       generator: FrameGenerator) -> "FleetInfra":
+        return cls(embedding_seed=embedding_seed,
+                   generator_seed=generator.seed,
+                   generator_params={name: getattr(generator, name)
+                                     for name in _GENERATOR_PARAMS})
+
+    def effective_generator_params(self) -> dict:
+        return {**_generator_param_defaults(), **self.generator_params}
+
+    def build(self):
+        """(embedding_model, frame_generator) for one process."""
+        from ..embedding.joint_space import build_default_embedding_model
+        embedding = build_default_embedding_model(seed=self.embedding_seed)
+        return embedding, FrameGenerator(embedding, seed=self.generator_seed,
+                                         **self.generator_params)
+
+    def to_payload(self) -> dict:
+        return {"embedding_seed": self.embedding_seed,
+                "generator_seed": self.generator_seed,
+                "generator_params": dict(self.generator_params)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FleetInfra":
+        return cls(embedding_seed=int(payload["embedding_seed"]),
+                   generator_seed=int(payload["generator_seed"]),
+                   generator_params=dict(payload.get("generator_params")
+                                         or {}))
+
+
+def _empty_fleet_payload(max_batch_windows: int | None) -> dict:
+    return {"fleet_format_version": FLEET_FORMAT_VERSION,
+            "models": [], "slots": [],
+            "max_batch_windows": max_batch_windows, "rounds": 0}
+
+
+def partition_fleet_payload(payload: dict, shards: int) -> list[dict]:
+    """Split a whole-fleet checkpoint payload into per-shard payloads.
+
+    Slots are assigned round-robin in stored (= attach) order; each shard
+    payload keeps only the models its slots reference, with indices
+    remapped, so shared models keep coalescing *within* a shard.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    parts = []
+    for shard in range(shards):
+        entries = [dict(entry) for index, entry in enumerate(payload["slots"])
+                   if index % shards == shard]
+        model_map: dict[int, int] = {}
+        models = []
+        for entry in entries:
+            old = entry["model_index"]
+            if old not in model_map:
+                model_map[old] = len(models)
+                models.append(payload["models"][old])
+            entry["model_index"] = model_map[old]
+        parts.append({"fleet_format_version": FLEET_FORMAT_VERSION,
+                      "models": models, "slots": entries,
+                      "max_batch_windows": payload.get("max_batch_windows"),
+                      "rounds": int(payload.get("rounds", 0))})
+    return parts
+
+
+def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
+    """One shard's process: a private DeploymentFleet behind a pipe.
+
+    Module-level so the ``spawn`` start method can import it; every
+    request is answered with ``("ok", result)`` or ``("error", message)``
+    — worker exceptions surface in the parent instead of killing the
+    shard.  Startup failures (bad payload, embedding-fingerprint
+    mismatch) are relayed as a ``("fatal", message)`` reply so the
+    parent's next request reports the real cause rather than a bare
+    EOFError.
+    """
+    try:
+        embedding, generator = FleetInfra.from_payload(infra_payload).build()
+        fleet = DeploymentFleet.from_dict(json.loads(payload_json),
+                                          embedding, generator)
+    except Exception as exc:  # noqa: BLE001 — relayed to the parent
+        try:
+            conn.send(("fatal", f"worker startup failed: "
+                                f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    bench_rounds: list[list[np.ndarray]] | None = None
+    models_by_token: dict[str, object] = {}  # "add"-shipped shared models
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command, *args = message
+        if command == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if command == "step":
+                result = fleet.step(batched=args[0])
+            elif command == "add":
+                entry = args[0]
+                # Streams sharing a scoring model in the parent keep
+                # sharing it here (the parent ships each model once per
+                # shard, keyed by token), so the shard's micro-batcher
+                # still coalesces them and snapshots store the model once.
+                token = entry.get("model_token")
+                deployment = Deployment.from_dict(
+                    entry["deployment"], embedding,
+                    model=models_by_token.get(token))
+                if token is not None:
+                    models_by_token[token] = deployment.model
+                stream = TrendShiftStream(
+                    generator,
+                    config_from_dict(TrendShiftConfig,
+                                     entry["stream_config"]))
+                slot = fleet.add(entry["name"], deployment, stream)
+                slot.cursor = int(entry.get("cursor", 0))
+                slot.done = bool(entry.get("done", False))
+                result = None
+            elif command == "remove":
+                result = fleet.remove(args[0]).to_dict(include_model=True)
+            elif command == "snapshot":
+                result = fleet.to_dict()
+            elif command == "stats":
+                result = {"batches_run": fleet.batcher.batches_run,
+                          "windows_scored": fleet.batcher.windows_scored}
+            elif command == "prime":
+                bench_rounds = [
+                    [np.asarray(slot.stream.batch(index).windows,
+                                dtype=np.float64) for slot in fleet.slots]
+                    for index in range(args[0])]
+                result = (sum(w.shape[0] for w in bench_rounds[0])
+                          if bench_rounds and fleet.slots else 0)
+            elif command == "score_round":
+                if bench_rounds is None:
+                    raise RuntimeError("score_round before prime")
+                windows = bench_rounds[args[0]]
+                scores = fleet.batcher.score(
+                    [ScoreRequest(slot.deployment.model, w)
+                     for slot, w in zip(fleet.slots, windows)])
+                result = {slot.name: s
+                          for slot, s in zip(fleet.slots, scores)}
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+            conn.send(("ok", result))
+        except Exception as exc:  # noqa: BLE001 — relayed to the parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ShardedFleet:
+    """A :class:`DeploymentFleet` partitioned across worker processes.
+
+    Mirrors the single-process fleet's surface — ``add``/``remove``,
+    ``step``/``serve``, ``save``/``load`` — while each shard scores its
+    streams in its own process.  Streams must be
+    :class:`~repro.data.TrendShiftStream` instances (anything attached
+    has to survive the serialized trip to its worker).
+
+    Use as a context manager, or call :meth:`close` when done; worker
+    processes otherwise linger until garbage collection.
+    """
+
+    def __init__(self, shards: int, infra: FleetInfra | None = None,
+                 max_batch_windows: int | None = None):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.infra = infra or FleetInfra()
+        self.max_batch_windows = max_batch_windows
+        self.rounds = 0
+        self._order: list[str] = []        # global attach order
+        self._assignment: dict[str, int] = {}
+        self._attach_counter = 0           # round-robin cursor
+        # Model identity tracking for add(): streams sharing a model ship
+        # it once per shard (the strong reference pins the id() for the
+        # fleet's lifetime so tokens can never alias a recycled object).
+        self._model_tokens: dict[int, tuple[str, object]] = {}
+        self._shipped_models: set[tuple[int, str]] = set()
+        self._local_embedding = None       # lazily built for remove()
+        self._conns: list = []
+        self._procs: list = []
+        self._closed = False
+        self._start_workers([_empty_fleet_payload(max_batch_windows)
+                             for _ in range(shards)])
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _start_workers(self, payloads: list[dict]) -> None:
+        context = multiprocessing.get_context("spawn")
+        infra_payload = self.infra.to_payload()
+        for payload in payloads:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, json.dumps(payload), infra_payload),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("fleet is closed")
+
+    @staticmethod
+    def _send(conn, message: tuple) -> None:
+        # A send to a dead worker fails; its queued "fatal" reply (or an
+        # EOF) is still waiting on the recv side, which reports the cause.
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _recv(self, conn) -> tuple:
+        try:
+            return conn.recv()
+        except EOFError:
+            return ("error", "worker process died unexpectedly")
+
+    def _receive(self, shard: int):
+        status, value = self._recv(self._conns[shard])
+        if status != "ok":
+            raise RuntimeError(f"shard {shard}: {value}")
+        return value
+
+    def _request(self, shard: int, message: tuple):
+        self._check_open()
+        self._send(self._conns[shard], message)
+        return self._receive(shard)
+
+    def _broadcast(self, message: tuple) -> list:
+        """Send to every shard first, then collect — shards overlap.
+
+        Every reply is drained before any error is raised; bailing on the
+        first failure would leave later shards' replies queued and
+        desynchronize the next command.
+        """
+        self._check_open()
+        for conn in self._conns:
+            self._send(conn, message)
+        replies = [self._recv(conn) for conn in self._conns]
+        errors = [f"shard {shard}: {value}"
+                  for shard, (status, value) in enumerate(replies)
+                  if status != "ok"]
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        return [value for _, value in replies]
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ShardedFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter may be tearing down
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def add(self, name: str, deployment: Deployment, stream) -> int:
+        """Attach a stream; returns the shard index it was assigned to.
+
+        Assignment is deterministic round-robin over the attach sequence.
+        Reloading a checkpoint re-derives assignments round-robin over
+        the *stored* stream order — the same layout unless streams were
+        removed mid-run, in which case the layout may shift (scores are
+        unaffected either way; shards are disjoint).
+        """
+        self._check_open()
+        if name in self._assignment:
+            raise ValueError(f"stream {name!r} already attached")
+        if not isinstance(stream, TrendShiftStream):
+            raise ValueError(
+                f"stream {name!r} is not a TrendShiftStream; only "
+                "checkpointable streams can cross the process boundary")
+        expected = self.infra.effective_generator_params()
+        actual = {param: getattr(stream.generator, param)
+                  for param in _GENERATOR_PARAMS}
+        if actual != expected:
+            raise ValueError(
+                f"stream {name!r} was built over a FrameGenerator whose "
+                f"hyperparameters {actual} differ from this fleet's "
+                f"FleetInfra {expected}; workers would regenerate "
+                "different frames and scores would silently diverge — "
+                "construct the fleet with FleetInfra.from_generator(...) "
+                "over this stream's generator")
+        shard = self._attach_counter % self.shards
+        self._attach_counter += 1
+        key = id(deployment.model)
+        if key not in self._model_tokens:
+            self._model_tokens[key] = (f"model-{len(self._model_tokens)}",
+                                       deployment.model)
+        token = self._model_tokens[key][0]
+        ship_model = (shard, token) not in self._shipped_models
+        entry = {"name": name,
+                 "deployment": deployment.to_dict(include_model=ship_model),
+                 "model_token": token,
+                 "stream_config": config_to_dict(stream.config),
+                 "cursor": 0, "done": False}
+        self._request(shard, ("add", entry))
+        self._shipped_models.add((shard, token))
+        self._assignment[name] = shard
+        self._order.append(name)
+        return shard
+
+    def remove(self, name: str) -> Deployment:
+        """Detach a stream; returns its deployment, rebuilt locally."""
+        shard = self._assignment.get(name)
+        if shard is None:
+            raise KeyError(f"no stream named {name!r} attached")
+        payload = self._request(shard, ("remove", name))
+        del self._assignment[name]
+        self._order.remove(name)
+        if self._local_embedding is None:
+            self._local_embedding, _ = self.infra.build()
+        return Deployment.from_dict(payload, self._local_embedding)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._assignment
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def assignment(self) -> dict[str, int]:
+        """Stream name -> shard index."""
+        return dict(self._assignment)
+
+    def batcher_stats(self) -> dict:
+        """Summed micro-batcher counters across shards."""
+        stats = self._broadcast(("stats",))
+        return {"batches_run": sum(s["batches_run"] for s in stats),
+                "windows_scored": sum(s["windows_scored"] for s in stats)}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def step(self, batched: bool = True) -> list:
+        """One serving round: every shard steps concurrently; events are
+        merged back in stable (attach-order) stream order, matching the
+        single-process fleet's event order exactly."""
+        per_shard = self._broadcast(("step", batched))
+        by_stream = {event.stream: event
+                     for events in per_shard for event in events}
+        events = [by_stream[name] for name in self._order
+                  if name in by_stream]
+        if not events:
+            return []
+        self.rounds += 1
+        return events
+
+    def serve(self, max_rounds: int | None = None, batched: bool = True):
+        """Yield per-round event lists until every stream is exhausted
+        (or ``max_rounds`` rounds have run)."""
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            events = self.step(batched=batched)
+            if not events:
+                return
+            yield events
+            rounds += 1
+
+    # ------------------------------------------------------------------
+    # Benchmark hooks (see serving.bench.run_shard_benchmark)
+    # ------------------------------------------------------------------
+    def prime(self, rounds: int) -> int:
+        """Pre-materialize ``rounds`` arrival rounds inside each worker so
+        :meth:`score_round` times scoring only; returns windows/round."""
+        return sum(self._broadcast(("prime", rounds)))
+
+    def score_round(self, index: int) -> dict[str, np.ndarray]:
+        """Score a primed round on every shard concurrently (no monitor
+        feeding); returns per-stream score arrays."""
+        merged: dict[str, np.ndarray] = {}
+        for scores in self._broadcast(("score_round", index)):
+            merged.update(scores)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Whole-fleet snapshot in the plain fleet format (slots in global
+        attach order, models concatenated across shards) plus a
+        ``"shards"`` hint; loadable by :class:`DeploymentFleet` too."""
+        snapshots = self._broadcast(("snapshot",))
+        models: list[dict] = []
+        slots_by_name: dict[str, dict] = {}
+        for snapshot in snapshots:
+            offset = len(models)
+            models.extend(snapshot["models"])
+            for entry in snapshot["slots"]:
+                entry = dict(entry)
+                entry["model_index"] += offset
+                slots_by_name[entry["name"]] = entry
+        return {"fleet_format_version": FLEET_FORMAT_VERSION,
+                "models": models,
+                "slots": [slots_by_name[name] for name in self._order],
+                "max_batch_windows": self.max_batch_windows,
+                "rounds": self.rounds,
+                "shards": self.shards,
+                "infra": self.infra.to_payload()}
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def from_dict(cls, payload: dict, shards: int | None = None,
+                  infra: FleetInfra | None = None) -> "ShardedFleet":
+        """Rebuild a sharded fleet from a whole-fleet payload.
+
+        ``shards`` defaults to the payload's ``"shards"`` hint (1 for a
+        checkpoint written by a plain :class:`DeploymentFleet`); passing a
+        different count re-partitions the same streams.  ``infra``
+        defaults to the payload's stored ``"infra"`` section (sharded
+        checkpoints are self-describing); an explicit argument overrides
+        it, and default seeds are the last resort for plain-fleet files.
+        """
+        version = payload.get("fleet_format_version")
+        if version != FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet format version: {version}")
+        if shards is None:
+            shards = int(payload.get("shards", 1))
+        if infra is None and payload.get("infra") is not None:
+            infra = FleetInfra.from_payload(payload["infra"])
+        fleet = cls.__new__(cls)
+        fleet.shards = shards
+        fleet.infra = infra or FleetInfra()
+        fleet.max_batch_windows = payload.get("max_batch_windows")
+        fleet.rounds = int(payload.get("rounds", 0))
+        fleet._order = [entry["name"] for entry in payload["slots"]]
+        fleet._assignment = {name: index % shards
+                             for index, name in enumerate(fleet._order)}
+        fleet._attach_counter = len(fleet._order)
+        fleet._model_tokens = {}
+        fleet._shipped_models = set()
+        fleet._local_embedding = None
+        fleet._conns = []
+        fleet._procs = []
+        fleet._closed = False
+        fleet._start_workers(partition_fleet_payload(payload, shards))
+        return fleet
+
+    @classmethod
+    def load(cls, path: str | Path, shards: int | None = None,
+             infra: FleetInfra | None = None) -> "ShardedFleet":
+        return cls.from_dict(json.loads(Path(path).read_text()),
+                             shards=shards, infra=infra)
+
+    @classmethod
+    def from_fleet(cls, fleet: DeploymentFleet, shards: int,
+                   infra: FleetInfra | None = None) -> "ShardedFleet":
+        """Partition an in-process fleet across ``shards`` workers.
+
+        The fleet is serialized through its checkpoint format, so every
+        worker's models are exact round-trips of the originals — sharded
+        scores stay bit-identical to the source fleet's.  When ``infra``
+        is omitted it is derived from the first slot's stream generator
+        (all slots are assumed to share one generator configuration; mix
+        generators with different hyperparameters and workers would
+        regenerate different frames).
+        """
+        if infra is None and fleet.slots:
+            generator = fleet.slots[0].stream.generator
+            infra = FleetInfra.from_generator(generator.model.seed,
+                                              generator)
+        payload = fleet.to_dict()
+        return cls.from_dict(payload, shards=shards, infra=infra)
+
+
+def build_sharded_fleet(pipeline, missions: list[str], streams: int,
+                        shards: int, adaptive: bool = False,
+                        share_models: bool = True, windows_per_step: int = 2,
+                        stream_seed: int = 100,
+                        max_batch_windows: int | None = None,
+                        **stream_overrides) -> ShardedFleet:
+    """Assemble a sharded fleet over a :class:`~repro.api.Pipeline`.
+
+    Mirrors :func:`~repro.serving.build_fleet` (same missions round-robin,
+    same stream seeds, same names) and then partitions the result across
+    ``shards`` worker processes, so sharded and single-process fleets
+    built with the same arguments serve identical streams and scores.
+    """
+    fleet = build_fleet(pipeline, missions, streams, adaptive=adaptive,
+                        share_models=share_models,
+                        windows_per_step=windows_per_step,
+                        stream_seed=stream_seed,
+                        max_batch_windows=max_batch_windows,
+                        **stream_overrides)
+    return ShardedFleet.from_fleet(fleet, shards,
+                                   infra=FleetInfra.from_pipeline(pipeline))

@@ -59,6 +59,45 @@ class TestServing:
         assert events[0].active_class is None
 
 
+class TestStaticIngestValidation:
+    """The static path must validate precomputed scores like the adaptive
+    path does: a mis-sliced micro-batch result raises instead of being
+    silently logged."""
+
+    def test_valid_precomputed_scores_accepted(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        scores = deployment.scores(windows[:4])
+        log = deployment.ingest(windows[:4], scores=scores)
+        np.testing.assert_array_equal(log.scores, scores)
+
+    def test_wrong_length_scores_rejected(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        scores = deployment.scores(windows[:4])
+        with pytest.raises(ValueError, match="expected 3 precomputed"):
+            deployment.ingest(windows[:3], scores=scores)
+
+    def test_wrong_shape_scores_rejected(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        with pytest.raises(ValueError, match="precomputed"):
+            deployment.ingest(windows[:4],
+                              scores=np.zeros((4, 2), dtype=np.float64))
+
+    def test_bad_windows_shape_rejected(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        with pytest.raises(ValueError, match=r"\(B, T, frame_dim\)"):
+            deployment.ingest(np.zeros((4, 8)))
+
+    def test_scores_coerced_to_float64(self, pipeline):
+        deployment = pipeline.deploy("Stealing", adaptive=False)
+        windows, _ = pipeline.eval_windows("Stealing")
+        log = deployment.ingest(
+            windows[:4], scores=np.zeros(4, dtype=np.float32))
+        assert log.scores.dtype == np.float64
+
+
 class TestCheckpointResume:
     def test_save_load_preserves_scores(self, pipeline, tmp_path):
         deployment = pipeline.deploy("Stealing")

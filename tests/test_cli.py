@@ -65,18 +65,36 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert args.streams == 16
         assert args.windows_per_step == 2
-        assert args.output == "BENCH_2.json"
+        assert args.output is None  # resolved to BENCH_2/BENCH_3 at run time
         assert args.min_speedup is None
+        assert args.shards is None
         assert not args.quick
 
     def test_bench_flags(self):
         args = build_parser().parse_args(
             ["bench", "--quick", "--min-speedup", "1.5",
-             "--output", "out.json", "--max-batch-windows", "64"])
+             "--output", "out.json", "--max-batch-windows", "64",
+             "--shards", "4", "--min-shard-speedup", "1.5"])
         assert args.quick
         assert args.min_speedup == 1.5
         assert args.output == "out.json"
         assert args.max_batch_windows == 64
+        assert args.shards == 4
+        assert args.min_shard_speedup == 1.5
+
+    def test_fleet_shards_flag(self):
+        args = build_parser().parse_args(["fleet", "--shards", "2"])
+        assert args.shards == 2
+        assert build_parser().parse_args(["fleet"]).shards == 1
+
+    def test_bench_min_shard_speedup_requires_shards(self):
+        """Argument errors must fail before any training runs."""
+        with pytest.raises(SystemExit, match="requires --shards"):
+            main(["bench", "--min-shard-speedup", "1.5"])
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(["bench", "--shards", "0"])
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(["fleet", "--shards", "0"])
 
 
 class TestKGCommand:

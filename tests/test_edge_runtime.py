@@ -4,6 +4,7 @@ import pytest
 
 from repro.adaptation import AdaptationConfig, MonitorConfig
 from repro.edge import DeploymentReport, EdgeDeploymentSimulator, EdgeDeviceModel
+from repro.edge.flops import count_model_forward
 
 
 def make_simulator(fresh_model, embedding_model, rng, **kwargs):
@@ -57,6 +58,58 @@ class TestMetering:
         _, meter = sim.process_batch(
             rng.normal(size=(4, 4, embedding_model.frame_dim)))
         assert meter.energy_joules == pytest.approx(meter.total_flops * 1e-9)
+
+
+class TestStructuralMeteringRefresh:
+    """Regression: the per-forward FLOPs cache from ``__init__`` must be
+    recomputed once structural adaptation changes the KG — pruning a
+    high-fan node changes the true per-forward cost, and a stale cache
+    would mis-bill every subsequent window."""
+
+    @staticmethod
+    def _prune_busiest_node(sim) -> None:
+        """Force one structural event that strictly drops the edge count:
+        prune the concept node with the most edges, replace it with a
+        minimally-connected one (edge_probability=0 keeps one edge per
+        side)."""
+        kg = sim.model.reasoners[0].kg
+        candidates = [node for node in kg._nodes.values() if node.is_concept
+                      and len(kg.nodes_at_level(node.level)) > 1]
+
+        def edge_count(node):
+            return sum(1 for (src, dst) in kg._edges
+                       if src == node.node_id or dst == node.node_id)
+
+        busiest = max(candidates, key=edge_count)
+        assert edge_count(busiest) > 2  # replacement gets exactly 2 edges
+        sim.controller.structural.edge_probability = 0.0
+        event = sim.controller.structural.replace_node(
+            0, busiest.node_id, step=0)
+        assert event is not None
+
+    def test_flops_per_window_drop_after_pruning(self, fresh_model,
+                                                 embedding_model, rng):
+        sim = make_simulator(fresh_model, embedding_model, rng)
+        _, before_meter = sim.process_batch(
+            rng.normal(size=(5, 4, embedding_model.frame_dim)))
+        stale = sim._forward_flops
+        self._prune_busiest_node(sim)
+        _, after_meter = sim.process_batch(
+            rng.normal(size=(5, 4, embedding_model.frame_dim)))
+        assert sim._forward_flops == count_model_forward(sim.model).total
+        assert sim._forward_flops < stale
+        # Subsequent windows are billed at the refreshed per-forward cost.
+        _, next_meter = sim.process_batch(
+            rng.normal(size=(5, 4, embedding_model.frame_dim)))
+        assert next_meter.inference_flops == 5 * sim._forward_flops
+        assert next_meter.inference_flops < before_meter.inference_flops
+
+    def test_no_structural_change_keeps_cache(self, fresh_model,
+                                              embedding_model, rng):
+        sim = make_simulator(fresh_model, embedding_model, rng)
+        cached = sim._forward_flops
+        sim.process_batch(rng.normal(size=(4, 4, embedding_model.frame_dim)))
+        assert sim._forward_flops == cached
 
 
 class TestReport:

@@ -5,7 +5,7 @@ import json
 import numpy as np
 
 from repro.serving import (BenchConfig, format_benchmark, run_benchmark,
-                           write_benchmark)
+                           run_shard_benchmark, write_benchmark)
 
 
 def tiny_config():
@@ -53,3 +53,32 @@ class TestRoundClamping:
         result = run_benchmark(trained_context.pipeline, config)
         assert result["config"]["rounds"] == 24
         assert result["sequential"]["rounds_timed"] == 24
+
+
+class TestShardBenchmark:
+    def test_curve_shape_and_parity(self, trained_context):
+        result = run_shard_benchmark(trained_context.pipeline, tiny_config(),
+                                     shard_counts=(1, 2))
+        assert result["benchmark"] == "sharded_fleet_serving"
+        assert result["config"]["shard_counts"] == [1, 2]
+        # Single-process baselines ride along for comparison.
+        assert result["sequential"]["windows_per_sec"] > 0
+        assert result["batched"]["windows_per_sec"] > 0
+        for count in ("1", "2"):
+            stats = result["shards"][count]
+            assert stats["windows_per_sec"] > 0
+            assert stats["speedup_vs_batched"] > 0
+            # The acceptance property: sharded workers reproduce the
+            # single-process batched scores bit for bit.
+            assert stats["parity"]["identical"] is True
+            assert stats["parity"]["max_abs_diff"] == 0.0
+        assert result["parity"]["identical"] is True
+        assert result["environment"]["cpu_count"] >= 1
+
+    def test_format_includes_shard_lines(self, trained_context):
+        result = run_shard_benchmark(trained_context.pipeline, tiny_config(),
+                                     shard_counts=(1, 2))
+        text = format_benchmark(result)
+        assert "shard(s):" in text
+        assert "vs batched" in text
+        assert "cores:" in text
