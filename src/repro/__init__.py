@@ -27,6 +27,7 @@ Subpackages
 -----------
 ``repro.api``         public deployment facade (Pipeline/Deployment/ReproConfig)
 ``repro.serving``     multi-stream fleet serving (DeploymentFleet/MicroBatcher)
+``repro.gateway``     async TCP serving gateway (GatewayServer/GatewayClient)
 ``repro.nn``          numpy autodiff + layers (PyTorch substitute)
 ``repro.concepts``    surveillance concept ontology (ConceptNet-lite)
 ``repro.embedding``   BPE tokenizer + joint text/image space (ImageBind sub)
@@ -39,9 +40,9 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
-    "api", "serving", "nn", "concepts", "embedding", "llm", "kg", "gnn",
-    "adaptation", "data", "edge", "eval", "utils",
+    "api", "serving", "gateway", "nn", "concepts", "embedding", "llm", "kg",
+    "gnn", "adaptation", "data", "edge", "eval", "utils",
 ]

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent):
     python -m repro.cli serve --mission Stealing --set adaptation.monitor.window=72
     python -m repro.cli fleet --streams 8 --missions Stealing Robbery
     python -m repro.cli bench --quick --min-speedup 1.0
+    python -m repro.cli gateway --streams 4 --port 7641
+    python -m repro.cli loadgen --levels 1 2 4
     python -m repro.cli fig5 --shift weak
     python -m repro.cli fig5 --shift strong
     python -m repro.cli fig6
@@ -33,6 +35,7 @@ import dataclasses
 import sys
 import time
 
+from . import __version__
 from .data.streams import TrendShiftConfig
 
 _DEFAULT_SEED = 7
@@ -202,6 +205,20 @@ _QUICK_BENCH_OVERRIDES = (
 )
 
 
+def _apply_quick_overrides(config, args) -> None:
+    """Shrink training so CI smoke runs finish in seconds; explicit user
+    choices (--set or a non-default --train-steps) still win."""
+    overridden = {o.partition("=")[0].strip()
+                  for o in getattr(args, "overrides", None) or []}
+    for key, value in _QUICK_BENCH_OVERRIDES:
+        if key in overridden:
+            continue
+        if (key == "experiment.train_steps"
+                and args.train_steps != _DEFAULT_TRAIN_STEPS):
+            continue
+        config.override(key, value)
+
+
 def _shard_curve(shards: int) -> tuple[int, ...]:
     """Doubling shard counts up to ``shards`` (e.g. 4 -> (1, 2, 4))."""
     counts = {1, shards}
@@ -219,17 +236,7 @@ def cmd_bench(args) -> int:
                           run_benchmark, run_shard_benchmark, write_benchmark)
     config = _build_config(args)
     if args.quick:
-        # Shrink training so the CI smoke run finishes in seconds; explicit
-        # user choices (--set or a non-default --train-steps) still win.
-        overridden = {o.partition("=")[0].strip()
-                      for o in getattr(args, "overrides", None) or []}
-        for key, value in _QUICK_BENCH_OVERRIDES:
-            if key in overridden:
-                continue
-            if (key == "experiment.train_steps"
-                    and args.train_steps != _DEFAULT_TRAIN_STEPS):
-                continue
-            config.override(key, value)
+        _apply_quick_overrides(config, args)
     from .api import Pipeline
     pipeline = Pipeline(config)
     # --rounds/--repeats default to None so --quick can shrink the profile
@@ -273,6 +280,82 @@ def cmd_bench(args) -> int:
                   f"{top['speedup_vs_batched']:.2f}x vs batched below "
                   f"required {args.min_shard_speedup:.2f}x")
             return 1
+    return 0
+
+
+def cmd_gateway(args) -> int:
+    """Serve a fleet over TCP: the network ingestion front door."""
+    import asyncio
+
+    from .gateway import GatewayServer
+    from .serving import build_fleet, build_sharded_fleet
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
+    pipeline = _pipeline(args)
+    sharded = args.shards > 1
+    print(f"[gateway] building {args.streams} stream(s) over missions "
+          f"{args.missions} (adaptive={args.adaptive}"
+          + (f", shards={args.shards}" if sharded else "") + ")")
+    build = build_sharded_fleet if sharded else build_fleet
+    extra = {"shards": args.shards} if sharded else {}
+    fleet = build(pipeline, args.missions, args.streams,
+                  adaptive=args.adaptive,
+                  windows_per_step=args.windows_per_step,
+                  stream_seed=args.stream_seed,
+                  max_batch_windows=args.max_batch_windows, **extra)
+    server = GatewayServer(fleet, host=args.host, port=args.port,
+                           max_queue_depth=args.max_queue_depth)
+
+    async def main() -> None:
+        host, port = await server.start()
+        print(f"[gateway] listening on {host}:{port} — streams: "
+              f"{', '.join(fleet.names)}")
+        print("[gateway] serving until a shutdown frame arrives "
+              "(or Ctrl-C)")
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(main())
+        print("[gateway] drained and stopped")
+    except KeyboardInterrupt:
+        print("\n[gateway] interrupted; shutting down")
+    finally:
+        fleet.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive an in-process gateway, verify parity, write BENCH_4.json."""
+    from .api import Pipeline
+    from .gateway import (DEFAULT_GATEWAY_BENCH_PATH,
+                          format_gateway_benchmark, run_gateway_benchmark)
+    from .serving import write_benchmark
+    config = _build_config(args)
+    if args.quick:
+        _apply_quick_overrides(config, args)
+    pipeline = Pipeline(config)
+    rounds = args.rounds if args.rounds is not None else (4 if args.quick
+                                                          else 6)
+    levels = tuple(dict.fromkeys(args.levels))  # dedup, keep order
+    if any(level < 1 for level in levels):
+        raise SystemExit("error: --levels entries must be >= 1")
+    print(f"[loadgen] training {len(set(args.missions))} mission "
+          f"model(s)...")
+    print(f"[loadgen] serving {args.streams} stream(s) x {rounds} round(s) "
+          f"at client-concurrency levels {list(levels)}...")
+    result = run_gateway_benchmark(
+        pipeline, streams=args.streams, missions=args.missions,
+        windows_per_step=args.windows_per_step, rounds=rounds,
+        levels=levels, rate=args.rate, stream_seed=args.stream_seed,
+        max_batch_windows=args.max_batch_windows,
+        max_queue_depth=args.max_queue_depth)
+    print(format_gateway_benchmark(result))
+    path = write_benchmark(result, args.output or DEFAULT_GATEWAY_BENCH_PATH)
+    print(f"[loadgen] wrote {path}")
+    if not result["parity"]["identical"]:
+        print("[loadgen] FAIL: gateway scores diverged from the direct "
+              "in-process fleet run")
+        return 1
     return 0
 
 
@@ -382,6 +465,8 @@ def cmd_kg(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Continuous KG-adaptive VAD reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("serve",
@@ -468,6 +553,64 @@ def build_parser() -> argparse.ArgumentParser:
                         "single-process batched is below this (needs real "
                         "cores; CI gates on parity instead)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("gateway",
+                       help="serve a fleet over TCP (network gateway)")
+    _add_common(p)
+    p.add_argument("--streams", type=int, default=4,
+                   help="number of fleet streams to expose (default 4)")
+    p.add_argument("--missions", nargs="+", default=["Stealing"],
+                   help="missions assigned round-robin across streams")
+    p.add_argument("--windows-per-step", type=int, default=2,
+                   help="expected arrival windows per request (stream "
+                        "shape only; clients send what they like)")
+    p.add_argument("--stream-seed", type=int, default=100,
+                   help="base stream seed; stream i uses seed+i (default 100)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="continuously adapting deployments (private models)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the fleet across N worker processes")
+    p.add_argument("--max-batch-windows", type=int, default=None,
+                   help="cap windows per coalesced forward")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7641,
+                   help="TCP port; 0 picks a free one (default 7641)")
+    p.add_argument("--max-queue-depth", type=int, default=8,
+                   help="queued requests per stream before backpressure "
+                        "(default 8)")
+    p.set_defaults(func=cmd_gateway)
+
+    p = sub.add_parser("loadgen",
+                       help="gateway load benchmark + parity check "
+                            "(BENCH_4.json)")
+    _add_common(p)
+    p.add_argument("--streams", type=int, default=4,
+                   help="fleet streams behind the gateway (default 4)")
+    p.add_argument("--missions", nargs="+", default=["Stealing"])
+    p.add_argument("--windows-per-step", type=int, default=2,
+                   help="arrival windows per request (default 2)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="requests per stream (default 6; 4 with --quick)")
+    p.add_argument("--levels", type=int, nargs="+", default=[1, 2, 4],
+                   help="client-concurrency levels to sweep (default 1 2 4)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop total request rate in req/s "
+                        "(default: closed-loop, full speed)")
+    p.add_argument("--stream-seed", type=int, default=100)
+    p.add_argument("--max-batch-windows", type=int, default=None)
+    p.add_argument("--max-queue-depth", type=int, default=8,
+                   help="server admission limit per stream (default 8)")
+    p.add_argument("--quick", action="store_true",
+                   help="small training + fewer rounds (CI smoke profile)")
+    p.add_argument("--verify", action="store_true",
+                   help="fail (exit 1) unless gateway scores are "
+                        "bit-identical to the direct in-process run "
+                        "(parity is always measured; this is already the "
+                        "default behavior, the flag records intent)")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="result JSON path (default BENCH_4.json)")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")
     _add_common(p)

@@ -1,0 +1,87 @@
+"""Network serving gateway: a deployment fleet behind a TCP socket.
+
+PRs 1–3 built the in-process serving stack — ``Deployment`` →
+``DeploymentFleet`` (micro-batched) → ``ShardedFleet`` (multi-process) —
+but every deployment was still driven by the caller's own loop.  This
+package is the ingestion front door a production stack hangs off it,
+stdlib + numpy only:
+
+:mod:`~repro.gateway.protocol`
+    Versioned length-prefixed JSON wire format with ops for ``ingest``,
+    ``scores``, ``attach``/``detach``, ``stats`` and ``shutdown``, plus
+    typed error frames.
+:class:`GatewayServer`
+    Asyncio TCP server fronting a :class:`~repro.serving.DeploymentFleet`
+    or :class:`~repro.serving.ShardedFleet`: concurrently arriving
+    windows coalesce into micro-batched fleet rounds (scores
+    bit-identical to a direct ``fleet.step()``), bounded per-stream
+    queues reject overload with ``backpressure`` frames, and shutdown
+    drains gracefully.
+:class:`GatewayClient` / :class:`LoadGenerator`
+    Blocking client SDK and the multi-connection open-loop load
+    generator behind ``repro loadgen``.
+:class:`MetricsRegistry`
+    Counters, gauges and p50/p95/p99 latency histograms surfaced through
+    the ``stats`` op and reused by :mod:`repro.serving.bench`.
+:func:`run_gateway_benchmark`
+    The latency/throughput curve over client-concurrency levels written
+    as ``BENCH_4.json``.
+"""
+
+from .client import (
+    DEFAULT_GATEWAY_BENCH_PATH,
+    GatewayClient,
+    GatewayError,
+    LoadGenConfig,
+    LoadGenerator,
+    LoadGenResult,
+    format_gateway_benchmark,
+    run_gateway_benchmark,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    percentile,
+)
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    FrameError,
+    RequestError,
+)
+from .server import (
+    DEFAULT_MAX_QUEUE_DEPTH,
+    GatewayHandle,
+    GatewayServer,
+    serve_in_thread,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "FrameError",
+    "RequestError",
+    "GatewayServer",
+    "GatewayHandle",
+    "serve_in_thread",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "GatewayClient",
+    "GatewayError",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LoadGenResult",
+    "run_gateway_benchmark",
+    "format_gateway_benchmark",
+    "DEFAULT_GATEWAY_BENCH_PATH",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "percentile",
+]

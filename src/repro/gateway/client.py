@@ -1,0 +1,441 @@
+"""Blocking gateway client SDK and the open-loop load generator.
+
+:class:`GatewayClient` is the synchronous counterpart of the asyncio
+server: one TCP connection, one request in flight, typed
+:class:`GatewayError` on error frames — the shape an edge device's
+uplink code would take.
+
+:class:`LoadGenerator` drives a gateway with many concurrent client
+connections.  Streams are split round-robin across clients; each client
+replays its streams' pre-materialized arrival windows in stream order
+(per-stream request order is what score parity is defined over) and
+records per-request latency into a shared
+:class:`~repro.gateway.metrics.LatencyHistogram`.  With a target
+request ``rate`` the generator is open-loop — sends are scheduled on a
+global clock regardless of completions, the regime where admission
+control starts answering ``backpressure`` — and without one each
+connection runs closed-loop at full speed.
+
+:func:`run_gateway_benchmark` is the harness behind ``repro loadgen``:
+it computes a direct in-process ``fleet.step()`` reference over the
+same streams, then serves identical windows through a fresh gateway at
+each client-concurrency level, verifying bit-identical scores and
+writing the latency/throughput curve as ``BENCH_4.json``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics import LatencyHistogram
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    recv_frame,
+    request_frame,
+    send_frame,
+)
+from .server import DEFAULT_MAX_QUEUE_DEPTH, serve_in_thread
+
+__all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
+           "LoadGenerator", "LoadGenResult", "run_gateway_benchmark",
+           "format_gateway_benchmark", "DEFAULT_GATEWAY_BENCH_PATH"]
+
+DEFAULT_GATEWAY_BENCH_PATH = "BENCH_4.json"
+
+
+class GatewayError(Exception):
+    """An error frame from the gateway; ``code`` is the typed code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class GatewayClient:
+    """Blocking request/response client for one gateway connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and wait for its response frame; raises
+        :class:`GatewayError` on an error frame, :class:`FrameError` /
+        :class:`ConnectionError` on transport problems."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        send_frame(self._sock, request_frame(op, request_id, **fields))
+        reply = recv_frame(self._sock, self.max_frame_bytes)
+        if reply is None:
+            raise ConnectionError("gateway closed the connection")
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error") or {}
+        raise GatewayError(error.get("code", "internal"),
+                           error.get("message", "unspecified gateway error"))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops -----------------------------------------------------------
+    def attach(self, stream: str) -> dict:
+        return self.request("attach", stream=stream)
+
+    def detach(self, stream: str) -> dict:
+        return self.request("detach", stream=stream)
+
+    def ingest(self, stream: str, windows) -> dict:
+        """Submit one arrival batch; the reply's ``"scores"`` list is
+        converted to an array under ``"scores_array"``."""
+        reply = self.request(
+            "ingest", stream=stream,
+            windows=np.asarray(windows, dtype=np.float64).tolist())
+        reply["scores_array"] = np.asarray(reply["scores"], dtype=np.float64)
+        return reply
+
+    def scores(self, stream: str, windows) -> np.ndarray:
+        """Score windows without feeding the stream's monitor."""
+        reply = self.request(
+            "scores", stream=stream,
+            windows=np.asarray(windows, dtype=np.float64).tolist())
+        return np.asarray(reply["scores"], dtype=np.float64)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self.request("shutdown")
+
+
+# ---------------------------------------------------------------------
+# Load generation
+# ---------------------------------------------------------------------
+@dataclass
+class LoadGenConfig:
+    """Shape of one load-generator run against one gateway."""
+
+    clients: int = 2
+    rounds: int = 6                   # requests per stream
+    rate: float | None = None         # total requests/sec; None = closed-loop
+    timeout: float = 120.0
+    max_samples: int = 65536
+
+
+@dataclass
+class LoadGenResult:
+    """Aggregate of one run: latency histogram, scores, and errors."""
+
+    requests: int = 0
+    windows: int = 0
+    elapsed: float = 0.0
+    rejected: int = 0                 # backpressure rejections
+    errors: list[str] = field(default_factory=list)
+    latency: LatencyHistogram | None = None
+    # scores[stream] -> [(round_index, np.ndarray), ...] for parity
+    # checking; rejected rounds are simply absent.
+    scores: dict[str, list] = field(default_factory=dict)
+
+    def summary(self, phase: str = "loadgen") -> dict:
+        out = {
+            "requests": self.requests,
+            "windows": self.windows,
+            "elapsed_seconds": self.elapsed,
+            "requests_per_sec": self.requests / max(self.elapsed, 1e-9),
+            "windows_per_sec": self.windows / max(self.elapsed, 1e-9),
+            "rejected": self.rejected,
+            "errors": len(self.errors),
+        }
+        if self.latency is not None and self.latency.count:
+            out["latency"] = self.latency.summary(phase=phase)
+        return out
+
+
+class LoadGenerator:
+    """Drive one gateway with ``clients`` concurrent connections.
+
+    ``stream_windows`` maps stream names to their per-round arrival
+    batches; every client owns a disjoint round-robin slice of the
+    streams and sends each stream's rounds strictly in order, so the
+    gateway sees the exact per-stream window sequence a direct
+    ``fleet.step()`` run would.
+    """
+
+    def __init__(self, address: tuple[str, int],
+                 stream_windows: dict[str, list[np.ndarray]],
+                 config: LoadGenConfig | None = None):
+        if not stream_windows:
+            raise ValueError("need at least one stream to drive")
+        self.address = address
+        self.stream_windows = stream_windows
+        self.config = config or LoadGenConfig()
+        if self.config.clients < 1:
+            raise ValueError("need at least one client")
+
+    def run(self) -> LoadGenResult:
+        cfg = self.config
+        names = list(self.stream_windows)
+        assignments = [names[i::cfg.clients] for i in range(cfg.clients)]
+        assignments = [a for a in assignments if a]
+        result = LoadGenResult(latency=LatencyHistogram(cfg.max_samples))
+        start = time.perf_counter()
+        # Open-loop pacing: request k (globally, across clients) is due
+        # at start + k/rate.  Each client's requests are its slice of
+        # that schedule, so the offered load hits the target rate
+        # without any cross-thread coordination.
+        interval = None if cfg.rate is None else 1.0 / cfg.rate
+        # Each client fills its own LoadGenResult (own histogram); only
+        # finished clients are merged, so a straggler past the join
+        # timeout can never mutate the returned aggregate mid-read.
+        parts = [LoadGenResult(latency=LatencyHistogram(cfg.max_samples))
+                 for _ in assignments]
+        threads = [threading.Thread(
+            target=self._client_main,
+            args=(index, streams, start, interval, len(assignments),
+                  parts[index]),
+            name=f"loadgen-{index}", daemon=True)
+            for index, streams in enumerate(assignments)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + cfg.timeout
+        for index, thread in enumerate(threads):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                result.errors.append(
+                    f"client {index}: still running after the "
+                    f"{cfg.timeout}s timeout; its results are discarded")
+                continue
+            part = parts[index]
+            result.requests += part.requests
+            result.windows += part.windows
+            result.rejected += part.rejected
+            result.errors.extend(part.errors)
+            for sample in part.latency._samples:
+                result.latency.observe(sample)
+            for stream, served in part.scores.items():
+                result.scores.setdefault(stream, []).extend(served)
+        for served in result.scores.values():
+            served.sort(key=lambda pair: pair[0])
+        result.elapsed = time.perf_counter() - start
+        return result
+
+    def _client_main(self, index: int, streams: list[str], start: float,
+                     interval: float | None, client_count: int,
+                     part: LoadGenResult) -> None:
+        cfg = self.config
+        try:
+            client = GatewayClient(*self.address, timeout=cfg.timeout)
+        except OSError as exc:
+            part.errors.append(f"client {index}: connect: {exc}")
+            return
+        sent = 0
+        try:
+            for stream in streams:
+                client.attach(stream)
+            for round_index in range(cfg.rounds):
+                for stream in streams:
+                    rounds = self.stream_windows[stream]
+                    if round_index >= len(rounds):
+                        continue
+                    if interval is not None:
+                        due = start + (sent * client_count + index) * interval
+                        now = time.perf_counter()
+                        if due > now:
+                            time.sleep(due - now)
+                    windows = rounds[round_index]
+                    t0 = time.perf_counter()
+                    try:
+                        reply = client.ingest(stream, windows)
+                    except GatewayError as exc:
+                        if exc.code == "backpressure":
+                            part.rejected += 1
+                        else:
+                            part.errors.append(
+                                f"client {index}: {stream}"
+                                f"[{round_index}]: {exc}")
+                        sent += 1
+                        continue
+                    latency = time.perf_counter() - t0
+                    sent += 1
+                    part.requests += 1
+                    part.windows += int(np.asarray(windows).shape[0])
+                    part.latency.observe(latency)
+                    part.scores.setdefault(stream, []).append(
+                        (round_index, reply["scores_array"]))
+        except (ConnectionError, FrameError, GatewayError, OSError) as exc:
+            part.errors.append(f"client {index}: {exc}")
+        finally:
+            client.close()
+
+
+# ---------------------------------------------------------------------
+# The BENCH_4 harness
+# ---------------------------------------------------------------------
+def _direct_reference(pipeline, missions, streams, windows_per_step,
+                      stream_seed, rounds, max_batch_windows):
+    """(stream_windows, reference scores) from a direct in-process run.
+
+    Builds the same fleet ``repro gateway`` would, pre-materializes each
+    stream's arrival windows, and records ``fleet.step(batched=True)``
+    scores round by round — the bit-parity bar every gateway run below
+    must hit.
+    """
+    from ..serving import build_fleet
+
+    fleet = build_fleet(pipeline, missions, streams,
+                        adaptive=False, share_models=True,
+                        windows_per_step=windows_per_step,
+                        stream_seed=stream_seed,
+                        max_batch_windows=max_batch_windows)
+    available = min(len(slot.stream) for slot in fleet.slots)
+    rounds = min(rounds, available)
+    stream_windows = {
+        slot.name: [np.asarray(slot.stream.batch(r).windows,
+                               dtype=np.float64) for r in range(rounds)]
+        for slot in fleet.slots}
+    reference: dict[str, list[np.ndarray]] = {name: []
+                                              for name in fleet.names}
+    for _ in range(rounds):
+        for event in fleet.step(batched=True):
+            reference[event.stream].append(event.scores)
+    return stream_windows, reference, rounds
+
+
+def _check_parity(result: LoadGenResult,
+                  reference: dict[str, list[np.ndarray]]) -> dict:
+    """Every served response must match its round's direct-run scores
+    bit for bit.  ``identical`` judges what was served; ``complete``
+    additionally requires that nothing was rejected or dropped (an
+    open-loop run past saturation is expected to shed load, which is
+    admission control working, not a parity failure)."""
+    identical = True
+    max_abs_diff = 0.0
+    compared = 0
+    missing = 0
+    for name, expected_rounds in reference.items():
+        served = result.scores.get(name, [])
+        missing += len(expected_rounds) - len(served)
+        for round_index, got in served:
+            compared += 1
+            expected = expected_rounds[round_index]
+            if not np.array_equal(got, expected):
+                identical = False
+                max_abs_diff = max(max_abs_diff,
+                                   float(np.abs(got - expected).max()))
+    return {"identical": identical, "max_abs_diff": max_abs_diff,
+            "responses_compared": compared, "missing_responses": missing,
+            "complete": missing == 0}
+
+
+def run_gateway_benchmark(pipeline, streams: int = 4,
+                          missions: list[str] | None = None,
+                          windows_per_step: int = 2, rounds: int = 6,
+                          levels: tuple[int, ...] = (1, 2, 4),
+                          rate: float | None = None,
+                          stream_seed: int = 100,
+                          max_batch_windows: int | None = None,
+                          max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> dict:
+    """Latency/throughput curve over client-concurrency levels.
+
+    For each level a *fresh* fleet (same build arguments, hence the same
+    streams and models) is served by an in-thread gateway and driven by
+    ``level`` concurrent client connections replaying the identical
+    pre-materialized windows; every response is checked bit-for-bit
+    against the direct in-process reference.  The returned payload is
+    the ``BENCH_4.json`` artifact.
+    """
+    from ..serving import build_fleet
+    from ..serving.bench import _environment
+
+    missions = missions or ["Stealing"]
+    stream_windows, reference, rounds = _direct_reference(
+        pipeline, missions, streams, windows_per_step, stream_seed,
+        rounds, max_batch_windows)
+    level_results: dict[str, dict] = {}
+    all_identical = True
+    for level in levels:
+        fleet = build_fleet(pipeline, missions, streams,
+                            adaptive=False, share_models=True,
+                            windows_per_step=windows_per_step,
+                            stream_seed=stream_seed,
+                            max_batch_windows=max_batch_windows)
+        with fleet, serve_in_thread(fleet,
+                                    max_queue_depth=max_queue_depth) as handle:
+            generator = LoadGenerator(
+                handle.address, stream_windows,
+                LoadGenConfig(clients=level, rounds=rounds, rate=rate))
+            result = generator.run()
+        parity = _check_parity(result, reference)
+        all_identical = all_identical and parity["identical"] \
+            and not result.errors
+        stats = result.summary(phase=f"{level}-client gateway")
+        stats["parity"] = parity
+        if result.errors:
+            stats["error_messages"] = result.errors[:10]
+        level_results[str(level)] = stats
+    return {
+        "benchmark": "gateway_serving",
+        "config": {
+            "streams": streams,
+            "missions": list(missions),
+            "windows_per_step": windows_per_step,
+            "rounds": rounds,
+            "levels": [int(level) for level in levels],
+            "rate": rate,
+            "stream_seed": stream_seed,
+            "max_batch_windows": max_batch_windows,
+            "max_queue_depth": max_queue_depth,
+        },
+        "levels": level_results,
+        "parity": {"identical": all_identical},
+        "environment": _environment(),
+    }
+
+
+def format_gateway_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a BENCH_4 payload."""
+    cfg = result["config"]
+    lines = [
+        f"gateway serving benchmark: {cfg['streams']} stream(s) x "
+        f"{cfg['windows_per_step']} windows/request, {cfg['rounds']} "
+        f"round(s)/stream, levels {cfg['levels']}"
+        + (f", open-loop {cfg['rate']:.0f} req/s" if cfg["rate"] else ""),
+    ]
+    for level, stats in result["levels"].items():
+        latency = stats.get("latency", {})
+        note = "" if not stats["rejected"] else \
+            f"   ({stats['rejected']} backpressure rejection(s))"
+        lines.append(
+            f"  {level:>2s} client(s): {stats['windows_per_sec']:8.1f} "
+            f"windows/s   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+            f"   p95 {latency.get('p95_ms', float('nan')):7.2f} ms"
+            f"   p99 {latency.get('p99_ms', float('nan')):7.2f} ms"
+            f"   identical: {stats['parity']['identical']}{note}")
+    lines.append(f"  parity (all levels): {result['parity']['identical']}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The gateway wire format: versioned length-prefixed JSON frames.
+
+Every message — request or response, either direction — is one *frame*:
+a 4-byte big-endian unsigned length prefix followed by exactly that many
+bytes of UTF-8 JSON encoding a single object.  Length-prefixing makes
+framing trivial for both the asyncio server and the blocking socket
+client, and JSON keeps the payload debuggable with ``nc``-grade tooling.
+
+Requests carry ``{"v": 1, "op": ..., "id": ...}`` plus op-specific
+fields; responses echo the request ``id`` with ``{"ok": true, ...}`` or
+a typed error ``{"ok": false, "error": {"code": ..., "message": ...}}``.
+The ops and error codes are enumerated below; anything the peer cannot
+parse at the framing layer raises :class:`FrameError` (the server
+answers with a ``bad_frame`` error and closes the connection, since a
+corrupt stream cannot be re-synchronized).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "OPS", "ERROR_CODES",
+    "FrameError", "RequestError",
+    "encode_frame", "decode_body",
+    "read_frame", "write_frame", "recv_frame", "send_frame",
+    "request_frame", "ok_frame", "error_frame", "validate_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON body.  Generous for arrival batches
+#: (a window is T x frame_dim float literals) while refusing to buffer
+#: an unbounded stream from a confused or hostile peer.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Operations the gateway understands.
+OPS = ("ingest", "scores", "attach", "detach", "stats", "shutdown")
+
+#: Typed error codes carried in ``{"error": {"code": ...}}`` frames.
+ERROR_CODES = (
+    "bad_frame",         # unframeable bytes: truncated/oversized/non-JSON
+    "bad_request",       # well-framed but missing/invalid fields
+    "version_mismatch",  # request "v" != PROTOCOL_VERSION
+    "unknown_op",        # "op" not in OPS
+    "unknown_stream",    # stream name not attached to the fleet
+    "not_attached",      # ingest/scores before attach on this connection
+    "backpressure",      # admission control: per-stream queue is full
+    "shutting_down",     # server is draining; no new work accepted
+    "internal",          # serving round failed server-side
+)
+
+
+class FrameError(Exception):
+    """The byte stream does not contain a well-formed frame."""
+
+
+class RequestError(Exception):
+    """A well-framed request that cannot be served; carries a typed code."""
+
+    def __init__(self, code: str, message: str):
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# ---------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body; :class:`FrameError` on anything but one JSON
+    object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed JSON frame body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _check_length(length: int, max_bytes: int) -> None:
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds the "
+                         f"{max_bytes}-byte limit")
+
+
+async def read_frame(reader, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`FrameError` on a truncated or malformed frame.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise FrameError("truncated frame header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except Exception:  # IncompleteReadError on EOF mid-body
+        raise FrameError("truncated frame body") from None
+    return decode_body(body)
+
+
+async def write_frame(writer, payload: dict) -> None:
+    """Write one frame to an asyncio stream and flush it."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Blocking read of exactly ``count`` bytes; ``None`` on immediate
+    EOF, :class:`FrameError` on EOF mid-read."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket,
+               max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Blocking-socket twin of :func:`read_frame`."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_bytes)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise FrameError("truncated frame body")
+    return decode_body(body)
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Blocking-socket twin of :func:`write_frame`."""
+    sock.sendall(encode_frame(payload))
+
+
+# ---------------------------------------------------------------------
+# Message constructors / validation
+# ---------------------------------------------------------------------
+def request_frame(op: str, request_id: int, **fields) -> dict:
+    return {"v": PROTOCOL_VERSION, "op": op, "id": request_id, **fields}
+
+
+def ok_frame(request_id, **payload) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, **payload}
+
+
+def error_frame(request_id, code: str, message: str) -> dict:
+    assert code in ERROR_CODES, code
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def validate_request(payload: dict) -> str:
+    """Check the request envelope; returns the op.
+
+    Raises :class:`RequestError` with a typed code on a bad version,
+    missing/invalid op, or a malformed ``id`` (the id must be a JSON
+    scalar so it can be echoed back verbatim).
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise RequestError(
+            "version_mismatch",
+            f"protocol version {version!r} unsupported "
+            f"(server speaks {PROTOCOL_VERSION})")
+    request_id = payload.get("id")
+    if not isinstance(request_id, (int, str, type(None))) \
+            or isinstance(request_id, bool):
+        raise RequestError("bad_request",
+                           f"request id must be an int, string or null, "
+                           f"got {type(request_id).__name__}")
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise RequestError("bad_request", "request has no 'op' field")
+    if op not in OPS:
+        raise RequestError("unknown_op",
+                           f"unknown op {op!r} (known: {', '.join(OPS)})")
+    return op

@@ -1,0 +1,544 @@
+"""The asyncio TCP gateway: a deployment fleet behind a network socket.
+
+:class:`GatewayServer` accepts length-prefixed JSON frames (see
+:mod:`repro.gateway.protocol`), queues each connection's ``ingest`` /
+``scores`` requests into bounded per-stream admission queues, and a
+single round loop drains them: every round takes at most one pending
+request per stream — exactly the one-batch-per-stream-per-round shape of
+``fleet.step()`` — and hands the whole round to the fleet's micro-batched
+entry points (:meth:`~repro.serving.DeploymentFleet.ingest_round` /
+``score_only``) in a one-worker executor thread.  Because the
+micro-batcher's coalesced scores are bit-identical to per-stream scoring
+and each stream's requests are served FIFO, gateway-served scores are
+bit-identical to a direct in-process ``fleet.step()`` run over the same
+per-stream window sequence, no matter how clients interleave.
+
+Natural batching, no added latency: while one round is scoring in the
+executor, newly arriving windows pile up in the queues and form the next
+round; an idle gateway serves a lone request immediately.  Admission
+control rejects work beyond ``max_queue_depth`` queued requests per
+stream with a typed ``backpressure`` frame instead of buffering without
+bound, and ``shutdown`` drains every queued request before the server
+closes.
+
+The server fronts a :class:`~repro.serving.DeploymentFleet` or a
+:class:`~repro.serving.ShardedFleet` interchangeably (both expose the
+same round entry points).  :func:`serve_in_thread` runs the event loop
+in a daemon thread for blocking callers — tests, examples, and the
+``repro loadgen`` harness driving a server in the same process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics import MetricsRegistry
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    RequestError,
+    error_frame,
+    ok_frame,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+
+__all__ = ["GatewayServer", "GatewayHandle", "serve_in_thread",
+           "DEFAULT_MAX_QUEUE_DEPTH"]
+
+#: Queued-but-unserved requests allowed per stream before admission
+#: control answers ``backpressure``.  One round of headroom per stream
+#: is plenty for closed-loop clients; open-loop load beyond the fleet's
+#: throughput is the case the bound exists for.
+DEFAULT_MAX_QUEUE_DEPTH = 8
+
+
+@dataclass
+class _Pending:
+    """One admitted ``ingest``/``scores`` request awaiting its round."""
+
+    op: str
+    stream: str
+    windows: np.ndarray
+    future: asyncio.Future
+    owner: object                 # the connection, for disconnect cleanup
+    queued_at: float = 0.0
+
+
+@dataclass(eq=False)  # identity semantics: connections live in a set
+class _Connection:
+    writer: asyncio.StreamWriter
+    attached: set = field(default_factory=set)
+    # Serializes writer.drain() across this connection's response tasks:
+    # write() buffers atomically, but concurrent drain() waiters on one
+    # flow-control-paused transport are not supported by asyncio.
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class GatewayServer:
+    """Serve a fleet's streams over TCP with admission control."""
+
+    def __init__(self, fleet, host: str = "127.0.0.1", port: int = 0,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 metrics: MetricsRegistry | None = None):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.fleet = fleet
+        self.host = host
+        self.port = port
+        self.max_queue_depth = max_queue_depth
+        self.max_frame_bytes = max_frame_bytes
+        self.metrics = metrics or MetricsRegistry()
+        self.address: tuple[str, int] | None = None
+        self._queues: dict[str, deque[_Pending]] = {}
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._round_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        # Created in start() so they bind to the serving loop.
+        self._work: asyncio.Event | None = None
+        self._paused: asyncio.Event | None = None
+        self._idle: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        for op in ("ingest", "scores", "attach", "detach", "stats",
+                   "shutdown"):
+            self.metrics.counter(f"gateway.requests.{op}")
+        self.metrics.counter("gateway.rejected.backpressure")
+        self.metrics.counter("gateway.errors")
+        self.metrics.counter("gateway.rounds")
+        self.metrics.counter("gateway.connections")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``
+        (with ``port=0`` the OS picks a free ephemeral port)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._work = asyncio.Event()
+        self._paused = asyncio.Event()
+        self._paused.set()
+        self._idle = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-round")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._round_task = asyncio.ensure_future(self._round_loop())
+        return self.address
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain triggered by ``shutdown`` has finished."""
+        await self._stopped.wait()
+
+    async def serve(self) -> tuple[str, int]:
+        """``start()`` then run until a ``shutdown`` request drains the
+        server; returns the address it served on."""
+        address = await self.start()
+        try:
+            await self.wait_stopped()
+        finally:
+            if not self._stopped.is_set():
+                await self.shutdown()
+        return address
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admitting work, serve every already
+        queued request, then close the listener and all connections."""
+        if self._server is None:
+            raise RuntimeError("server was never started")
+        if self._drain_task is None:
+            self._draining = True
+            self._drain_task = asyncio.ensure_future(self._drain_and_stop())
+        await self._stopped.wait()
+
+    async def _drain_and_stop(self) -> None:
+        self._draining = True
+        self._paused.set()      # a paused server must still drain
+        self._work.set()        # wake the round loop so it can notice
+        await self._idle.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        for conn in list(self._connections):
+            conn.writer.close()
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+    async def _round_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if self._draining and not any(self._queues.values()):
+                self._idle.set()
+                return
+            await self._work.wait()
+            self._work.clear()
+            await self._paused.wait()
+            entries = [queue.popleft()
+                       for queue in self._queues.values() if queue]
+            if any(self._queues.values()):
+                self._work.set()  # leftovers form the next round
+            if not entries:
+                continue
+            start = time.perf_counter()
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._run_round, entries)
+            except Exception as exc:  # noqa: BLE001 — typed to clients
+                self.metrics.counter("gateway.errors").inc()
+                for entry in entries:
+                    if not entry.future.done():
+                        entry.future.set_result(
+                            ("error", "internal",
+                             f"serving round failed: "
+                             f"{type(exc).__name__}: {exc}"))
+                continue
+            elapsed = time.perf_counter() - start
+            self.metrics.counter("gateway.rounds").inc()
+            self.metrics.histogram("gateway.round_latency").observe(elapsed)
+            self.metrics.gauge("gateway.last_round_size").set(len(entries))
+            for entry in entries:
+                if not entry.future.done():
+                    entry.future.set_result(results.get(
+                        entry.stream,
+                        ("error", "internal",
+                         f"round produced no result for stream "
+                         f"{entry.stream!r}")))
+
+    def _run_round(self, entries: list[_Pending]) -> dict:
+        """Executor-thread body: one micro-batched fleet round over the
+        popped entries (at most one per stream, so keying by stream name
+        is unambiguous).
+
+        Score-then-ingest, with the scoring pass stateless
+        (``score_only``): if the coalesced forward fails — e.g. one
+        client sent windows whose frame_dim doesn't match the models',
+        which the shape check at admission cannot know — each entry is
+        re-scored alone, so only the offending request errors while the
+        rest of the round proceeds.  Retrying is safe precisely because
+        no deployment state was touched; the subsequent ingest dispatches
+        the already-computed (bit-identical) slices and cannot fail on
+        client input.
+        """
+        results: dict[str, tuple] = {}
+        arrivals = {entry.stream: entry.windows for entry in entries}
+        try:
+            scored = self.fleet.score_only(arrivals)
+        except Exception:  # noqa: BLE001 — isolate the bad entry below
+            scored = {}
+            for entry in entries:
+                try:
+                    scored[entry.stream] = self.fleet.score_only(
+                        {entry.stream: entry.windows})[entry.stream]
+                except Exception as exc:  # noqa: BLE001 — typed to client
+                    results[entry.stream] = (
+                        "error", "bad_request",
+                        f"windows for stream {entry.stream!r} failed to "
+                        f"score: {type(exc).__name__}: {exc}")
+        ingest = {entry.stream: entry.windows for entry in entries
+                  if entry.op == "ingest" and entry.stream in scored}
+        if ingest:
+            events = self.fleet.ingest_round(
+                ingest, scores={name: scored[name] for name in ingest})
+            for name, event in events.items():
+                results[name] = ("event", event)
+        for entry in entries:
+            if entry.op == "scores" and entry.stream in scored:
+                results[entry.stream] = ("scores", scored[entry.stream])
+        return results
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self.metrics.counter("gateway.connections").inc()
+        # One task per request so the reader keeps watching the socket
+        # while rounds run: a disconnect mid-round is seen immediately
+        # and the client's queued work is dropped instead of lingering.
+        # Responses carry the request id, and each frame is buffered in
+        # one atomic write, so concurrent completions cannot interleave.
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader, self.max_frame_bytes)
+                except FrameError as exc:
+                    # A corrupt stream cannot be re-synchronized: answer
+                    # once, then hang up.
+                    self.metrics.counter("gateway.errors").inc()
+                    with contextlib.suppress(ConnectionError, OSError):
+                        async with conn.write_lock:
+                            await write_frame(writer, error_frame(
+                                None, "bad_frame", str(exc)))
+                    break
+                if payload is None:
+                    break
+                task = asyncio.ensure_future(self._respond(payload, conn))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            self._connections.discard(conn)
+            self._drop_pending(conn)
+            for task in list(tasks):
+                task.cancel()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _respond(self, payload: dict, conn: _Connection) -> None:
+        try:
+            reply = await self._dispatch(payload, conn)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — never leave a client hanging
+            self.metrics.counter("gateway.errors").inc()
+            reply = error_frame(None, "internal",
+                                f"{type(exc).__name__}: {exc}")
+        with contextlib.suppress(ConnectionError, OSError):
+            async with conn.write_lock:
+                await write_frame(conn.writer, reply)
+
+    def _drop_pending(self, conn: _Connection) -> None:
+        """Forget a disconnected client's queued-but-unserved requests
+        (requests already inside a running round complete; their results
+        are simply never sent)."""
+        for queue in self._queues.values():
+            if any(entry.owner is conn for entry in queue):
+                kept = [entry for entry in queue if entry.owner is not conn]
+                for entry in queue:
+                    if entry.owner is conn:
+                        entry.future.cancel()
+                queue.clear()
+                queue.extend(kept)
+
+    async def _dispatch(self, payload: dict, conn: _Connection) -> dict:
+        raw_id = payload.get("id")
+        echo_id = raw_id if isinstance(raw_id, (int, str)) \
+            and not isinstance(raw_id, bool) else None
+        try:
+            op = validate_request(payload)
+        except RequestError as exc:
+            self.metrics.counter("gateway.errors").inc()
+            return error_frame(echo_id, exc.code, exc.message)
+        self.metrics.counter(f"gateway.requests.{op}").inc()
+        try:
+            if op in ("ingest", "scores"):
+                return await self._serve_windows(op, payload, conn, echo_id)
+            if op == "attach":
+                return self._attach(payload, conn, echo_id)
+            if op == "detach":
+                return self._detach(payload, conn, echo_id)
+            if op == "stats":
+                return self._stats(echo_id)
+            # shutdown: acknowledge first; the drain task closes the
+            # connection once every queued request has been served.
+            if self._drain_task is None:
+                self._draining = True
+                self._drain_task = asyncio.ensure_future(
+                    self._drain_and_stop())
+            return ok_frame(echo_id, draining=True)
+        except RequestError as exc:
+            if exc.code != "backpressure":  # rejections counted separately
+                self.metrics.counter("gateway.errors").inc()
+            return error_frame(echo_id, exc.code, exc.message)
+
+    def _stream_of(self, payload: dict) -> str:
+        stream = payload.get("stream")
+        if not isinstance(stream, str) or not stream:
+            raise RequestError("bad_request",
+                               "request needs a non-empty 'stream' field")
+        return stream
+
+    def _attach(self, payload: dict, conn: _Connection, echo_id) -> dict:
+        if self._draining:
+            raise RequestError("shutting_down",
+                               "server is draining; no new attachments")
+        stream = self._stream_of(payload)
+        if stream not in self.fleet:
+            raise RequestError(
+                "unknown_stream",
+                f"no stream named {stream!r} attached to the fleet "
+                f"(known: {', '.join(sorted(self.fleet.names)) or 'none'})")
+        conn.attached.add(stream)
+        return ok_frame(echo_id, stream=stream,
+                        attached=sorted(conn.attached),
+                        max_queue_depth=self.max_queue_depth)
+
+    def _detach(self, payload: dict, conn: _Connection, echo_id) -> dict:
+        stream = self._stream_of(payload)
+        if stream not in conn.attached:
+            raise RequestError(
+                "not_attached",
+                f"this connection is not attached to stream {stream!r}")
+        conn.attached.discard(stream)
+        return ok_frame(echo_id, stream=stream,
+                        attached=sorted(conn.attached))
+
+    def _stats(self, echo_id) -> dict:
+        queued = {name: len(queue)
+                  for name, queue in self._queues.items() if queue}
+        return ok_frame(
+            echo_id,
+            metrics=self.metrics.to_dict(),
+            fleet={"type": type(self.fleet).__name__,
+                   "streams": list(self.fleet.names),
+                   "rounds": self.fleet.rounds},
+            queued=queued, draining=self._draining)
+
+    async def _serve_windows(self, op: str, payload: dict,
+                             conn: _Connection, echo_id) -> dict:
+        started = time.perf_counter()
+        stream = self._stream_of(payload)
+        if self._draining:
+            raise RequestError("shutting_down",
+                               "server is draining; no new windows accepted")
+        if stream not in conn.attached:
+            raise RequestError(
+                "not_attached",
+                f"attach to stream {stream!r} before sending windows")
+        if stream not in self.fleet:
+            raise RequestError("unknown_stream",
+                               f"stream {stream!r} has left the fleet")
+        try:
+            windows = np.asarray(payload.get("windows"), dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                "bad_request", f"'windows' is not a numeric array: {exc}")
+        if windows.ndim != 3 or 0 in windows.shape:
+            raise RequestError(
+                "bad_request",
+                f"expected non-empty (B, T, frame_dim) windows, got shape "
+                f"{windows.shape}")
+        queue = self._queues.setdefault(stream, deque())
+        if len(queue) >= self.max_queue_depth:
+            self.metrics.counter("gateway.rejected.backpressure").inc()
+            raise RequestError(
+                "backpressure",
+                f"stream {stream!r} has {len(queue)} queued request(s) "
+                f"(limit {self.max_queue_depth}); retry after backoff")
+        future = asyncio.get_running_loop().create_future()
+        queue.append(_Pending(op=op, stream=stream, windows=windows,
+                              future=future, owner=conn,
+                              queued_at=started))
+        self._work.set()
+        kind, *rest = await future
+        if kind == "error":
+            code, message = rest
+            raise RequestError(code, message)
+        self.metrics.histogram(f"gateway.{op}_latency").observe(
+            time.perf_counter() - started)
+        if kind == "scores":
+            (scores,) = rest
+            return ok_frame(echo_id, stream=stream,
+                            scores=np.asarray(scores).tolist())
+        (event,) = rest
+        log = event.log
+        return ok_frame(
+            echo_id, stream=stream, step=event.step,
+            scores=np.asarray(event.scores).tolist(),
+            mission=event.mission,
+            adapted=bool(log.updated) if log is not None else False,
+            pruned=len(log.pruned) if log is not None else 0)
+
+
+# ---------------------------------------------------------------------
+# Blocking-world harness
+# ---------------------------------------------------------------------
+class GatewayHandle:
+    """A gateway event loop running in a daemon thread.
+
+    ``address`` is the bound ``(host, port)``; :meth:`stop` requests a
+    graceful drain from any thread and joins the loop.  Usable as a
+    context manager.  ``pause_rounds``/``resume_rounds`` freeze the
+    round loop (admission keeps queueing) — the hook the failure-path
+    tests use to fill queues deterministically.
+    """
+
+    def __init__(self, server: GatewayServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.server = server
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def _call_soon(self, fn) -> None:
+        done = threading.Event()
+        self.loop.call_soon_threadsafe(lambda: (fn(), done.set()))
+        if not done.wait(timeout=10):
+            raise TimeoutError("gateway event loop is not responding")
+
+    def pause_rounds(self) -> None:
+        self._call_soon(self.server._paused.clear)
+
+    def resume_rounds(self) -> None:
+        self._call_soon(self.server._paused.set)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and stop the server, then join its thread (idempotent —
+        a server already stopped by a client ``shutdown`` just joins)."""
+        if self.thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self.loop)
+            try:
+                future.result(timeout=timeout)
+            except (asyncio.CancelledError, RuntimeError):
+                pass
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(fleet, **kwargs) -> GatewayHandle:
+    """Start a :class:`GatewayServer` over ``fleet`` on a daemon thread;
+    returns once the socket is bound.  Keyword arguments go to the
+    server constructor (``port=0`` picks an ephemeral port)."""
+    server = GatewayServer(fleet, **kwargs)
+    started = threading.Event()
+    box: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            await server.start()
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.wait_stopped()
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, daemon=True,
+                              name="gateway-server")
+    thread.start()
+    if not started.wait(timeout=60):
+        raise TimeoutError("gateway server failed to start in time")
+    if "error" in box:
+        raise RuntimeError("gateway server failed to start") from box["error"]
+    return GatewayHandle(server, thread, box["loop"])

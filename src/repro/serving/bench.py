@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..gateway.metrics import percentile
 from .batcher import MicroBatcher, ScoreRequest
 from .fleet import build_fleet
 from .sharded import build_sharded_fleet
@@ -56,18 +57,27 @@ class BenchConfig:
     stream_seed: int = 100
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    return float(np.percentile(np.asarray(samples), q))
+def _percentile(samples: list[float], q: float,
+                phase: str = "latency") -> float:
+    # Shared guard (see repro.gateway.metrics): an empty sample list
+    # raises a ValueError naming the phase, not numpy's bare IndexError.
+    return percentile(samples, q, phase=phase)
 
 
-def _mode_stats(latencies: list[float], windows_per_round: int) -> dict:
+def _mode_stats(latencies: list[float], windows_per_round: int,
+                phase: str = "serving") -> dict:
+    if not latencies:
+        raise ValueError(
+            f"benchmark phase {phase!r} recorded no timed rounds "
+            "(zero-round stream or repeats=0?); cannot summarize an "
+            "empty latency list")
     total = float(np.sum(latencies))
     return {
         "rounds_timed": len(latencies),
         "total_seconds": total,
         "windows_per_sec": windows_per_round * len(latencies) / total,
-        "p50_ms": _percentile(latencies, 50) * 1e3,
-        "p95_ms": _percentile(latencies, 95) * 1e3,
+        "p50_ms": _percentile(latencies, 50, phase) * 1e3,
+        "p95_ms": _percentile(latencies, 95, phase) * 1e3,
     }
 
 
@@ -144,8 +154,9 @@ def run_benchmark(pipeline, config: BenchConfig | None = None,
             run_batched(round_windows)
             batched_lat.append(time.perf_counter() - start)
 
-    sequential = _mode_stats(sequential_lat, windows_per_round)
-    batched = _mode_stats(batched_lat, windows_per_round)
+    sequential = _mode_stats(sequential_lat, windows_per_round,
+                             phase="sequential")
+    batched = _mode_stats(batched_lat, windows_per_round, phase="batched")
     return {
         "benchmark": "fleet_serving",
         "config": {
@@ -234,7 +245,8 @@ def run_shard_benchmark(pipeline, config: BenchConfig | None = None,
                     latencies.append(time.perf_counter() - start)
         finally:
             sharded.close()
-        stats = _mode_stats(latencies, windows_per_round)
+        stats = _mode_stats(latencies, windows_per_round,
+                            phase=f"{count}-shard")
         stats["speedup_vs_batched"] = stats["windows_per_sec"] / batched_wps
         stats["parity"] = {"identical": identical,
                            "max_abs_diff": max_abs_diff}

@@ -205,6 +205,97 @@ class DeploymentFleet:
             yield events
             rounds += 1
 
+    def _gather(self, arrivals: dict) -> tuple[list[StreamSlot],
+                                               list[np.ndarray]]:
+        """Validate externally supplied arrivals and order them by slot
+        attach order (the order :meth:`step` scores in)."""
+        unknown = sorted(set(arrivals) - set(self._slots))
+        if unknown:
+            raise KeyError(f"no stream named {unknown[0]!r} attached")
+        slots = [slot for name, slot in self._slots.items()
+                 if name in arrivals]
+        windows = []
+        for slot in slots:
+            batch = np.asarray(arrivals[slot.name], dtype=np.float64)
+            if batch.ndim != 3 or 0 in batch.shape:
+                raise ValueError(
+                    f"stream {slot.name!r}: expected non-empty "
+                    f"(B, T, frame_dim) windows, got shape {batch.shape}")
+            windows.append(batch)
+        return slots, windows
+
+    def ingest_round(self, arrivals: dict, batched: bool = True,
+                     scores: dict | None = None) -> dict[str, FleetEvent]:
+        """One serving round over externally supplied arrival windows.
+
+        ``arrivals`` maps attached stream names to ``(B, T, frame_dim)``
+        window batches — the network gateway's entry point, where windows
+        come over the wire instead of from each slot's own stream.  The
+        round is scored exactly like :meth:`step` (one micro-batched
+        forward per distinct scoring model, each deployment ingesting its
+        precomputed slice), so gateway-served scores are bit-identical to
+        a direct ``step()`` run over the same per-stream window sequence.
+        Slot stream cursors are untouched.
+
+        ``scores`` may carry each stream's precomputed anomaly scores
+        (e.g. from a prior :meth:`score_only` call over the same
+        windows); scoring is then skipped and the deployments ingest the
+        given slices.  The forward is score-then-ingest either way, so a
+        scoring failure (bad shapes, mixed window lengths) raises before
+        any deployment's state is touched.
+        """
+        slots, windows = self._gather(arrivals)
+        if not slots:
+            return {}
+        if scores is not None:
+            missing = [slot.name for slot in slots if slot.name not in scores]
+            if missing:
+                raise KeyError(f"no precomputed scores for stream "
+                               f"{missing[0]!r}")
+            all_scores = [np.asarray(scores[slot.name], dtype=np.float64)
+                          for slot in slots]
+        elif batched:
+            all_scores = self.batcher.score(
+                [ScoreRequest(slot.deployment.model, batch)
+                 for slot, batch in zip(slots, windows)])
+        else:
+            all_scores = [None] * len(slots)
+        events = {}
+        for slot, batch, batch_scores in zip(slots, windows, all_scores):
+            log = slot.deployment.ingest(batch, scores=batch_scores)
+            events[slot.name] = FleetEvent(
+                stream=slot.name, mission=slot.deployment.mission,
+                step=log.step, scores=log.scores, log=log)
+        self.rounds += 1
+        return events
+
+    def score_only(self, arrivals: dict) -> dict[str, np.ndarray]:
+        """Score externally supplied windows without feeding any
+        deployment's monitor (the gateway's ``scores`` op); same
+        micro-batched forward as :meth:`ingest_round`."""
+        slots, windows = self._gather(arrivals)
+        if not slots:
+            return {}
+        all_scores = self.batcher.score(
+            [ScoreRequest(slot.deployment.model, batch)
+             for slot, batch in zip(slots, windows)])
+        return {slot.name: scores
+                for slot, scores in zip(slots, all_scores)}
+
+    # ------------------------------------------------------------------
+    # Resource management — no-ops, mirroring ShardedFleet's surface so
+    # callers (GatewayServer, examples) can manage either fleet type
+    # uniformly.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Nothing to release in-process; exists for fleet-type parity."""
+
+    def __enter__(self) -> "DeploymentFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

@@ -204,6 +204,14 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
                 result = None
             elif command == "remove":
                 result = fleet.remove(args[0]).to_dict(include_model=True)
+            elif command == "ingest_round":
+                arrivals, batched, scores = args
+                if scores is not None:
+                    scores = {name: scores[name] for name in arrivals}
+                result = fleet.ingest_round(arrivals, batched=batched,
+                                            scores=scores)
+            elif command == "score_only":
+                result = fleet.score_only(args[0])
             elif command == "snapshot":
                 result = fleet.to_dict()
             elif command == "stats":
@@ -475,6 +483,60 @@ class ShardedFleet:
                 return
             yield events
             rounds += 1
+
+    def _scatter(self, command: str, arrivals: dict, extra: tuple = ()):
+        """Partition a per-stream mapping by shard assignment, send each
+        involved shard its slice (all sends before any recv, so shards
+        overlap), and merge the per-shard dict replies."""
+        self._check_open()
+        per_shard: dict[int, dict] = {}
+        for name, value in arrivals.items():
+            shard = self._assignment.get(name)
+            if shard is None:
+                raise KeyError(f"no stream named {name!r} attached")
+            per_shard.setdefault(shard, {})[name] = value
+        shards = sorted(per_shard)
+        for shard in shards:
+            self._send(self._conns[shard],
+                       (command, per_shard[shard], *extra))
+        merged: dict = {}
+        errors = []
+        for shard in shards:
+            status, value = self._recv(self._conns[shard])
+            if status != "ok":
+                errors.append(f"shard {shard}: {value}")
+            else:
+                merged.update(value)
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        return merged
+
+    def ingest_round(self, arrivals: dict, batched: bool = True,
+                     scores: dict | None = None) -> dict:
+        """One serving round over externally supplied arrival windows;
+        the sharded twin of :meth:`DeploymentFleet.ingest_round` (each
+        involved shard micro-batches its own slice concurrently).
+
+        Unlike the single-process fleet, a multi-shard round is not
+        atomic: each shard scores-then-ingests its own slice, so if one
+        shard fails (worker death) the other shards' streams have
+        already ingested their windows.  Callers must treat a raised
+        round as indeterminate and must not blindly re-send the same
+        windows, or surviving streams double-ingest.  Pre-validating
+        windows with :meth:`score_only` (stateless, safely retryable)
+        and passing the result as ``scores`` confines ingest-time
+        failures to genuine worker crashes.
+        """
+        events = self._scatter("ingest_round", arrivals,
+                               extra=(batched, scores))
+        if events:
+            self.rounds += 1
+        return events
+
+    def score_only(self, arrivals: dict) -> dict:
+        """Score externally supplied windows without feeding any
+        monitor; the sharded twin of :meth:`DeploymentFleet.score_only`."""
+        return self._scatter("score_only", arrivals)
 
     # ------------------------------------------------------------------
     # Benchmark hooks (see serving.bench.run_shard_benchmark)

@@ -96,6 +96,60 @@ class TestParser:
         with pytest.raises(SystemExit, match="--shards must be"):
             main(["fleet", "--shards", "0"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["--version"])
+        assert exit_info.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway"])
+        assert args.streams == 4
+        assert args.host == "127.0.0.1"
+        assert args.port == 7641
+        assert args.max_queue_depth == 8
+        assert args.shards == 1
+        assert not args.adaptive
+
+    def test_gateway_flags(self):
+        args = build_parser().parse_args(
+            ["gateway", "--streams", "8", "--port", "0", "--host", "0.0.0.0",
+             "--max-queue-depth", "2", "--shards", "2", "--adaptive"])
+        assert args.streams == 8
+        assert args.port == 0
+        assert args.host == "0.0.0.0"
+        assert args.max_queue_depth == 2
+        assert args.shards == 2
+        assert args.adaptive
+
+    def test_gateway_bad_shards(self):
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(["gateway", "--shards", "0"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.streams == 4
+        assert args.levels == [1, 2, 4]
+        assert args.rate is None
+        assert args.rounds is None
+        assert args.output is None  # resolved to BENCH_4.json at run time
+        assert not args.quick and not args.verify
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--levels", "1", "8", "--rate", "50",
+             "--rounds", "3", "--quick", "--verify", "--output", "g.json"])
+        assert args.levels == [1, 8]
+        assert args.rate == 50.0
+        assert args.rounds == 3
+        assert args.quick and args.verify
+        assert args.output == "g.json"
+
+    def test_loadgen_bad_level(self):
+        with pytest.raises(SystemExit, match="levels entries must be"):
+            main(["loadgen", "--levels", "0"])
+
 
 class TestKGCommand:
     def test_kg_command_runs(self, capsys):

@@ -1,0 +1,174 @@
+"""Tests for the gateway wire format: framing, validation, error typing."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    RequestError,
+    decode_body,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    read_frame,
+    recv_frame,
+    request_frame,
+    send_frame,
+    validate_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payload = {"op": "ingest", "id": 7, "windows": [[[0.5, 1.0]]]}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == payload
+
+    def test_async_read_round_trip(self):
+        async def main():
+            payload = request_frame("stats", 3)
+            reader = await reader_for(encode_frame(payload))
+            assert await read_frame(reader) == payload
+            assert await read_frame(reader) is None  # clean EOF
+
+        run(main())
+
+    def test_async_read_multiple_frames(self):
+        async def main():
+            frames = [request_frame("attach", i, stream=f"cam-{i}")
+                      for i in range(3)]
+            reader = await reader_for(
+                b"".join(encode_frame(f) for f in frames))
+            got = [await read_frame(reader) for _ in range(3)]
+            assert got == frames
+
+        run(main())
+
+    def test_truncated_header_raises(self):
+        async def main():
+            reader = await reader_for(b"\x00\x00")
+            with pytest.raises(FrameError, match="truncated frame header"):
+                await read_frame(reader)
+
+        run(main())
+
+    def test_truncated_body_raises(self):
+        async def main():
+            frame = encode_frame({"op": "stats"})
+            reader = await reader_for(frame[:-3])
+            with pytest.raises(FrameError, match="truncated frame body"):
+                await read_frame(reader)
+
+        run(main())
+
+    def test_oversized_frame_rejected(self):
+        async def main():
+            reader = await reader_for(struct.pack(">I", 1 << 30) + b"x")
+            with pytest.raises(FrameError, match="exceeds"):
+                await read_frame(reader)
+
+        run(main())
+
+    def test_zero_length_frame_rejected(self):
+        async def main():
+            reader = await reader_for(struct.pack(">I", 0))
+            with pytest.raises(FrameError, match="zero-length"):
+                await read_frame(reader)
+
+        run(main())
+
+    def test_malformed_json_raises(self):
+        body = b"not json at all"
+        with pytest.raises(FrameError, match="malformed JSON"):
+            decode_body(body)
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(FrameError, match="must be a JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_encode_refuses_oversized_body(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_sync_socket_round_trip(self):
+        server, client = socket.socketpair()
+        try:
+            payload = ok_frame(4, scores=[0.25, 0.5])
+            sender = threading.Thread(
+                target=send_frame, args=(server, payload))
+            sender.start()
+            assert recv_frame(client) == payload
+            sender.join()
+            server.close()
+            assert recv_frame(client) is None  # clean EOF
+        finally:
+            client.close()
+
+    def test_sync_truncated_raises(self):
+        server, client = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "stats"})
+            server.sendall(frame[:-2])
+            server.close()
+            with pytest.raises(FrameError, match="closed mid-frame"):
+                recv_frame(client)
+        finally:
+            client.close()
+
+
+class TestValidation:
+    def test_valid_request(self):
+        payload = request_frame("ingest", 5, stream="cam-0")
+        assert payload["v"] == PROTOCOL_VERSION
+        assert validate_request(payload) == "ingest"
+
+    def test_version_mismatch(self):
+        with pytest.raises(RequestError) as err:
+            validate_request({"v": 99, "op": "stats", "id": 1})
+        assert err.value.code == "version_mismatch"
+
+    def test_missing_op(self):
+        with pytest.raises(RequestError) as err:
+            validate_request({"v": PROTOCOL_VERSION, "id": 1})
+        assert err.value.code == "bad_request"
+
+    def test_unknown_op(self):
+        with pytest.raises(RequestError) as err:
+            validate_request({"v": PROTOCOL_VERSION, "op": "explode",
+                              "id": 1})
+        assert err.value.code == "unknown_op"
+
+    def test_bad_id_type(self):
+        with pytest.raises(RequestError) as err:
+            validate_request({"v": PROTOCOL_VERSION, "op": "stats",
+                              "id": [1]})
+        assert err.value.code == "bad_request"
+
+    def test_error_frame_shape(self):
+        frame = error_frame(9, "backpressure", "queue full")
+        assert frame["ok"] is False
+        assert frame["id"] == 9
+        assert frame["error"]["code"] == "backpressure"
+
+    def test_error_frame_rejects_unknown_code(self):
+        with pytest.raises(AssertionError):
+            error_frame(1, "made_up_code", "nope")

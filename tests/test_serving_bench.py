@@ -3,14 +3,35 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.serving import (BenchConfig, format_benchmark, run_benchmark,
                            run_shard_benchmark, write_benchmark)
+from repro.serving.bench import _mode_stats, _percentile
 
 
 def tiny_config():
     return BenchConfig(streams=3, windows_per_step=2, rounds=2,
                        repeats=1, warmup=0)
+
+
+class TestEmptyLatencyGuards:
+    """np.percentile([]) raises a bare IndexError; the harness must name
+    the benchmark phase instead."""
+
+    def test_percentile_empty_names_phase(self):
+        with pytest.raises(ValueError, match="'sequential'"):
+            _percentile([], 50, phase="sequential")
+
+    def test_mode_stats_empty_names_phase(self):
+        with pytest.raises(ValueError, match="'4-shard'"):
+            _mode_stats([], windows_per_round=8, phase="4-shard")
+
+    def test_mode_stats_still_summarizes(self):
+        stats = _mode_stats([0.1, 0.2], windows_per_round=8,
+                            phase="batched")
+        assert stats["rounds_timed"] == 2
+        assert stats["p50_ms"] == pytest.approx(150.0)
 
 
 class TestRunBenchmark:

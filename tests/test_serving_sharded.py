@@ -371,6 +371,38 @@ class TestInfraFidelity:
                                     collect_rounds(resumed))
 
 
+class TestGatewayEntryPoints:
+    """ingest_round/score_only — what the network gateway calls."""
+
+    def test_ingest_round_parity_with_single_process(self, fresh_model,
+                                                     frame_generator):
+        single = make_single_fleet(fresh_model, frame_generator, streams=4)
+        arrivals = {slot.name: np.asarray(slot.stream.batch(0).windows,
+                                          dtype=np.float64)
+                    for slot in single.slots}
+        with ShardedFleet.from_fleet(single, 2, infra=INFRA) as sharded:
+            expected = single.ingest_round(arrivals)
+            got = sharded.ingest_round(arrivals)
+            assert set(got) == set(expected)
+            for name, event in expected.items():
+                assert got[name].step == event.step
+                np.testing.assert_array_equal(got[name].scores, event.scores)
+            assert sharded.rounds == 1
+
+    def test_score_only_and_unknown_stream(self, fresh_model,
+                                           frame_generator):
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        slot = single.slots[0]
+        windows = np.asarray(slot.stream.batch(0).windows, dtype=np.float64)
+        with ShardedFleet.from_fleet(single, 2, infra=INFRA) as sharded:
+            scored = sharded.score_only({slot.name: windows})
+            np.testing.assert_array_equal(
+                scored[slot.name], single.score_only({slot.name: windows})[slot.name])
+            with pytest.raises(KeyError, match="ghost"):
+                sharded.ingest_round({"ghost": windows})
+            assert sharded.rounds == 0  # no successful round ran
+
+
 class TestBenchHooks:
     def test_prime_and_score_round_match_step_scores(self, fresh_model,
                                                      frame_generator):
