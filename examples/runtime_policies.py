@@ -1,0 +1,111 @@
+"""Runtime policy demo: swapping scheduling policies on a live gateway.
+
+Every serving layer runs on one ``repro.runtime.ServingEngine``; the
+gateway exposes its pluggable :class:`~repro.runtime.SchedulingPolicy`
+seam.  This example serves the *same* fleet under all three policies and
+shows the load-bearing invariant — scores are **bit-identical** under
+every policy; only round composition changes:
+
+1. record a direct in-process ``fleet.step()`` reference;
+2. serve gateways under ``fair`` (≤1 request/stream/round round-robin),
+   ``greedy`` (drain the whole backlog into one round), and
+   ``priority`` (priority/deadline admission) scheduling, driving each
+   with the identical per-stream window sequence;
+3. compare scores and the engine's promoted metrics (rounds, windows
+   per coalesced forward) across policies, then show a priority request
+   with an already-missed ``deadline_ms`` being shed with a typed
+   ``expired`` frame instead of served stale.
+
+Run:  python examples/runtime_policies.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.api import Pipeline, ReproConfig
+from repro.gateway import GatewayClient, GatewayError, serve_in_thread
+from repro.serving import build_fleet
+
+STREAMS = 3
+ROUNDS = 3
+POLICIES = ("fair", "greedy", "priority")
+
+
+def build(pipeline):
+    return build_fleet(pipeline, ["Stealing"], STREAMS, windows_per_step=2)
+
+
+def main() -> None:
+    config = ReproConfig()
+    config.override("experiment.train_steps", 150)  # demo-sized training
+    pipeline = Pipeline.from_config(config)
+
+    print(f"[1/3] Direct in-process reference run ({STREAMS} streams) ...")
+    reference_fleet = build(pipeline)
+    windows = {slot.name: [np.asarray(slot.stream.batch(r).windows)
+                           for r in range(ROUNDS)]
+               for slot in reference_fleet.slots}
+    reference = {name: [] for name in reference_fleet.names}
+    for _ in range(ROUNDS):
+        for event in reference_fleet.step():
+            reference[event.stream].append(event.scores)
+
+    print("\n[2/3] The same windows under each scheduling policy ...")
+    for policy in POLICIES:
+        with build(pipeline) as fleet, \
+                serve_in_thread(fleet, policy=policy) as handle:
+            identical = True
+            with GatewayClient(*handle.address) as client:
+                for name in windows:
+                    client.attach(name)
+                for round_index in range(ROUNDS):
+                    for position, name in enumerate(windows):
+                        # Priorities only matter to the priority policy;
+                        # the others ignore them — scores never change.
+                        reply = client.request(
+                            "ingest", stream=name,
+                            windows=windows[name][round_index].tolist(),
+                            priority=position)
+                        scores = np.asarray(reply["scores"])
+                        identical &= np.array_equal(
+                            scores, reference[name][round_index])
+                stats = client.stats()
+            engine = stats["engine"]
+            coalesce = engine["coalesce"]
+            print(f"      {policy:<8s}: scores identical {identical}   "
+                  f"engine rounds {engine['rounds']:2d}   "
+                  f"{coalesce['windows_per_forward']:.2f} windows/forward")
+
+    print("\n[3/3] Deadline admission under the priority policy ...")
+    with build(pipeline) as fleet, \
+            serve_in_thread(fleet, policy="priority") as handle:
+        handle.pause_rounds()      # hold the round loop so the deadline
+        name = fleet.names[0]      # lapses while the request is queued
+        with GatewayClient(*handle.address) as client:
+            client.attach(name)
+            import threading
+            outcome = {}
+
+            def doomed_ingest():
+                try:
+                    client.request("ingest", stream=name,
+                                   windows=windows[name][0].tolist(),
+                                   deadline_ms=30)
+                except GatewayError as error:
+                    outcome["error"] = error
+
+            worker = threading.Thread(target=doomed_ingest)
+            worker.start()
+            time.sleep(0.2)        # 30 ms deadline long gone
+            handle.resume_rounds()
+            worker.join(timeout=30)
+        error = outcome.get("error")
+        print(f"      stale request shed with a typed frame: "
+              f"[{error.code}] {error.message[:56]}...")
+        print("      (a fresh request for the same stream would still "
+              "serve step 0 — expired work never touches the monitor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ state) to a single JSON artifact.  The CLI mirrors it:
 Subpackages
 -----------
 ``repro.api``         public deployment facade (Pipeline/Deployment/ReproConfig)
+``repro.runtime``     unified serving core (ServingEngine/backends/policies)
+``repro.metrics``     serving metrics primitives (counters/gauges/histograms)
 ``repro.serving``     multi-stream fleet serving (DeploymentFleet/MicroBatcher)
 ``repro.gateway``     async TCP serving gateway (GatewayServer/GatewayClient)
 ``repro.nn``          numpy autodiff + layers (PyTorch substitute)
@@ -40,9 +42,10 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
-    "api", "serving", "gateway", "nn", "concepts", "embedding", "llm", "kg",
-    "gnn", "adaptation", "data", "edge", "eval", "utils",
+    "api", "runtime", "metrics", "serving", "gateway", "nn", "concepts",
+    "embedding", "llm", "kg", "gnn", "adaptation", "data", "edge", "eval",
+    "utils",
 ]

@@ -121,13 +121,24 @@ class Deployment:
 
         ``stream`` may yield :class:`~repro.data.StreamBatch` objects (the
         repo's deployment streams) or raw ``(B, T, frame_dim)`` arrays.
+
+        Serving runs through the canonical
+        :class:`~repro.runtime.ServingEngine` round loop as a
+        single-stream fleet (``batched=False``: with one stream per round
+        there is nothing to coalesce, and the deployment scores inside
+        :meth:`ingest` exactly as before).
         """
-        for item in stream:
-            windows = getattr(item, "windows", item)
-            log = self.ingest(windows)
-            yield ServeEvent(step=log.step, scores=log.scores, log=log,
-                             active_class=getattr(item, "active_class", None),
-                             is_post_shift=getattr(item, "is_post_shift", None))
+        # Imported here: repro.serving builds on repro.api, not the
+        # other way around.
+        from ..serving.fleet import DeploymentFleet
+        fleet = DeploymentFleet()
+        fleet.add("deployment", self, stream)
+        for events in fleet.serve(batched=False):
+            for event in events:
+                yield ServeEvent(step=event.step, scores=event.scores,
+                                 log=event.log,
+                                 active_class=event.active_class,
+                                 is_post_shift=event.is_post_shift)
 
     def freeze(self) -> None:
         """Turn an adaptive deployment into a static one.

@@ -234,6 +234,7 @@ def cmd_bench(args) -> int:
     from .serving import (BenchConfig, DEFAULT_BENCH_PATH,
                           DEFAULT_SHARD_BENCH_PATH, format_benchmark,
                           run_benchmark, run_shard_benchmark, write_benchmark)
+    from .serving.bench import format_engine_parity, run_engine_parity
     config = _build_config(args)
     if args.quick:
         _apply_quick_overrides(config, args)
@@ -263,11 +264,25 @@ def cmd_bench(args) -> int:
     else:
         result = run_benchmark(pipeline, bench_config)
         output = args.output or DEFAULT_BENCH_PATH
+    if args.engine_parity:
+        backends = ("sharded",) if args.shards is not None else ("inline",)
+        print(f"[bench] engine parity matrix over backends {backends} x "
+              f"policies (fair, greedy, priority)...")
+        parity = run_engine_parity(pipeline, bench_config,
+                                   shards=args.shards or 2,
+                                   backends=backends)
+        print(format_engine_parity(parity))
+        result["engine_parity"] = parity
     print(format_benchmark(result))
     path = write_benchmark(result, output)
     print(f"[bench] wrote {path}")
     if not result["parity"]["identical"]:
         print("[bench] FAIL: scores diverged between serving modes")
+        return 1
+    if args.engine_parity \
+            and not result["engine_parity"]["parity"]["identical"]:
+        print("[bench] FAIL: engine backend x policy matrix diverged "
+              "from direct fleet.step() scores")
         return 1
     if args.min_speedup is not None and result["speedup"] < args.min_speedup:
         print(f"[bench] FAIL: speedup {result['speedup']:.2f}x below "
@@ -304,11 +319,13 @@ def cmd_gateway(args) -> int:
                   stream_seed=args.stream_seed,
                   max_batch_windows=args.max_batch_windows, **extra)
     server = GatewayServer(fleet, host=args.host, port=args.port,
-                           max_queue_depth=args.max_queue_depth)
+                           max_queue_depth=args.max_queue_depth,
+                           policy=args.policy)
 
     async def main() -> None:
         host, port = await server.start()
-        print(f"[gateway] listening on {host}:{port} — streams: "
+        print(f"[gateway] listening on {host}:{port} "
+              f"(policy: {server.engine.policy.name}) — streams: "
               f"{', '.join(fleet.names)}")
         print("[gateway] serving until a shutdown frame arrives "
               "(or Ctrl-C)")
@@ -325,7 +342,7 @@ def cmd_gateway(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
-    """Drive an in-process gateway, verify parity, write BENCH_4.json."""
+    """Drive an in-process gateway, verify parity, write BENCH_5.json."""
     from .api import Pipeline
     from .gateway import (DEFAULT_GATEWAY_BENCH_PATH,
                           format_gateway_benchmark, run_gateway_benchmark)
@@ -348,7 +365,7 @@ def cmd_loadgen(args) -> int:
         windows_per_step=args.windows_per_step, rounds=rounds,
         levels=levels, rate=args.rate, stream_seed=args.stream_seed,
         max_batch_windows=args.max_batch_windows,
-        max_queue_depth=args.max_queue_depth)
+        max_queue_depth=args.max_queue_depth, policy=args.policy)
     print(format_gateway_benchmark(result))
     path = write_benchmark(result, args.output or DEFAULT_GATEWAY_BENCH_PATH)
     print(f"[loadgen] wrote {path}")
@@ -542,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_3.json by default)")
     p.add_argument("--quick", action="store_true",
                    help="small training + fewer repeats (CI smoke profile)")
+    p.add_argument("--engine-parity", action="store_true",
+                   help="also run the engine backend x scheduling-policy "
+                        "parity matrix (inline by default, sharded with "
+                        "--shards) and fail on any score divergence")
     p.add_argument("--output", metavar="PATH", default=None,
                    help="result JSON path (default BENCH_2.json, or "
                         "BENCH_3.json with --shards)")
@@ -570,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continuously adapting deployments (private models)")
     p.add_argument("--shards", type=int, default=1,
                    help="partition the fleet across N worker processes")
+    p.add_argument("--policy", choices=("fair", "greedy", "priority"),
+                   default=None,
+                   help="engine scheduling policy: fair round-robin "
+                        "(default), greedy drain, or priority/deadline "
+                        "admission — scores are bit-identical under all")
     p.add_argument("--max-batch-windows", type=int, default=None,
                    help="cap windows per coalesced forward")
     p.add_argument("--host", default="127.0.0.1",
@@ -583,11 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("loadgen",
                        help="gateway load benchmark + parity check "
-                            "(BENCH_4.json)")
+                            "(BENCH_5.json)")
     _add_common(p)
     p.add_argument("--streams", type=int, default=4,
                    help="fleet streams behind the gateway (default 4)")
     p.add_argument("--missions", nargs="+", default=["Stealing"])
+    p.add_argument("--policy", choices=("fair", "greedy", "priority"),
+                   default=None,
+                   help="engine scheduling policy on the server "
+                        "(default fair; parity holds under all)")
     p.add_argument("--windows-per-step", type=int, default=2,
                    help="arrival windows per request (default 2)")
     p.add_argument("--rounds", type=int, default=None,
@@ -609,7 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(parity is always measured; this is already the "
                         "default behavior, the flag records intent)")
     p.add_argument("--output", metavar="PATH", default=None,
-                   help="result JSON path (default BENCH_4.json)")
+                   help="result JSON path (default BENCH_5.json)")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")

@@ -21,11 +21,17 @@ stdlib + numpy only:
     Blocking client SDK and the multi-connection open-loop load
     generator behind ``repro loadgen``.
 :class:`MetricsRegistry`
-    Counters, gauges and p50/p95/p99 latency histograms surfaced through
-    the ``stats`` op and reused by :mod:`repro.serving.bench`.
+    Re-exported from :mod:`repro.metrics` (promoted out of the gateway):
+    counters, gauges and p50/p95/p99 latency histograms shared by every
+    serving layer and surfaced through the ``stats`` op.
 :func:`run_gateway_benchmark`
     The latency/throughput curve over client-concurrency levels written
-    as ``BENCH_4.json``.
+    as ``BENCH_5.json``, engine metrics included.
+
+The server itself no longer owns a round loop: requests feed the fleet's
+:class:`repro.runtime.ServingEngine` admission queues, and a pluggable
+:class:`~repro.runtime.SchedulingPolicy` (``policy="fair"|"greedy"|
+"priority"``) composes the rounds.
 """
 
 from .client import (
@@ -38,7 +44,9 @@ from .client import (
     format_gateway_benchmark,
     run_gateway_benchmark,
 )
-from .metrics import (
+# Compatibility re-exports: the metrics primitives were promoted to
+# repro.metrics (repro.gateway.metrics remains as a deprecation shim).
+from ..metrics import (
     Counter,
     Gauge,
     LatencyHistogram,

@@ -10,7 +10,7 @@ connections.  Streams are split round-robin across clients; each client
 replays its streams' pre-materialized arrival windows in stream order
 (per-stream request order is what score parity is defined over) and
 records per-request latency into a shared
-:class:`~repro.gateway.metrics.LatencyHistogram`.  With a target
+:class:`~repro.metrics.LatencyHistogram`.  With a target
 request ``rate`` the generator is open-loop — sends are scheduled on a
 global clock regardless of completions, the regime where admission
 control starts answering ``backpressure`` — and without one each
@@ -20,7 +20,7 @@ connection runs closed-loop at full speed.
 it computes a direct in-process ``fleet.step()`` reference over the
 same streams, then serves identical windows through a fresh gateway at
 each client-concurrency level, verifying bit-identical scores and
-writing the latency/throughput curve as ``BENCH_4.json``.
+writing the latency/throughput curve as ``BENCH_5.json``.
 """
 
 from __future__ import annotations
@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .metrics import LatencyHistogram
+from ..metrics import LatencyHistogram
 from .protocol import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -46,7 +46,10 @@ __all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
            "LoadGenerator", "LoadGenResult", "run_gateway_benchmark",
            "format_gateway_benchmark", "DEFAULT_GATEWAY_BENCH_PATH"]
 
-DEFAULT_GATEWAY_BENCH_PATH = "BENCH_4.json"
+#: BENCH_4 was the pre-runtime gateway artifact; BENCH_5 adds the
+#: promoted engine metrics (rounds, coalesce ratio, queue gauges) from
+#: the server's ``stats`` op next to the throughput/latency curve.
+DEFAULT_GATEWAY_BENCH_PATH = "BENCH_5.json"
 
 
 class GatewayError(Exception):
@@ -295,7 +298,7 @@ class LoadGenerator:
 
 
 # ---------------------------------------------------------------------
-# The BENCH_4 harness
+# The BENCH_5 harness
 # ---------------------------------------------------------------------
 def _direct_reference(pipeline, missions, streams, windows_per_step,
                       stream_seed, rounds, max_batch_windows):
@@ -360,15 +363,20 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
                           rate: float | None = None,
                           stream_seed: int = 100,
                           max_batch_windows: int | None = None,
-                          max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> dict:
+                          max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                          policy=None) -> dict:
     """Latency/throughput curve over client-concurrency levels.
 
     For each level a *fresh* fleet (same build arguments, hence the same
     streams and models) is served by an in-thread gateway and driven by
     ``level`` concurrent client connections replaying the identical
     pre-materialized windows; every response is checked bit-for-bit
-    against the direct in-process reference.  The returned payload is
-    the ``BENCH_4.json`` artifact.
+    against the direct in-process reference, and the server's ``stats``
+    op is snapshotted after the run so the engine's promoted metrics
+    (rounds, coalesce ratio, queue gauges) land in the artifact.  The
+    returned payload is the ``BENCH_5.json`` artifact.  ``policy`` names
+    the engine scheduling policy (default: fair round-robin) — any
+    policy serves bit-identical scores, so the curve stays parity-gated.
     """
     from ..serving import build_fleet
     from ..serving.bench import _environment
@@ -385,17 +393,21 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
                             windows_per_step=windows_per_step,
                             stream_seed=stream_seed,
                             max_batch_windows=max_batch_windows)
-        with fleet, serve_in_thread(fleet,
-                                    max_queue_depth=max_queue_depth) as handle:
+        with fleet, serve_in_thread(fleet, max_queue_depth=max_queue_depth,
+                                    policy=policy) as handle:
             generator = LoadGenerator(
                 handle.address, stream_windows,
                 LoadGenConfig(clients=level, rounds=rounds, rate=rate))
             result = generator.run()
+            with GatewayClient(*handle.address) as observer:
+                server_stats = observer.stats()
         parity = _check_parity(result, reference)
         all_identical = all_identical and parity["identical"] \
             and not result.errors
         stats = result.summary(phase=f"{level}-client gateway")
         stats["parity"] = parity
+        stats["server"] = {"engine": server_stats.get("engine"),
+                           "metrics": server_stats.get("metrics")}
         if result.errors:
             stats["error_messages"] = result.errors[:10]
         level_results[str(level)] = stats
@@ -411,6 +423,7 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
             "stream_seed": stream_seed,
             "max_batch_windows": max_batch_windows,
             "max_queue_depth": max_queue_depth,
+            "policy": getattr(policy, "name", policy) or "fair",
         },
         "levels": level_results,
         "parity": {"identical": all_identical},
@@ -418,13 +431,39 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
     }
 
 
+def _format_server_stats(stats: dict | None) -> str | None:
+    """One line of promoted engine metrics from a level's ``stats`` op
+    snapshot: rounds, coalesce ratio, queue-depth gauge."""
+    if not stats:
+        return None
+    engine = stats.get("engine") or {}
+    metrics = stats.get("metrics") or {}
+    parts = [f"engine rounds {engine.get('rounds', 0)}",
+             f"policy {engine.get('policy', '?')}"]
+    coalesce = engine.get("coalesce")
+    if coalesce:
+        parts.append(
+            f"{coalesce['windows_per_forward']:.2f} windows/forward "
+            f"({coalesce['windows_scored']} windows, "
+            f"{coalesce['batches_run']} forward(s))")
+    gauges = metrics.get("gauges") or {}
+    if "engine.queue_depth" in gauges:
+        parts.append(f"queue depth {gauges['engine.queue_depth']:.0f}")
+    histograms = metrics.get("histograms") or {}
+    round_latency = histograms.get("engine.round_latency") or {}
+    if round_latency.get("count"):
+        parts.append(f"round p95 {round_latency['p95_ms']:.2f} ms")
+    return ", ".join(parts)
+
+
 def format_gateway_benchmark(result: dict) -> str:
-    """Human-readable one-screen summary of a BENCH_4 payload."""
+    """Human-readable one-screen summary of a BENCH_5 payload."""
     cfg = result["config"]
     lines = [
         f"gateway serving benchmark: {cfg['streams']} stream(s) x "
         f"{cfg['windows_per_step']} windows/request, {cfg['rounds']} "
         f"round(s)/stream, levels {cfg['levels']}"
+        + (f", policy {cfg['policy']}" if cfg.get("policy") else "")
         + (f", open-loop {cfg['rate']:.0f} req/s" if cfg["rate"] else ""),
     ]
     for level, stats in result["levels"].items():
@@ -437,5 +476,8 @@ def format_gateway_benchmark(result: dict) -> str:
             f"   p95 {latency.get('p95_ms', float('nan')):7.2f} ms"
             f"   p99 {latency.get('p99_ms', float('nan')):7.2f} ms"
             f"   identical: {stats['parity']['identical']}{note}")
+        server_line = _format_server_stats(stats.get("server"))
+        if server_line:
+            lines.append(f"              server: {server_line}")
     lines.append(f"  parity (all levels): {result['parity']['identical']}")
     return "\n".join(lines)

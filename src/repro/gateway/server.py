@@ -1,31 +1,34 @@
-"""The asyncio TCP gateway: a deployment fleet behind a network socket.
+"""The asyncio TCP gateway: a serving engine behind a network socket.
 
 :class:`GatewayServer` accepts length-prefixed JSON frames (see
-:mod:`repro.gateway.protocol`), queues each connection's ``ingest`` /
-``scores`` requests into bounded per-stream admission queues, and a
-single round loop drains them: every round takes at most one pending
-request per stream — exactly the one-batch-per-stream-per-round shape of
-``fleet.step()`` — and hands the whole round to the fleet's micro-batched
-entry points (:meth:`~repro.serving.DeploymentFleet.ingest_round` /
-``score_only``) in a one-worker executor thread.  Because the
-micro-batcher's coalesced scores are bit-identical to per-stream scoring
-and each stream's requests are served FIFO, gateway-served scores are
-bit-identical to a direct in-process ``fleet.step()`` run over the same
-per-stream window sequence, no matter how clients interleave.
+:mod:`repro.gateway.protocol`) and submits each connection's ``ingest``
+/ ``scores`` requests into its fleet's
+:class:`~repro.runtime.ServingEngine` — the same engine that drives
+``fleet.step()`` — whose bounded per-stream admission queues and
+pluggable :class:`~repro.runtime.SchedulingPolicy` replace the old
+hardcoded ≤1-request-per-stream-per-round pop loop.  A single gateway
+loop asks the engine to run policy-composed rounds in a one-worker
+executor thread; because scoring is batch-composition-independent and
+the engine preserves per-stream FIFO no matter the policy, gateway-served
+scores are bit-identical to a direct in-process ``fleet.step()`` run over
+the same per-stream window sequence, no matter how clients interleave.
 
 Natural batching, no added latency: while one round is scoring in the
-executor, newly arriving windows pile up in the queues and form the next
-round; an idle gateway serves a lone request immediately.  Admission
-control rejects work beyond ``max_queue_depth`` queued requests per
-stream with a typed ``backpressure`` frame instead of buffering without
-bound, and ``shutdown`` drains every queued request before the server
+executor, newly arriving windows pile up in the engine's queues and form
+the next round; an idle gateway serves a lone request immediately.
+Admission control rejects work beyond ``max_queue_depth`` queued requests
+per stream with a typed ``backpressure`` frame instead of buffering
+without bound; requests may carry ``priority``/``deadline_ms`` fields for
+the priority policy (a missed deadline answers a typed ``expired``
+frame); and ``shutdown`` drains every queued request before the server
 closes.
 
 The server fronts a :class:`~repro.serving.DeploymentFleet` or a
-:class:`~repro.serving.ShardedFleet` interchangeably (both expose the
-same round entry points).  :func:`serve_in_thread` runs the event loop
-in a daemon thread for blocking callers — tests, examples, and the
-``repro loadgen`` harness driving a server in the same process.
+:class:`~repro.serving.ShardedFleet` interchangeably — both are facades
+over the engine, so the gateway never branches on fleet type.
+:func:`serve_in_thread` runs the event loop in a daemon thread for
+blocking callers — tests, examples, and the ``repro loadgen`` harness
+driving a server in the same process.
 """
 
 from __future__ import annotations
@@ -34,13 +37,13 @@ import asyncio
 import contextlib
 import threading
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .metrics import MetricsRegistry
+from ..metrics import MetricsRegistry
+from ..runtime import AdmissionError, EngineRequest, resolve_policy
 from .protocol import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -64,14 +67,10 @@ DEFAULT_MAX_QUEUE_DEPTH = 8
 
 @dataclass
 class _Pending:
-    """One admitted ``ingest``/``scores`` request awaiting its round."""
+    """Gateway-side handle riding along an :class:`EngineRequest` tag."""
 
-    op: str
-    stream: str
-    windows: np.ndarray
     future: asyncio.Future
     owner: object                 # the connection, for disconnect cleanup
-    queued_at: float = 0.0
 
 
 @dataclass(eq=False)  # identity semantics: connections live in a set
@@ -90,17 +89,31 @@ class GatewayServer:
     def __init__(self, fleet, host: str = "127.0.0.1", port: int = 0,
                  max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 policy=None):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        engine = getattr(fleet, "engine", None)
+        if engine is None:
+            raise TypeError(
+                f"{type(fleet).__name__} exposes no serving engine; the "
+                "gateway fronts DeploymentFleet/ShardedFleet facades over "
+                "repro.runtime.ServingEngine")
         self.fleet = fleet
+        self.engine = engine
+        self.engine.max_queue_depth = max_queue_depth
+        if policy is not None:
+            self.engine.policy = resolve_policy(policy)
+        if metrics is not None:
+            # One registry for everything: the caller's registry replaces
+            # the engine's so engine.* and gateway.* metrics land together.
+            self.engine.metrics = metrics
+        self.metrics = self.engine.metrics
         self.host = host
         self.port = port
         self.max_queue_depth = max_queue_depth
         self.max_frame_bytes = max_frame_bytes
-        self.metrics = metrics or MetricsRegistry()
         self.address: tuple[str, int] | None = None
-        self._queues: dict[str, deque[_Pending]] = {}
         self._connections: set[_Connection] = set()
         self._draining = False
         self._server: asyncio.AbstractServer | None = None
@@ -182,86 +195,45 @@ class GatewayServer:
     # The round loop
     # ------------------------------------------------------------------
     async def _round_loop(self) -> None:
+        """Drive the engine: whenever work is queued, run one
+        policy-composed round in the executor thread and resolve the
+        finished requests' futures.
+
+        The round itself — scheduling, waves, score-then-ingest with
+        per-entry error isolation — lives in
+        :meth:`repro.runtime.ServingEngine.run_round`, which is total:
+        every selected or expired request comes back as exactly one
+        :class:`~repro.runtime.RoundResult`, so no client is ever left
+        hanging.
+        """
         loop = asyncio.get_running_loop()
         while True:
-            if self._draining and not any(self._queues.values()):
+            if self._draining and not self.engine.has_pending():
                 self._idle.set()
                 return
             await self._work.wait()
             self._work.clear()
             await self._paused.wait()
-            entries = [queue.popleft()
-                       for queue in self._queues.values() if queue]
-            if any(self._queues.values()):
-                self._work.set()  # leftovers form the next round
-            if not entries:
+            if not self.engine.has_pending():
                 continue
-            start = time.perf_counter()
             try:
                 results = await loop.run_in_executor(
-                    self._executor, self._run_round, entries)
-            except Exception as exc:  # noqa: BLE001 — typed to clients
+                    self._executor, self.engine.run_round)
+            except Exception:  # noqa: BLE001 — belt over run_round's
+                # totality guarantee: whatever slips through must not
+                # kill the round loop and hang every connected client.
                 self.metrics.counter("gateway.errors").inc()
-                for entry in entries:
-                    if not entry.future.done():
-                        entry.future.set_result(
-                            ("error", "internal",
-                             f"serving round failed: "
-                             f"{type(exc).__name__}: {exc}"))
+                self._work.set()
                 continue
-            elapsed = time.perf_counter() - start
+            if self.engine.has_pending():
+                self._work.set()  # leftovers form the next round
+            if not results:
+                continue
             self.metrics.counter("gateway.rounds").inc()
-            self.metrics.histogram("gateway.round_latency").observe(elapsed)
-            self.metrics.gauge("gateway.last_round_size").set(len(entries))
-            for entry in entries:
-                if not entry.future.done():
-                    entry.future.set_result(results.get(
-                        entry.stream,
-                        ("error", "internal",
-                         f"round produced no result for stream "
-                         f"{entry.stream!r}")))
-
-    def _run_round(self, entries: list[_Pending]) -> dict:
-        """Executor-thread body: one micro-batched fleet round over the
-        popped entries (at most one per stream, so keying by stream name
-        is unambiguous).
-
-        Score-then-ingest, with the scoring pass stateless
-        (``score_only``): if the coalesced forward fails — e.g. one
-        client sent windows whose frame_dim doesn't match the models',
-        which the shape check at admission cannot know — each entry is
-        re-scored alone, so only the offending request errors while the
-        rest of the round proceeds.  Retrying is safe precisely because
-        no deployment state was touched; the subsequent ingest dispatches
-        the already-computed (bit-identical) slices and cannot fail on
-        client input.
-        """
-        results: dict[str, tuple] = {}
-        arrivals = {entry.stream: entry.windows for entry in entries}
-        try:
-            scored = self.fleet.score_only(arrivals)
-        except Exception:  # noqa: BLE001 — isolate the bad entry below
-            scored = {}
-            for entry in entries:
-                try:
-                    scored[entry.stream] = self.fleet.score_only(
-                        {entry.stream: entry.windows})[entry.stream]
-                except Exception as exc:  # noqa: BLE001 — typed to client
-                    results[entry.stream] = (
-                        "error", "bad_request",
-                        f"windows for stream {entry.stream!r} failed to "
-                        f"score: {type(exc).__name__}: {exc}")
-        ingest = {entry.stream: entry.windows for entry in entries
-                  if entry.op == "ingest" and entry.stream in scored}
-        if ingest:
-            events = self.fleet.ingest_round(
-                ingest, scores={name: scored[name] for name in ingest})
-            for name, event in events.items():
-                results[name] = ("event", event)
-        for entry in entries:
-            if entry.op == "scores" and entry.stream in scored:
-                results[entry.stream] = ("scores", scored[entry.stream])
-        return results
+            for result in results:
+                pending = result.request.tag
+                if not pending.future.done():
+                    pending.future.set_result(result)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -321,14 +293,9 @@ class GatewayServer:
         """Forget a disconnected client's queued-but-unserved requests
         (requests already inside a running round complete; their results
         are simply never sent)."""
-        for queue in self._queues.values():
-            if any(entry.owner is conn for entry in queue):
-                kept = [entry for entry in queue if entry.owner is not conn]
-                for entry in queue:
-                    if entry.owner is conn:
-                        entry.future.cancel()
-                queue.clear()
-                queue.extend(kept)
+        for request in self.engine.drop_pending(
+                lambda r: r.tag.owner is conn):
+            request.tag.future.cancel()
 
     async def _dispatch(self, payload: dict, conn: _Connection) -> dict:
         raw_id = payload.get("id")
@@ -394,15 +361,36 @@ class GatewayServer:
                         attached=sorted(conn.attached))
 
     def _stats(self, echo_id) -> dict:
-        queued = {name: len(queue)
-                  for name, queue in self._queues.items() if queue}
         return ok_frame(
             echo_id,
             metrics=self.metrics.to_dict(),
+            engine=self.engine.stats(concurrent=True),
             fleet={"type": type(self.fleet).__name__,
                    "streams": list(self.fleet.names),
                    "rounds": self.fleet.rounds},
-            queued=queued, draining=self._draining)
+            queued=self.engine.queued_depths(), draining=self._draining)
+
+    def _scheduling_fields(self, payload: dict) -> tuple[int, float | None]:
+        """Optional ``priority``/``deadline_ms`` request fields for the
+        priority policy (harmless under fair/greedy scheduling)."""
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise RequestError("bad_request",
+                               f"'priority' must be an integer, got "
+                               f"{type(priority).__name__}")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is None:
+            return priority, None
+        if isinstance(deadline_ms, bool) \
+                or not isinstance(deadline_ms, (int, float)) \
+                or deadline_ms <= 0:
+            raise RequestError("bad_request",
+                               "'deadline_ms' must be a positive number "
+                               "of milliseconds")
+        # On the engine's scheduling clock, not time.monotonic(): expiry
+        # is evaluated against engine.now(), and the two must agree when
+        # a non-default clock was injected.
+        return priority, self.engine.now() + float(deadline_ms) / 1e3
 
     async def _serve_windows(self, op: str, payload: dict,
                              conn: _Connection, echo_id) -> dict:
@@ -418,6 +406,7 @@ class GatewayServer:
         if stream not in self.fleet:
             raise RequestError("unknown_stream",
                                f"stream {stream!r} has left the fleet")
+        priority, deadline = self._scheduling_fields(payload)
         try:
             windows = np.asarray(payload.get("windows"), dtype=np.float64)
         except (TypeError, ValueError) as exc:
@@ -428,29 +417,25 @@ class GatewayServer:
                 "bad_request",
                 f"expected non-empty (B, T, frame_dim) windows, got shape "
                 f"{windows.shape}")
-        queue = self._queues.setdefault(stream, deque())
-        if len(queue) >= self.max_queue_depth:
-            self.metrics.counter("gateway.rejected.backpressure").inc()
-            raise RequestError(
-                "backpressure",
-                f"stream {stream!r} has {len(queue)} queued request(s) "
-                f"(limit {self.max_queue_depth}); retry after backoff")
         future = asyncio.get_running_loop().create_future()
-        queue.append(_Pending(op=op, stream=stream, windows=windows,
-                              future=future, owner=conn,
-                              queued_at=started))
+        request = EngineRequest(op=op, stream=stream, windows=windows,
+                                priority=priority, deadline=deadline,
+                                tag=_Pending(future=future, owner=conn))
+        try:
+            self.engine.submit(request)
+        except AdmissionError as exc:
+            self.metrics.counter("gateway.rejected.backpressure").inc()
+            raise RequestError(exc.code, exc.message)
         self._work.set()
-        kind, *rest = await future
-        if kind == "error":
-            code, message = rest
-            raise RequestError(code, message)
+        result = await future
+        if result.kind == "error":
+            raise RequestError(result.code, result.message)
         self.metrics.histogram(f"gateway.{op}_latency").observe(
             time.perf_counter() - started)
-        if kind == "scores":
-            (scores,) = rest
+        if result.kind == "scores":
             return ok_frame(echo_id, stream=stream,
-                            scores=np.asarray(scores).tolist())
-        (event,) = rest
+                            scores=np.asarray(result.scores).tolist())
+        event = result.event
         log = event.log
         return ok_frame(
             echo_id, stream=stream, step=event.step,

@@ -1,0 +1,447 @@
+"""The serving engine: one canonical round loop for every serving layer.
+
+PRs 2–4 grew three serving layers — the in-process
+:class:`~repro.serving.DeploymentFleet`, the multi-process
+:class:`~repro.serving.ShardedFleet`, and the network
+:class:`~repro.gateway.GatewayServer` — and each re-implemented the same
+round shape: gather pending arrivals, pick this round's work, micro-batch
+score it, dispatch the score slices into each deployment's monitor, and
+report what happened.  :class:`ServingEngine` owns that loop once:
+
+* **gather** — either pulled from backend-owned streams (:meth:`step`)
+  or pushed into bounded per-stream admission queues (:meth:`submit`);
+* **schedule** — a pluggable :class:`~repro.runtime.SchedulingPolicy`
+  decides which queued requests form the round (:meth:`run_round`);
+* **score** — the :class:`~repro.runtime.ExecutionBackend` executes the
+  coalesced, stateless scoring pass (in-process micro-batching or a
+  scatter across shard workers), with per-entry isolation when a
+  coalesced forward fails;
+* **ingest** — deployments consume their precomputed score slices;
+* **emit** — :class:`FleetEvent`/:class:`RoundResult` objects for the
+  caller, and round/latency/queue metrics into one shared
+  :class:`repro.metrics.MetricsRegistry`.
+
+Scores are bit-identical across backends and policies: scoring is
+stateless and batch-composition-independent (see
+:mod:`repro.serving.batcher`), and the engine preserves per-stream FIFO
+order no matter how a policy composes rounds, so every stream sees the
+exact ingest sequence a plain ``DeploymentFleet.step()`` run would
+produce.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from threading import Lock
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..adaptation.controller import AdaptationStepLog
+
+__all__ = ["FleetEvent", "make_fleet_event", "EngineRequest", "RoundResult",
+           "AdmissionError", "ServingEngine"]
+
+
+@dataclass
+class FleetEvent:
+    """One stream's result within a serving round."""
+
+    stream: str
+    mission: str | None
+    step: int
+    scores: np.ndarray
+    log: "AdaptationStepLog | None" = None
+    active_class: str | None = None
+    is_post_shift: bool | None = None
+
+
+def make_fleet_event(slot, log, batch=None) -> FleetEvent:
+    """The one place a :class:`FleetEvent` is assembled from a slot's
+    ingest log (``batch`` carries stream metadata when the round was
+    pulled from the slot's own stream; externally supplied arrivals have
+    none)."""
+    return FleetEvent(
+        stream=slot.name, mission=slot.deployment.mission,
+        step=log.step, scores=log.scores, log=log,
+        active_class=getattr(batch, "active_class", None),
+        is_post_shift=getattr(batch, "is_post_shift", None))
+
+
+@dataclass
+class EngineRequest:
+    """One queued ``ingest``/``scores`` request awaiting scheduling.
+
+    ``priority`` and ``deadline`` only matter to policies that read them
+    (higher priority first; ``deadline`` is an absolute
+    ``time.monotonic()`` instant after which the request is expired
+    instead of served).  ``tag`` is an opaque caller handle — the gateway
+    stores its response future there — threaded through untouched.
+    """
+
+    op: str                        # "ingest" | "scores"
+    stream: str
+    windows: np.ndarray
+    priority: int = 0
+    deadline: float | None = None
+    queued_at: float = 0.0
+    tag: object = None
+
+
+@dataclass
+class RoundResult:
+    """What one :class:`EngineRequest` became after its round ran."""
+
+    request: EngineRequest
+    kind: str                      # "event" | "scores" | "error"
+    event: FleetEvent | None = None
+    scores: np.ndarray | None = None
+    code: str | None = None        # typed error code for kind == "error"
+    message: str | None = None
+
+
+class AdmissionError(RuntimeError):
+    """A request refused at the queue door; carries a typed code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class ServingEngine:
+    """Drives rounds over an :class:`~repro.runtime.ExecutionBackend`.
+
+    Thread-safety: the admission queue (:meth:`submit` /
+    :meth:`run_round` / :meth:`drop_pending`) is lock-protected, so an
+    event loop may admit work while an executor thread runs the round —
+    the gateway's arrangement.  The lock-step entry points (:meth:`step`,
+    :meth:`ingest_round`, :meth:`score_only`) are single-caller, like the
+    fleet methods they replaced.
+    """
+
+    def __init__(self, backend, policy=None, metrics: MetricsRegistry | None = None,
+                 max_queue_depth: int | None = None, clock=time.monotonic):
+        from .policies import FairRoundRobin
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.backend = backend
+        self.policy = policy or FairRoundRobin()
+        self.metrics = metrics or MetricsRegistry()
+        self.max_queue_depth = max_queue_depth
+        self.rounds = 0
+        self._clock = clock
+        self._queues: dict[str, deque[EngineRequest]] = {}
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------
+    # Lock-step serving: rounds pulled from backend-owned streams
+    # ------------------------------------------------------------------
+    def step(self, batched: bool = True) -> list[FleetEvent]:
+        """One serving round over every live backend stream: pull each
+        stream's next arrival batch, score (coalesced when ``batched``),
+        ingest, emit events."""
+        start = time.perf_counter()
+        events = self.backend.pull_round(batched)
+        if not events:
+            return []
+        self._observe_round(time.perf_counter() - start, len(events),
+                            sum(int(event.scores.size) for event in events))
+        return events
+
+    def serve(self, max_rounds: int | None = None, batched: bool = True):
+        """Yield per-round event lists until every stream is exhausted
+        (or ``max_rounds`` rounds have run)."""
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            events = self.step(batched=batched)
+            if not events:
+                return
+            yield events
+            rounds += 1
+
+    def ingest_round(self, arrivals: dict, batched: bool = True,
+                     scores: dict | None = None) -> dict[str, FleetEvent]:
+        """One serving round over externally supplied arrival windows
+        (``{stream name: (B, T, frame_dim) windows}``); ``scores`` may
+        carry precomputed per-stream score slices (e.g. from a prior
+        :meth:`score_only` call), in which case scoring is skipped."""
+        start = time.perf_counter()
+        events = self.backend.ingest(arrivals, scores=scores,
+                                     batched=batched)
+        if events:
+            self._observe_round(
+                time.perf_counter() - start, len(events),
+                sum(int(event.scores.size) for event in events.values()))
+        return events
+
+    def score_only(self, arrivals: dict) -> dict[str, np.ndarray]:
+        """Score externally supplied windows without feeding any
+        deployment's monitor; stateless and safely retryable."""
+        self.metrics.counter("engine.score_only").inc()
+        return self.backend.score(arrivals)
+
+    # ------------------------------------------------------------------
+    # Queued serving: admission, scheduling, policy-composed rounds
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The engine's scheduling clock (``time.monotonic`` unless one
+        was injected).  ``EngineRequest.deadline`` instants must be
+        computed against this clock, never ``time.monotonic`` directly,
+        or deadline math silently breaks under an injected clock."""
+        return self._clock()
+
+    def submit(self, request: EngineRequest) -> None:
+        """Admit a request into its stream's queue; raises
+        :class:`AdmissionError` (``backpressure``) past
+        ``max_queue_depth`` queued requests for that stream."""
+        with self._lock:
+            queue = self._queues.setdefault(request.stream, deque())
+            if (self.max_queue_depth is not None
+                    and len(queue) >= self.max_queue_depth):
+                raise AdmissionError(
+                    "backpressure",
+                    f"stream {request.stream!r} has {len(queue)} queued "
+                    f"request(s) (limit {self.max_queue_depth}); retry "
+                    "after backoff")
+            if not request.queued_at:
+                request.queued_at = self._clock()
+            queue.append(request)
+            self._update_queue_gauge()
+
+    def queued_depths(self) -> dict[str, int]:
+        """Per-stream queued-but-unserved request counts (non-empty
+        queues only — the gateway's ``stats`` map)."""
+        with self._lock:
+            return {name: len(queue)
+                    for name, queue in self._queues.items() if queue}
+
+    def has_pending(self) -> bool:
+        with self._lock:
+            return any(self._queues.values())
+
+    def drop_pending(self, predicate) -> list[EngineRequest]:
+        """Remove every queued request matching ``predicate`` (e.g. all
+        of a disconnected connection's work); returns the dropped
+        requests so the caller can cancel their handles."""
+        dropped: list[EngineRequest] = []
+        with self._lock:
+            for queue in self._queues.values():
+                if any(predicate(request) for request in queue):
+                    kept = [r for r in queue if not predicate(r)]
+                    dropped.extend(r for r in queue if predicate(r))
+                    queue.clear()
+                    queue.extend(kept)
+            self._update_queue_gauge()
+        return dropped
+
+    def run_round(self) -> list[RoundResult]:
+        """One policy-composed round over the queued requests.
+
+        The policy selects which requests run (and which have expired);
+        the engine partitions the selection into waves of at most one
+        request per stream — per-stream FIFO is an invariant the policy
+        cannot break, it only shapes round *composition* — and executes
+        each wave score-then-ingest.  Total: every selected or expired
+        request gets exactly one :class:`RoundResult`; this method never
+        raises on bad client input or backend failure.
+        """
+        with self._lock:
+            if not any(self._queues.values()):
+                return []
+            now = self._clock()
+            view = {name: tuple(queue)
+                    for name, queue in self._queues.items() if queue}
+            try:
+                plan = self.policy.select(view, now)
+                selected = list(plan.entries)
+                expired = list(plan.expired)
+            except Exception:  # noqa: BLE001 — a broken policy must not
+                # wedge the server: degrade to the fair default (front of
+                # every queue) so queued clients still get served.
+                self.metrics.counter("engine.policy_errors").inc()
+                selected = [queue[0] for queue in view.values()]
+                expired = []
+            # A policy may only return requests that are actually queued;
+            # anything else (a buggy custom policy echoing stale objects)
+            # is dropped here rather than served-but-not-dequeued.
+            queued = {id(r) for queue in view.values() for r in queue}
+            selected = [r for r in selected if id(r) in queued]
+            expired = [r for r in expired if id(r) in queued]
+            taken = {id(r) for r in selected} | {id(r) for r in expired}
+            for queue in self._queues.values():
+                if any(id(r) in taken for r in queue):
+                    kept = [r for r in queue if id(r) not in taken]
+                    queue.clear()
+                    queue.extend(kept)
+            self._update_queue_gauge()
+
+        results: list[RoundResult] = []
+        for request in expired:
+            self.metrics.counter("engine.expired").inc()
+            results.append(RoundResult(
+                request=request, kind="error", code="expired",
+                message=f"request for stream {request.stream!r} missed its "
+                        f"deadline while queued; it was never served"))
+        if not selected:
+            return results
+
+        start = time.perf_counter()
+        windows = 0
+        for wave in self._waves(selected, view):
+            outcomes = self._execute_wave(wave)
+            results.extend(outcomes)
+            try:
+                # Count served work from the outcomes (one score per
+                # window), not from the raw request payloads — a request
+                # whose windows never scored (bad shape, ragged list)
+                # already carries a typed error result.
+                windows += sum(
+                    int(np.asarray(out.event.scores if out.kind == "event"
+                                   else out.scores).shape[0])
+                    for out in outcomes if out.kind != "error")
+            except Exception:  # noqa: BLE001 — telemetry only: an odd
+                pass           # custom-backend score shape must not lose
+                               # the already-computed round results.
+        try:
+            self.metrics.counter("engine.requests").inc(len(selected))
+            self._observe_round(time.perf_counter() - start, len(selected),
+                                windows)
+        except Exception:  # noqa: BLE001 — a metric name/kind collision
+            pass           # on a shared registry is not worth hanging
+                           # the callers awaiting these results.
+        return results
+
+    @staticmethod
+    def _waves(selected: list[EngineRequest],
+               view: dict[str, tuple]) -> list[list[EngineRequest]]:
+        """Partition a selection into waves of ≤1 request per stream,
+        each stream's requests in queue (FIFO) order, streams ordered by
+        first appearance in the policy's selection."""
+        position = {id(request): index
+                    for queue in view.values()
+                    for index, request in enumerate(queue)}
+        per_stream: dict[str, list[EngineRequest]] = {}
+        for request in selected:
+            per_stream.setdefault(request.stream, []).append(request)
+        for requests in per_stream.values():
+            requests.sort(key=lambda r: position.get(id(r), 0))
+        waves: list[list[EngineRequest]] = []
+        depth = 0
+        while True:
+            wave = [requests[depth] for requests in per_stream.values()
+                    if len(requests) > depth]
+            if not wave:
+                return waves
+            waves.append(wave)
+            depth += 1
+
+    def _execute_wave(self, wave: list[EngineRequest]) -> list[RoundResult]:
+        """Score-then-ingest one wave (≤1 request per stream, so keying
+        by stream name is unambiguous).
+
+        The scoring pass is stateless (:meth:`score_only` semantics): if
+        the coalesced forward fails — e.g. one request's windows have a
+        frame_dim the models can't score, which shape checks at admission
+        cannot know — each entry is re-scored alone so only the offending
+        request errors while the rest of the wave proceeds.  Retrying is
+        safe precisely because no deployment state was touched; the
+        subsequent ingest dispatches the already-computed (bit-identical)
+        slices.
+        """
+        outcomes: dict[str, RoundResult] = {}
+        by_stream = {request.stream: request for request in wave}
+        arrivals = {name: request.windows
+                    for name, request in by_stream.items()}
+        try:
+            scored = self.backend.score(arrivals)
+        except Exception:  # noqa: BLE001 — isolate the bad entry below
+            scored = {}
+            for name, request in by_stream.items():
+                try:
+                    scored[name] = self.backend.score(
+                        {name: request.windows})[name]
+                except Exception as exc:  # noqa: BLE001 — typed to caller
+                    outcomes[name] = RoundResult(
+                        request=request, kind="error", code="bad_request",
+                        message=f"windows for stream {name!r} failed to "
+                                f"score: {type(exc).__name__}: {exc}")
+        ingest = {name: request.windows
+                  for name, request in by_stream.items()
+                  if request.op == "ingest" and name in scored}
+        if ingest:
+            try:
+                events = self.backend.ingest(
+                    ingest, scores={name: scored[name] for name in ingest})
+            except Exception as exc:  # noqa: BLE001 — typed to caller
+                self.metrics.counter("engine.errors").inc()
+                for name in ingest:
+                    outcomes[name] = RoundResult(
+                        request=by_stream[name], kind="error",
+                        code="internal",
+                        message=f"serving round failed: "
+                                f"{type(exc).__name__}: {exc}")
+            else:
+                for name, event in events.items():
+                    outcomes[name] = RoundResult(
+                        request=by_stream[name], kind="event", event=event)
+        for name, request in by_stream.items():
+            if request.op == "scores" and name in scored:
+                outcomes[name] = RoundResult(
+                    request=request, kind="scores", scores=scored[name])
+        return [outcomes.get(request.stream) or RoundResult(
+                    request=request, kind="error", code="internal",
+                    message=f"round produced no result for stream "
+                            f"{request.stream!r}")
+                for request in wave]
+
+    # ------------------------------------------------------------------
+    # Metrics / introspection
+    # ------------------------------------------------------------------
+    def _observe_round(self, elapsed: float, streams: int,
+                       windows: int) -> None:
+        self.rounds += 1
+        self.metrics.counter("engine.rounds").inc()
+        self.metrics.counter("engine.windows").inc(windows)
+        self.metrics.histogram("engine.round_latency").observe(elapsed)
+        self.metrics.gauge("engine.last_round_streams").set(streams)
+        self.metrics.gauge("engine.last_round_windows").set(windows)
+
+    def _update_queue_gauge(self) -> None:
+        # Caller holds self._lock.
+        self.metrics.gauge("engine.queue_depth").set(
+            sum(len(queue) for queue in self._queues.values()))
+
+    def stats(self, concurrent: bool = False) -> dict:
+        """Engine-level summary for the ``stats`` op and the benchmark
+        payloads: backend/policy names, rounds, queue depths, and the
+        backend's coalescing counters (windows per forward).
+
+        With ``concurrent=True`` (a caller on a different thread than
+        the round runner, e.g. the gateway's ``stats`` op) backends whose
+        counters aren't safe to read mid-round — the sharded backend's
+        go over the worker pipes — are skipped instead of queried.
+        """
+        out = {
+            "backend": self.backend.name,
+            "policy": self.policy.name,
+            "rounds": self.rounds,
+            "queued": self.queued_depths(),
+        }
+        if concurrent and not self.backend.concurrent_safe_stats:
+            return out
+        batch = self.backend.batch_stats()
+        if batch:
+            forwards = int(batch.get("batches_run", 0))
+            scored = int(batch.get("windows_scored", 0))
+            out["coalesce"] = {
+                **batch,
+                "windows_per_forward": (scored / forwards) if forwards
+                else 0.0,
+            }
+        return out

@@ -1,0 +1,159 @@
+"""Pluggable scheduling policies: how queued requests compose a round.
+
+A :class:`SchedulingPolicy` looks at the engine's per-stream admission
+queues and decides which requests form the next round (and which have
+expired unserved).  Policies shape round *composition* only — per-stream
+FIFO order is an engine invariant they cannot break — which is exactly
+why every policy serves bit-identical per-stream scores: scoring is
+batch-composition-independent and each stream's ingest sequence is
+unchanged, so a policy is purely a latency/fairness decision, never an
+accuracy one.
+
+Three policies ship:
+
+:class:`FairRoundRobin`
+    At most one request per stream per round, streams in arrival order —
+    the gateway's original hardcoded pop loop, now one policy among
+    several.
+:class:`GreedyDrain`
+    Up to ``max_per_stream`` requests per stream per round (default:
+    drain everything).  Fewer, larger rounds: better throughput under
+    backlog, coarser latency.
+:class:`PriorityAdmission`
+    At most one request per stream per round, streams ordered by request
+    priority (then queue age), optionally capped at ``max_streams`` per
+    round; requests whose ``deadline`` has passed are expired instead of
+    served.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from .engine import EngineRequest
+
+__all__ = ["RoundPlan", "SchedulingPolicy", "FairRoundRobin",
+           "GreedyDrain", "PriorityAdmission", "POLICIES",
+           "resolve_policy"]
+
+
+@dataclass
+class RoundPlan:
+    """A policy's verdict for one round.
+
+    ``entries`` run this round (the engine re-orders each stream's picks
+    into FIFO and splits multi-per-stream selections into waves);
+    ``expired`` are removed and answered with a typed ``expired`` error.
+    Both must reference request objects currently in the queues the
+    policy was shown.
+    """
+
+    entries: list[EngineRequest] = field(default_factory=list)
+    expired: list[EngineRequest] = field(default_factory=list)
+
+
+class SchedulingPolicy(abc.ABC):
+    """Selects which queued requests form the next serving round."""
+
+    #: Short name surfaced in ``stats`` payloads and CLI flags.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(self, queues: dict[str, tuple[EngineRequest, ...]],
+               now: float) -> RoundPlan:
+        """``queues`` is a read-only snapshot of the non-empty per-stream
+        queues (insertion order = first-arrival order); ``now`` is the
+        engine clock (``time.monotonic`` by default) for deadline math."""
+
+
+class FairRoundRobin(SchedulingPolicy):
+    """≤1 request per stream per round, streams in arrival order."""
+
+    name = "fair"
+
+    def select(self, queues, now):
+        return RoundPlan(entries=[queue[0] for queue in queues.values()])
+
+
+class GreedyDrain(SchedulingPolicy):
+    """Up to ``max_per_stream`` requests per stream per round.
+
+    With the default (``None``) the whole backlog drains in one round —
+    the engine executes it as successive FIFO waves, so a stream's
+    requests are still ingested strictly in order.
+    """
+
+    name = "greedy"
+
+    def __init__(self, max_per_stream: int | None = None):
+        if max_per_stream is not None and max_per_stream < 1:
+            raise ValueError("max_per_stream must be >= 1")
+        self.max_per_stream = max_per_stream
+
+    def select(self, queues, now):
+        cap = self.max_per_stream
+        entries = [request for queue in queues.values()
+                   for request in (queue if cap is None else queue[:cap])]
+        return RoundPlan(entries=entries)
+
+
+class PriorityAdmission(SchedulingPolicy):
+    """Priority/deadline admission: urgent streams first, stale work shed.
+
+    Every queued request whose ``deadline`` (absolute engine-clock time)
+    has passed is expired.  Of what remains, each stream's front request
+    is a candidate; candidates are ordered by priority (higher first),
+    then queue age (older first), and at most ``max_streams`` of them run
+    this round — the rest wait, so a saturated server spends its rounds
+    on the work that matters most.
+    """
+
+    name = "priority"
+
+    def __init__(self, max_streams: int | None = None):
+        if max_streams is not None and max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
+        self.max_streams = max_streams
+
+    def select(self, queues, now):
+        expired: list[EngineRequest] = []
+        candidates: list[tuple[float, float, int, EngineRequest]] = []
+        for position, queue in enumerate(queues.values()):
+            front: EngineRequest | None = None
+            for request in queue:
+                if request.deadline is not None and request.deadline <= now:
+                    expired.append(request)
+                elif front is None:
+                    front = request
+            if front is not None:
+                candidates.append((-front.priority, front.queued_at,
+                                   position, front))
+        candidates.sort(key=lambda item: item[:3])
+        if self.max_streams is not None:
+            candidates = candidates[:self.max_streams]
+        return RoundPlan(entries=[item[3] for item in candidates],
+                         expired=expired)
+
+
+#: Policy names accepted by the CLI and the gateway constructor.
+POLICIES = {
+    "fair": FairRoundRobin,
+    "greedy": GreedyDrain,
+    "priority": PriorityAdmission,
+}
+
+
+def resolve_policy(policy) -> SchedulingPolicy:
+    """A :class:`SchedulingPolicy` from a name, an instance, or ``None``
+    (the fair default)."""
+    if policy is None:
+        return FairRoundRobin()
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r} "
+            f"(known: {', '.join(sorted(POLICIES))})") from None

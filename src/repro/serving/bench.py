@@ -25,16 +25,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..gateway.metrics import percentile
-from .batcher import MicroBatcher, ScoreRequest
+from ..metrics import percentile
+from ..runtime import EngineRequest, resolve_policy
 from .fleet import build_fleet
 from .sharded import build_sharded_fleet
 
 __all__ = ["BenchConfig", "run_benchmark", "run_shard_benchmark",
-           "write_benchmark"]
+           "run_engine_parity", "write_benchmark"]
 
 DEFAULT_BENCH_PATH = "BENCH_2.json"
 DEFAULT_SHARD_BENCH_PATH = "BENCH_3.json"
+
+#: The backend × policy matrix :func:`run_engine_parity` sweeps.
+PARITY_BACKENDS = ("inline", "sharded")
+PARITY_POLICIES = ("fair", "greedy", "priority")
 
 
 @dataclass
@@ -59,8 +63,8 @@ class BenchConfig:
 
 def _percentile(samples: list[float], q: float,
                 phase: str = "latency") -> float:
-    # Shared guard (see repro.gateway.metrics): an empty sample list
-    # raises a ValueError naming the phase, not numpy's bare IndexError.
+    # Shared guard (see repro.metrics): an empty sample list raises a
+    # ValueError naming the phase, not numpy's bare IndexError.
     return percentile(samples, q, phase=phase)
 
 
@@ -97,8 +101,8 @@ def run_benchmark(pipeline, config: BenchConfig | None = None,
                         windows_per_step=cfg.windows_per_step,
                         stream_seed=cfg.stream_seed,
                         max_batch_windows=cfg.max_batch_windows)
-    batcher = MicroBatcher(cfg.max_batch_windows)
     slots = fleet.slots
+    names = [slot.name for slot in slots]
 
     # Pre-materialize every round's arrival windows so stream generation
     # is excluded from the timings (we are measuring scoring, not the
@@ -118,8 +122,11 @@ def run_benchmark(pipeline, config: BenchConfig | None = None,
                 for slot, w in zip(slots, round_windows)]
 
     def run_batched(round_windows: list[np.ndarray]) -> list[np.ndarray]:
-        return batcher.score([ScoreRequest(slot.deployment.model, w)
-                              for slot, w in zip(slots, round_windows)])
+        # The engine path: fleet.score_only -> ServingEngine ->
+        # InlineBackend -> one coalesced micro-batched forward per
+        # distinct scoring model, in slot attach order.
+        scored = fleet.score_only(dict(zip(names, round_windows)))
+        return [scored[name] for name in names]
 
     # Parity first: the batched path must reproduce the sequential scores
     # bit for bit on every round.
@@ -173,6 +180,7 @@ def run_benchmark(pipeline, config: BenchConfig | None = None,
         "batched": batched,
         "speedup": batched["windows_per_sec"] / sequential["windows_per_sec"],
         "parity": {"identical": identical, "max_abs_diff": max_abs_diff},
+        "engine": fleet.engine.stats(),
         "environment": _environment(),
     }
 
@@ -264,6 +272,154 @@ def run_shard_benchmark(pipeline, config: BenchConfig | None = None,
                    "batched": base["parity"]},
         "environment": _environment(),
     }
+
+
+def _parity_fleet(pipeline, cfg: BenchConfig, backend: str, shards: int):
+    kwargs = dict(adaptive=False, share_models=True,
+                  windows_per_step=cfg.windows_per_step,
+                  stream_seed=cfg.stream_seed,
+                  max_batch_windows=cfg.max_batch_windows)
+    if backend == "inline":
+        return build_fleet(pipeline, cfg.missions, cfg.streams, **kwargs)
+    if backend == "sharded":
+        return build_sharded_fleet(pipeline, cfg.missions, cfg.streams,
+                                   shards=shards, **kwargs)
+    raise ValueError(f"unknown parity backend {backend!r} "
+                     f"(known: {', '.join(PARITY_BACKENDS)})")
+
+
+def run_engine_parity(pipeline, config: BenchConfig | None = None,
+                      shards: int = 2,
+                      backends: tuple[str, ...] = PARITY_BACKENDS,
+                      policies: tuple[str, ...] = PARITY_POLICIES) -> dict:
+    """The backend × policy parity matrix.
+
+    For every (backend, scheduling policy) combination, every stream's
+    pre-materialized arrival rounds are submitted to a fresh fleet's
+    :class:`~repro.runtime.ServingEngine` admission queues (streams get
+    distinct priorities so the priority policy actually reorders) and
+    served through policy-composed ``run_round`` calls until the queues
+    drain.  Per-stream scores must be **bit-identical** to a seed-style
+    direct ``DeploymentFleet.step()`` run over the same windows —
+    policies and backends may only change round *composition* (recorded
+    as ``engine_rounds``), never a single score bit.  The returned
+    payload is embedded in the ``repro bench`` artifact and gates CI's
+    perf-smoke lane.
+    """
+    cfg = config or BenchConfig()
+    fleet = build_fleet(pipeline, cfg.missions, cfg.streams,
+                        adaptive=False, share_models=True,
+                        windows_per_step=cfg.windows_per_step,
+                        stream_seed=cfg.stream_seed,
+                        max_batch_windows=cfg.max_batch_windows)
+    available = min(len(slot.stream) for slot in fleet.slots)
+    rounds = min(cfg.rounds, available)
+    stream_windows = {
+        slot.name: [np.asarray(slot.stream.batch(r).windows,
+                               dtype=np.float64) for r in range(rounds)]
+        for slot in fleet.slots}
+    reference: dict[str, list[np.ndarray]] = {name: []
+                                              for name in fleet.names}
+    for _ in range(rounds):
+        for event in fleet.step(batched=True):
+            reference[event.stream].append(event.scores)
+
+    combinations: dict[str, dict] = {}
+    all_identical = True
+    for backend in backends:
+        for policy in policies:
+            target = _parity_fleet(pipeline, cfg, backend, shards)
+            try:
+                engine = target.engine
+                engine.policy = resolve_policy(policy)
+                # Interleave submissions round-by-round (every stream's
+                # round 0, then round 1, ...) — the arrival pattern a
+                # gateway would see; per-stream FIFO is what parity is
+                # defined over.  Distinct priorities exercise the
+                # priority policy's reordering.
+                for round_index in range(rounds):
+                    for position, name in enumerate(stream_windows):
+                        engine.submit(EngineRequest(
+                            op="ingest", stream=name,
+                            windows=stream_windows[name][round_index],
+                            priority=position))
+                served: dict[str, list[np.ndarray]] = {
+                    name: [] for name in stream_windows}
+                engine_rounds = 0
+                errors: list[str] = []
+                while engine.has_pending():
+                    for result in engine.run_round():
+                        if result.kind == "event":
+                            served[result.request.stream].append(
+                                result.event.scores)
+                        else:
+                            errors.append(
+                                f"{result.request.stream}: "
+                                f"[{result.code}] {result.message}")
+                    engine_rounds += 1
+                identical = not errors
+                max_abs_diff = 0.0
+                compared = 0
+                for name, expected_rounds in reference.items():
+                    got_rounds = served[name]
+                    if len(got_rounds) != len(expected_rounds):
+                        identical = False
+                        continue
+                    for got, expected in zip(got_rounds, expected_rounds):
+                        compared += 1
+                        if not np.array_equal(got, expected):
+                            identical = False
+                            max_abs_diff = max(max_abs_diff, float(
+                                np.abs(got - expected).max()))
+                stats = engine.stats()
+            finally:
+                target.close()
+            all_identical = all_identical and identical
+            entry = {
+                "identical": identical,
+                "max_abs_diff": max_abs_diff,
+                "responses_compared": compared,
+                "engine_rounds": engine_rounds,
+                "metrics": {"rounds": stats["rounds"],
+                            "coalesce": stats.get("coalesce")},
+            }
+            if errors:
+                entry["errors"] = errors[:10]
+            combinations[f"{backend}:{policy}"] = entry
+
+    return {
+        "benchmark": "engine_parity",
+        "config": {
+            "streams": cfg.streams,
+            "windows_per_step": cfg.windows_per_step,
+            "rounds": rounds,
+            "missions": list(cfg.missions),
+            "shards": shards,
+            "backends": list(backends),
+            "policies": list(policies),
+        },
+        "combinations": combinations,
+        "parity": {"identical": all_identical},
+        "environment": _environment(),
+    }
+
+
+def format_engine_parity(result: dict) -> str:
+    """Human-readable summary of an engine-parity payload."""
+    cfg = result["config"]
+    lines = [
+        f"engine parity matrix: {cfg['streams']} stream(s) x "
+        f"{cfg['rounds']} round(s), backends {cfg['backends']}, "
+        f"policies {cfg['policies']}",
+    ]
+    for combo, entry in result["combinations"].items():
+        lines.append(
+            f"  {combo:<18s} identical: {str(entry['identical']):<5s}  "
+            f"engine rounds: {entry['engine_rounds']:3d}  "
+            f"responses: {entry['responses_compared']}")
+    lines.append(f"  parity (all combinations): "
+                 f"{result['parity']['identical']}")
+    return "\n".join(lines)
 
 
 def write_benchmark(result: dict, path: str = DEFAULT_BENCH_PATH) -> str:

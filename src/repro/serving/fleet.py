@@ -13,40 +13,32 @@ monitor/controller.
 Streams can be attached and detached mid-run, and a whole fleet —
 deployments, adaptation state, stream positions — checkpoints to a single
 JSON file, deduplicating scoring models shared across static streams.
+
+Since the ``repro.runtime`` extraction the fleet is a thin facade: it
+owns stream *state* (slots, batcher, checkpoints) while the round loop
+itself lives in :class:`~repro.runtime.ServingEngine` over an
+:class:`~repro.runtime.InlineBackend` (``FleetEvent`` moved there too and
+is re-exported here for compatibility).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from ..adaptation.controller import AdaptationStepLog
 from ..api.config import config_from_dict, config_to_dict
 from ..api.deployment import Deployment
 from ..data.streams import TrendShiftConfig, TrendShiftStream
+from ..runtime.engine import FleetEvent, ServingEngine
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
-from .batcher import MicroBatcher, ScoreRequest
+from .batcher import MicroBatcher
 
 __all__ = ["FLEET_FORMAT_VERSION", "FleetEvent", "StreamSlot",
            "DeploymentFleet", "build_fleet"]
 
 FLEET_FORMAT_VERSION = 1
-
-
-@dataclass
-class FleetEvent:
-    """One stream's result within a fleet round."""
-
-    stream: str
-    mission: str | None
-    step: int
-    scores: np.ndarray
-    log: AdaptationStepLog | None = None
-    active_class: str | None = None
-    is_post_shift: bool | None = None
 
 
 class StreamSlot:
@@ -94,12 +86,30 @@ class StreamSlot:
 
 
 class DeploymentFleet:
-    """Batched lock-step serving over many concurrent deployment streams."""
+    """Batched lock-step serving over many concurrent deployment streams.
 
-    def __init__(self, batcher: MicroBatcher | None = None):
+    A facade over a :class:`~repro.runtime.ServingEngine` with an
+    :class:`~repro.runtime.InlineBackend`: the fleet owns the slots and
+    the micro-batcher (state, checkpointing), the engine owns the round
+    loop and its metrics.
+    """
+
+    def __init__(self, batcher: MicroBatcher | None = None,
+                 policy=None, metrics=None):
+        from ..runtime.backends import InlineBackend
         self.batcher = batcher or MicroBatcher()
         self._slots: dict[str, StreamSlot] = {}
-        self.rounds = 0
+        self.engine = ServingEngine(InlineBackend(self), policy=policy,
+                                    metrics=metrics)
+
+    @property
+    def rounds(self) -> int:
+        """Serving rounds run so far (counted by the engine)."""
+        return self.engine.rounds
+
+    @rounds.setter
+    def rounds(self, value: int) -> None:
+        self.engine.rounds = int(value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -166,63 +176,12 @@ class DeploymentFleet:
         baseline).  Both paths produce bit-identical scores and adaptation
         decisions.
         """
-        pulls = []
-        for slot in self._slots.values():
-            batch = slot.next_batch()
-            if batch is not None:
-                pulls.append((slot, batch))
-        if not pulls:
-            return []
-
-        if batched:
-            requests = [ScoreRequest(slot.deployment.model,
-                                     getattr(batch, "windows", batch))
-                        for slot, batch in pulls]
-            all_scores = self.batcher.score(requests)
-        else:
-            all_scores = [None] * len(pulls)
-
-        events = []
-        for (slot, batch), scores in zip(pulls, all_scores):
-            windows = getattr(batch, "windows", batch)
-            log = slot.deployment.ingest(windows, scores=scores)
-            events.append(FleetEvent(
-                stream=slot.name, mission=slot.deployment.mission,
-                step=log.step, scores=log.scores, log=log,
-                active_class=getattr(batch, "active_class", None),
-                is_post_shift=getattr(batch, "is_post_shift", None)))
-        self.rounds += 1
-        return events
+        return self.engine.step(batched=batched)
 
     def serve(self, max_rounds: int | None = None, batched: bool = True):
         """Yield per-round event lists until every stream is exhausted
         (or ``max_rounds`` rounds have run)."""
-        rounds = 0
-        while max_rounds is None or rounds < max_rounds:
-            events = self.step(batched=batched)
-            if not events:
-                return
-            yield events
-            rounds += 1
-
-    def _gather(self, arrivals: dict) -> tuple[list[StreamSlot],
-                                               list[np.ndarray]]:
-        """Validate externally supplied arrivals and order them by slot
-        attach order (the order :meth:`step` scores in)."""
-        unknown = sorted(set(arrivals) - set(self._slots))
-        if unknown:
-            raise KeyError(f"no stream named {unknown[0]!r} attached")
-        slots = [slot for name, slot in self._slots.items()
-                 if name in arrivals]
-        windows = []
-        for slot in slots:
-            batch = np.asarray(arrivals[slot.name], dtype=np.float64)
-            if batch.ndim != 3 or 0 in batch.shape:
-                raise ValueError(
-                    f"stream {slot.name!r}: expected non-empty "
-                    f"(B, T, frame_dim) windows, got shape {batch.shape}")
-            windows.append(batch)
-        return slots, windows
+        return self.engine.serve(max_rounds=max_rounds, batched=batched)
 
     def ingest_round(self, arrivals: dict, batched: bool = True,
                      scores: dict | None = None) -> dict[str, FleetEvent]:
@@ -244,43 +203,14 @@ class DeploymentFleet:
         scoring failure (bad shapes, mixed window lengths) raises before
         any deployment's state is touched.
         """
-        slots, windows = self._gather(arrivals)
-        if not slots:
-            return {}
-        if scores is not None:
-            missing = [slot.name for slot in slots if slot.name not in scores]
-            if missing:
-                raise KeyError(f"no precomputed scores for stream "
-                               f"{missing[0]!r}")
-            all_scores = [np.asarray(scores[slot.name], dtype=np.float64)
-                          for slot in slots]
-        elif batched:
-            all_scores = self.batcher.score(
-                [ScoreRequest(slot.deployment.model, batch)
-                 for slot, batch in zip(slots, windows)])
-        else:
-            all_scores = [None] * len(slots)
-        events = {}
-        for slot, batch, batch_scores in zip(slots, windows, all_scores):
-            log = slot.deployment.ingest(batch, scores=batch_scores)
-            events[slot.name] = FleetEvent(
-                stream=slot.name, mission=slot.deployment.mission,
-                step=log.step, scores=log.scores, log=log)
-        self.rounds += 1
-        return events
+        return self.engine.ingest_round(arrivals, batched=batched,
+                                        scores=scores)
 
     def score_only(self, arrivals: dict) -> dict[str, np.ndarray]:
         """Score externally supplied windows without feeding any
         deployment's monitor (the gateway's ``scores`` op); same
         micro-batched forward as :meth:`ingest_round`."""
-        slots, windows = self._gather(arrivals)
-        if not slots:
-            return {}
-        all_scores = self.batcher.score(
-            [ScoreRequest(slot.deployment.model, batch)
-             for slot, batch in zip(slots, windows)])
-        return {slot.name: scores
-                for slot, scores in zip(slots, all_scores)}
+        return self.engine.score_only(arrivals)
 
     # ------------------------------------------------------------------
     # Resource management — no-ops, mirroring ShardedFleet's surface so

@@ -21,6 +21,12 @@ shard's checkpoint payload, so nothing unpicklable is ever shipped.
 A whole sharded fleet checkpoints to a *single* file in the plain fleet
 format (plus a ``"shards"`` hint), so ``DeploymentFleet.load`` can open a
 sharded checkpoint and vice versa.
+
+Like :class:`~repro.serving.DeploymentFleet`, the sharded fleet is a
+facade over :class:`~repro.runtime.ServingEngine` — here with a
+:class:`~repro.runtime.ShardedBackend` that scatters rounds across the
+worker pool, while each worker's in-process fleet runs the same engine
+loop over its own shard.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from ..api.config import config_from_dict, config_to_dict
 from ..api.deployment import Deployment
 from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..data.synthetic import FrameGenerator
+from ..runtime.engine import FleetEvent, ServingEngine
 from .batcher import ScoreRequest
 from .fleet import FLEET_FORMAT_VERSION, DeploymentFleet, build_fleet
 
@@ -261,7 +268,6 @@ class ShardedFleet:
         self.shards = shards
         self.infra = infra or FleetInfra()
         self.max_batch_windows = max_batch_windows
-        self.rounds = 0
         self._order: list[str] = []        # global attach order
         self._assignment: dict[str, int] = {}
         self._attach_counter = 0           # round-robin cursor
@@ -274,8 +280,23 @@ class ShardedFleet:
         self._conns: list = []
         self._procs: list = []
         self._closed = False
+        self._init_engine()
         self._start_workers([_empty_fleet_payload(max_batch_windows)
                              for _ in range(shards)])
+
+    def _init_engine(self, policy=None, metrics=None) -> None:
+        from ..runtime.backends import ShardedBackend
+        self.engine = ServingEngine(ShardedBackend(self), policy=policy,
+                                    metrics=metrics)
+
+    @property
+    def rounds(self) -> int:
+        """Serving rounds run so far (counted by the engine)."""
+        return self.engine.rounds
+
+    @rounds.setter
+    def rounds(self, value: int) -> None:
+        self.engine.rounds = int(value)
 
     # ------------------------------------------------------------------
     # Worker plumbing
@@ -459,30 +480,16 @@ class ShardedFleet:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def step(self, batched: bool = True) -> list:
+    def step(self, batched: bool = True) -> list[FleetEvent]:
         """One serving round: every shard steps concurrently; events are
         merged back in stable (attach-order) stream order, matching the
         single-process fleet's event order exactly."""
-        per_shard = self._broadcast(("step", batched))
-        by_stream = {event.stream: event
-                     for events in per_shard for event in events}
-        events = [by_stream[name] for name in self._order
-                  if name in by_stream]
-        if not events:
-            return []
-        self.rounds += 1
-        return events
+        return self.engine.step(batched=batched)
 
     def serve(self, max_rounds: int | None = None, batched: bool = True):
         """Yield per-round event lists until every stream is exhausted
         (or ``max_rounds`` rounds have run)."""
-        rounds = 0
-        while max_rounds is None or rounds < max_rounds:
-            events = self.step(batched=batched)
-            if not events:
-                return
-            yield events
-            rounds += 1
+        return self.engine.serve(max_rounds=max_rounds, batched=batched)
 
     def _scatter(self, command: str, arrivals: dict, extra: tuple = ()):
         """Partition a per-stream mapping by shard assignment, send each
@@ -527,16 +534,13 @@ class ShardedFleet:
         and passing the result as ``scores`` confines ingest-time
         failures to genuine worker crashes.
         """
-        events = self._scatter("ingest_round", arrivals,
-                               extra=(batched, scores))
-        if events:
-            self.rounds += 1
-        return events
+        return self.engine.ingest_round(arrivals, batched=batched,
+                                        scores=scores)
 
     def score_only(self, arrivals: dict) -> dict:
         """Score externally supplied windows without feeding any
         monitor; the sharded twin of :meth:`DeploymentFleet.score_only`."""
-        return self._scatter("score_only", arrivals)
+        return self.engine.score_only(arrivals)
 
     # ------------------------------------------------------------------
     # Benchmark hooks (see serving.bench.run_shard_benchmark)
@@ -605,6 +609,7 @@ class ShardedFleet:
         fleet.shards = shards
         fleet.infra = infra or FleetInfra()
         fleet.max_batch_windows = payload.get("max_batch_windows")
+        fleet._init_engine()
         fleet.rounds = int(payload.get("rounds", 0))
         fleet._order = [entry["name"] for entry in payload["slots"]]
         fleet._assignment = {name: index % shards

@@ -69,13 +69,16 @@ class TestParser:
         assert args.min_speedup is None
         assert args.shards is None
         assert not args.quick
+        assert not args.engine_parity
 
     def test_bench_flags(self):
         args = build_parser().parse_args(
             ["bench", "--quick", "--min-speedup", "1.5",
              "--output", "out.json", "--max-batch-windows", "64",
-             "--shards", "4", "--min-shard-speedup", "1.5"])
+             "--shards", "4", "--min-shard-speedup", "1.5",
+             "--engine-parity"])
         assert args.quick
+        assert args.engine_parity
         assert args.min_speedup == 1.5
         assert args.output == "out.json"
         assert args.max_batch_windows == 64
@@ -110,22 +113,29 @@ class TestParser:
         assert args.port == 7641
         assert args.max_queue_depth == 8
         assert args.shards == 1
+        assert args.policy is None  # engine default: fair round-robin
         assert not args.adaptive
 
     def test_gateway_flags(self):
         args = build_parser().parse_args(
             ["gateway", "--streams", "8", "--port", "0", "--host", "0.0.0.0",
-             "--max-queue-depth", "2", "--shards", "2", "--adaptive"])
+             "--max-queue-depth", "2", "--shards", "2", "--adaptive",
+             "--policy", "priority"])
         assert args.streams == 8
         assert args.port == 0
         assert args.host == "0.0.0.0"
         assert args.max_queue_depth == 2
         assert args.shards == 2
         assert args.adaptive
+        assert args.policy == "priority"
 
     def test_gateway_bad_shards(self):
         with pytest.raises(SystemExit, match="--shards must be"):
             main(["gateway", "--shards", "0"])
+
+    def test_gateway_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gateway", "--policy", "lifo"])
 
     def test_loadgen_defaults(self):
         args = build_parser().parse_args(["loadgen"])
@@ -133,18 +143,21 @@ class TestParser:
         assert args.levels == [1, 2, 4]
         assert args.rate is None
         assert args.rounds is None
-        assert args.output is None  # resolved to BENCH_4.json at run time
+        assert args.output is None  # resolved to BENCH_5.json at run time
+        assert args.policy is None
         assert not args.quick and not args.verify
 
     def test_loadgen_flags(self):
         args = build_parser().parse_args(
             ["loadgen", "--levels", "1", "8", "--rate", "50",
-             "--rounds", "3", "--quick", "--verify", "--output", "g.json"])
+             "--rounds", "3", "--quick", "--verify", "--output", "g.json",
+             "--policy", "greedy"])
         assert args.levels == [1, 8]
         assert args.rate == 50.0
         assert args.rounds == 3
         assert args.quick and args.verify
         assert args.output == "g.json"
+        assert args.policy == "greedy"
 
     def test_loadgen_bad_level(self):
         with pytest.raises(SystemExit, match="levels entries must be"):

@@ -478,6 +478,80 @@ def _wait_for_queue(client: GatewayClient, expected: dict,
     raise AssertionError(f"queue never reached {expected!r}")
 
 
+class TestEnginePolicies:
+    """The gateway's scheduling seam: pluggable engine policies over the
+    wire — parity under every policy, deadlines shed stale work."""
+
+    @pytest.mark.parametrize("policy", ["fair", "greedy", "priority"])
+    def test_parity_under_every_policy(self, fleet_factory, materialized,
+                                       policy):
+        windows, reference = materialized
+        with fleet_factory() as fleet, \
+                serve_in_thread(fleet, policy=policy) as handle:
+            with GatewayClient(*handle.address) as client:
+                for name in windows:
+                    client.attach(name)
+                for round_index in range(ROUNDS):
+                    for name in windows:
+                        reply = client.ingest(name,
+                                              windows[name][round_index])
+                        assert np.array_equal(
+                            reply["scores_array"],
+                            reference[name][round_index]), \
+                            f"{policy}: {name}[{round_index}] diverged"
+                stats = client.stats()
+                assert stats["engine"]["policy"] == policy
+                assert stats["engine"]["backend"] == "inline"
+                assert stats["engine"]["rounds"] >= 1
+
+    def test_priority_request_fields_validated(self, fleet_factory,
+                                               materialized):
+        windows, _ = materialized
+        with fleet_factory() as fleet, serve_in_thread(fleet) as handle:
+            with GatewayClient(*handle.address) as client:
+                client.attach("cam-0")
+                body = np.asarray(windows["cam-0"][0]).tolist()
+                with pytest.raises(GatewayError) as err:
+                    client.request("ingest", stream="cam-0", windows=body,
+                                   priority="high")
+                assert err.value.code == "bad_request"
+                with pytest.raises(GatewayError) as err:
+                    client.request("ingest", stream="cam-0", windows=body,
+                                   deadline_ms=-5)
+                assert err.value.code == "bad_request"
+
+    def test_missed_deadline_answers_expired(self, fleet_factory,
+                                             materialized):
+        windows, reference = materialized
+        with fleet_factory() as fleet, \
+                serve_in_thread(fleet, policy="priority") as handle:
+            handle.pause_rounds()  # let the deadline lapse while queued
+            client = GatewayClient(*handle.address)
+            observer = GatewayClient(*handle.address)
+            try:
+                client.attach("cam-0")
+                observer.attach("cam-0")
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    doomed = pool.submit(
+                        client.request, "ingest", stream="cam-0",
+                        windows=np.asarray(windows["cam-0"][0]).tolist(),
+                        deadline_ms=20)
+                    _wait_for_queue(observer, {"cam-0": 1})
+                    time.sleep(0.1)  # 20 ms deadline long gone
+                    handle.resume_rounds()
+                    with pytest.raises(GatewayError) as err:
+                        doomed.result(timeout=60)
+                    assert err.value.code == "expired"
+                # The expired request consumed no deployment step.
+                reply = observer.ingest("cam-0", windows["cam-0"][0])
+                assert reply["step"] == 0
+                assert np.array_equal(reply["scores_array"],
+                                      reference["cam-0"][0])
+            finally:
+                client.close()
+                observer.close()
+
+
 class TestFleetRoundEntryPoints:
     """DeploymentFleet.ingest_round/score_only — the server-side seam."""
 

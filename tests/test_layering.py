@@ -1,0 +1,85 @@
+"""Architectural layering guard: serving/runtime never import the gateway.
+
+The dependency direction is ``repro.metrics`` ← ``repro.runtime`` ←
+``repro.serving`` ← ``repro.gateway`` (the gateway is the outermost
+layer).  PR 4 briefly inverted this (``serving.bench`` imported
+``gateway.metrics``); this test walks the ASTs so the inversion cannot
+come back through *any* import form — ruff's banned-api rule (TID251 in
+pyproject.toml) catches absolute imports, this catches relative ones
+too.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages/modules that must never depend on the gateway.
+LOWER_LAYERS = ("serving", "runtime", "api", "metrics.py")
+
+
+def _modules():
+    for layer in LOWER_LAYERS:
+        path = SRC / layer
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+def _gateway_imports(text: str, depth: int) -> list[str]:
+    """Offending import statements in ``text``; ``depth`` is how many
+    package levels below ``repro`` the module sits (so ``depth`` leading
+    dots in a relative import land on the ``repro`` package itself)."""
+    offenders = []
+    for node in ast.walk(ast.parse(text)):
+        if isinstance(node, ast.Import):
+            offenders.extend(
+                f"line {node.lineno}: import {alias.name}"
+                for alias in node.names
+                if alias.name.split(".")[:2] == ["repro", "gateway"])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            absolute = module.split(".")[:2] == ["repro", "gateway"]
+            relative = (node.level == depth
+                        and module.split(".")[:1] == ["gateway"])
+            if absolute or relative:
+                offenders.append(f"line {node.lineno}: from "
+                                 f"{'.' * node.level}{module} import ...")
+    return offenders
+
+
+@pytest.mark.parametrize("path", list(_modules()),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_no_gateway_imports_below_the_gateway(path):
+    depth = len(path.relative_to(SRC).parts)  # serving/bench.py -> 2
+    offenders = _gateway_imports(path.read_text(), depth)
+    assert not offenders, (
+        f"{path.relative_to(SRC)} imports repro.gateway — the gateway is "
+        f"the outermost serving layer and nothing below it may depend on "
+        f"it (promote shared code to repro.metrics/repro.runtime "
+        f"instead): {offenders}")
+
+
+class TestGuardSelf:
+    """The guard must catch every spelling it exists to forbid."""
+
+    def test_absolute_from_import(self):
+        assert _gateway_imports(
+            "from repro.gateway.metrics import percentile\n", depth=2)
+
+    def test_absolute_import(self):
+        assert _gateway_imports("import repro.gateway.metrics\n", depth=2)
+
+    def test_relative_import(self):
+        # The exact PR 4 inversion: serving/bench.py reaching over.
+        assert _gateway_imports(
+            "from ..gateway.metrics import percentile\n", depth=2)
+
+    def test_legitimate_imports_pass(self):
+        assert not _gateway_imports(
+            "from ..metrics import percentile\n"
+            "from ..runtime import ServingEngine\n"
+            "import numpy as np\n", depth=2)

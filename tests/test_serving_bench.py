@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro.serving import (BenchConfig, format_benchmark, run_benchmark,
-                           run_shard_benchmark, write_benchmark)
-from repro.serving.bench import _mode_stats, _percentile
+                           run_engine_parity, run_shard_benchmark,
+                           write_benchmark)
+from repro.serving.bench import _mode_stats, _percentile, format_engine_parity
 
 
 def tiny_config():
@@ -50,6 +51,9 @@ class TestRunBenchmark:
         # The load-bearing guarantee: coalescing never changes a score.
         assert result["parity"]["identical"] is True
         assert result["parity"]["max_abs_diff"] == 0.0
+        # The promoted engine metrics ride along in the artifact.
+        assert result["engine"]["backend"] == "inline"
+        assert result["engine"]["coalesce"]["batches_run"] > 0
 
     def test_write_benchmark_json(self, trained_context, tmp_path):
         result = run_benchmark(trained_context.pipeline, tiny_config())
@@ -103,3 +107,35 @@ class TestShardBenchmark:
         assert "shard(s):" in text
         assert "vs batched" in text
         assert "cores:" in text
+
+
+class TestEngineParityHarness:
+    """The CI-facing backend x policy matrix (`repro bench
+    --engine-parity`); the fixture-level matrix lives in
+    test_runtime_engine.py."""
+
+    def test_inline_matrix_bit_identical(self, trained_context):
+        result = run_engine_parity(trained_context.pipeline, tiny_config(),
+                                   backends=("inline",))
+        assert result["benchmark"] == "engine_parity"
+        combos = result["combinations"]
+        assert set(combos) == {"inline:fair", "inline:greedy",
+                               "inline:priority"}
+        rounds = result["config"]["rounds"]
+        for name, entry in combos.items():
+            assert entry["identical"] is True, name
+            assert entry["max_abs_diff"] == 0.0
+            assert entry["responses_compared"] == 3 * rounds
+            assert entry["metrics"]["rounds"] == entry["engine_rounds"]
+        # Policies differ only in round composition.
+        assert combos["inline:greedy"]["engine_rounds"] == 1
+        assert combos["inline:fair"]["engine_rounds"] == rounds
+        assert result["parity"]["identical"] is True
+
+    def test_format_engine_parity(self, trained_context):
+        result = run_engine_parity(trained_context.pipeline, tiny_config(),
+                                   backends=("inline",))
+        text = format_engine_parity(result)
+        assert "engine parity matrix" in text
+        assert "inline:priority" in text
+        assert "parity (all combinations): True" in text
