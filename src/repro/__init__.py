@@ -30,6 +30,8 @@ Subpackages
 ``repro.metrics``     serving metrics primitives (counters/gauges/histograms)
 ``repro.serving``     multi-stream fleet serving (DeploymentFleet/MicroBatcher)
 ``repro.gateway``     async TCP serving gateway (GatewayServer/GatewayClient)
+``repro.wal``         durability (write-ahead log/snapshots/crash recovery)
+``repro.errors``      typed exception hierarchy shared across the stack
 ``repro.nn``          numpy autodiff + layers (PyTorch substitute)
 ``repro.concepts``    surveillance concept ontology (ConceptNet-lite)
 ``repro.embedding``   BPE tokenizer + joint text/image space (ImageBind sub)
@@ -42,10 +44,10 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
-    "api", "runtime", "metrics", "serving", "gateway", "nn", "concepts",
-    "embedding", "llm", "kg", "gnn", "adaptation", "data", "edge", "eval",
-    "utils",
+    "api", "runtime", "metrics", "serving", "gateway", "wal", "errors",
+    "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
+    "data", "edge", "eval", "utils",
 ]

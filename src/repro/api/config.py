@@ -29,6 +29,7 @@ from ..data.streams import TrendShiftConfig
 from ..eval.experiments import ExperimentConfig
 from ..gnn.pipeline import MissionGNNConfig
 from ..gnn.training import TrainingConfig
+from ..utils.serialization import atomic_write_text
 
 __all__ = ["ReproConfig", "config_to_dict", "config_from_dict"]
 
@@ -152,7 +153,7 @@ class ReproConfig:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "ReproConfig":

@@ -27,7 +27,7 @@ from ..adaptation.controller import (
 from ..embedding.joint_space import JointEmbeddingModel
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
 from ..gnn.pipeline import MissionGNNModel
-from ..utils.serialization import decode_array, encode_array
+from ..utils.serialization import atomic_write_json, decode_array, encode_array
 from .config import config_from_dict, config_to_dict
 
 __all__ = ["Deployment", "ServeEvent"]
@@ -193,7 +193,7 @@ class Deployment:
 
     def save(self, path: str | Path) -> None:
         """Write the whole runtime (model + adaptation state) to one file."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict, embedding_model: JointEmbeddingModel,

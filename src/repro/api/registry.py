@@ -25,6 +25,7 @@ from pathlib import Path
 from ..embedding.joint_space import JointEmbeddingModel
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
 from ..gnn.pipeline import MissionGNNModel
+from ..utils.serialization import atomic_write_json
 
 __all__ = ["ModelRegistry"]
 
@@ -97,7 +98,7 @@ class ModelRegistry:
         payload = deployment_to_dict(model)
         self._entries[key] = payload
         if self.root is not None:
-            self._path(key).write_text(json.dumps(payload))
+            atomic_write_json(self._path(key), payload)
         return key
 
     # ------------------------------------------------------------------

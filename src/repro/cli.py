@@ -318,15 +318,36 @@ def cmd_gateway(args) -> int:
                   windows_per_step=args.windows_per_step,
                   stream_seed=args.stream_seed,
                   max_batch_windows=args.max_batch_windows, **extra)
-    server = GatewayServer(fleet, host=args.host, port=args.port,
-                           max_queue_depth=args.max_queue_depth,
-                           policy=args.policy)
+    wal_kwargs = {}
+    if args.wal_dir:
+        from .wal import SnapshotPolicy, WalConfig
+        wal_kwargs = {
+            "wal_dir": args.wal_dir,
+            "wal_config": WalConfig(
+                fsync_batch=args.wal_fsync_batch,
+                fsync_interval_ms=args.wal_fsync_interval_ms),
+            "snapshot_policy": SnapshotPolicy(
+                every_rounds=args.snapshot_every_rounds,
+                max_log_bytes=args.snapshot_max_log_bytes),
+        }
+    from .errors import DurabilityError
+    try:
+        server = GatewayServer(fleet, host=args.host, port=args.port,
+                               max_queue_depth=args.max_queue_depth,
+                               policy=args.policy, **wal_kwargs)
+    except DurabilityError as exc:
+        fleet.close()
+        raise SystemExit(f"error: {exc}")
 
     async def main() -> None:
         host, port = await server.start()
         print(f"[gateway] listening on {host}:{port} "
               f"(policy: {server.engine.policy.name}) — streams: "
               f"{', '.join(fleet.names)}")
+        if args.wal_dir:
+            print(f"[gateway] durable: write-ahead log at {args.wal_dir} "
+                  "(acks follow the fsync; recover with "
+                  f"'repro recover {args.wal_dir}')")
         print("[gateway] serving until a shutdown frame arrives "
               "(or Ctrl-C)")
         await server.wait_stopped()
@@ -342,10 +363,14 @@ def cmd_gateway(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
-    """Drive an in-process gateway, verify parity, write BENCH_5.json."""
+    """Drive an in-process gateway, verify parity, write BENCH_5.json
+    (or, with ``--wal``, the BENCH_6.json durability A/B profile)."""
     from .api import Pipeline
-    from .gateway import (DEFAULT_GATEWAY_BENCH_PATH,
-                          format_gateway_benchmark, run_gateway_benchmark)
+    from .gateway import (DEFAULT_DURABILITY_BENCH_PATH,
+                          DEFAULT_GATEWAY_BENCH_PATH,
+                          format_durability_benchmark,
+                          format_gateway_benchmark,
+                          run_durability_benchmark, run_gateway_benchmark)
     from .serving import write_benchmark
     config = _build_config(args)
     if args.quick:
@@ -358,6 +383,30 @@ def cmd_loadgen(args) -> int:
         raise SystemExit("error: --levels entries must be >= 1")
     print(f"[loadgen] training {len(set(args.missions))} mission "
           f"model(s)...")
+    if args.wal:
+        clients = levels[0]
+        print(f"[loadgen] durability A/B: {args.streams} stream(s) x "
+              f"{rounds} round(s), {clients} client(s), with and without "
+              "a write-ahead log...")
+        result = run_durability_benchmark(
+            pipeline, streams=args.streams, missions=args.missions,
+            windows_per_step=args.windows_per_step, rounds=rounds,
+            clients=clients, rate=args.rate, stream_seed=args.stream_seed,
+            max_batch_windows=args.max_batch_windows,
+            max_queue_depth=args.max_queue_depth, policy=args.policy)
+        print(format_durability_benchmark(result))
+        path = write_benchmark(result,
+                               args.output or DEFAULT_DURABILITY_BENCH_PATH)
+        print(f"[loadgen] wrote {path}")
+        if not result["parity"]["identical"]:
+            print("[loadgen] FAIL: gateway scores diverged from the "
+                  "direct in-process fleet run")
+            return 1
+        if not result["recovery"]["ok"]:
+            print("[loadgen] FAIL: the durable run's WAL did not recover "
+                  "to the served stream set")
+            return 1
+        return 0
     print(f"[loadgen] serving {args.streams} stream(s) x {rounds} round(s) "
           f"at client-concurrency levels {list(levels)}...")
     result = run_gateway_benchmark(
@@ -373,6 +422,43 @@ def cmd_loadgen(args) -> int:
         print("[loadgen] FAIL: gateway scores diverged from the direct "
               "in-process fleet run")
         return 1
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Rebuild a durable fleet from its write-ahead log directory."""
+    from .errors import DurabilityError
+    from .wal import recover_fleet
+    shards = args.shards if args.shards and args.shards > 1 else None
+    print(f"[recover] replaying WAL at {args.wal_dir}"
+          + (f" into {shards} shard(s)" if shards else ""))
+    try:
+        fleet, report = recover_fleet(args.wal_dir, shards=shards)
+    except DurabilityError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        print(f"[recover] {report.summary()}")
+        print(f"[recover] fleet: {len(fleet)} stream(s) "
+              f"({', '.join(fleet.names)}), {fleet.rounds} round(s) served")
+        if args.verify:
+            # Recovery is deterministic: a second replay must land on the
+            # bit-identical fleet checkpoint — the cheap self-check that
+            # catches a non-reproducible replay before anyone trusts it.
+            twin, _ = recover_fleet(args.wal_dir, shards=shards)
+            try:
+                identical = fleet.to_dict() == twin.to_dict()
+            finally:
+                twin.close()
+            if not identical:
+                print("[recover] FAIL: two replays of the same WAL "
+                      "produced different fleet state")
+                return 1
+            print("[recover] verified: double replay is bit-identical")
+        if args.save:
+            fleet.save(args.save)
+            print(f"[recover] checkpointed recovered fleet to {args.save}")
+    finally:
+        fleet.close()
     return 0
 
 
@@ -605,6 +691,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-queue-depth", type=int, default=8,
                    help="queued requests per stream before backpressure "
                         "(default 8)")
+    p.add_argument("--wal-dir", metavar="PATH", default=None,
+                   help="durable serving: write-ahead log every accepted "
+                        "ingest to this (fresh) directory; acks follow the "
+                        "group-commit fsync, and 'repro recover PATH' "
+                        "rebuilds the fleet after a crash")
+    p.add_argument("--wal-fsync-batch", type=int, default=64,
+                   help="group-commit: fsync after this many pending "
+                        "appends (default 64)")
+    p.add_argument("--wal-fsync-interval-ms", type=float, default=50.0,
+                   help="group-commit: fsync when the oldest pending "
+                        "append is this old (default 50)")
+    p.add_argument("--snapshot-every-rounds", type=int, default=64,
+                   help="embed a fleet snapshot and truncate the log every "
+                        "N served rounds (default 64)")
+    p.add_argument("--snapshot-max-log-bytes", type=int,
+                   default=16 * 1024 * 1024,
+                   help="also snapshot once this many log bytes accumulate "
+                        "(default 16 MiB)")
     p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser("loadgen",
@@ -633,14 +737,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server admission limit per stream (default 8)")
     p.add_argument("--quick", action="store_true",
                    help="small training + fewer rounds (CI smoke profile)")
+    p.add_argument("--wal", action="store_true",
+                   help="durability A/B profile instead of the concurrency "
+                        "sweep: serve the identical load with and without "
+                        "a write-ahead log, record the p50/p95 overhead, "
+                        "and verify the log recovers (BENCH_6.json; uses "
+                        "the first --levels entry as the client count)")
     p.add_argument("--verify", action="store_true",
                    help="fail (exit 1) unless gateway scores are "
                         "bit-identical to the direct in-process run "
                         "(parity is always measured; this is already the "
                         "default behavior, the flag records intent)")
     p.add_argument("--output", metavar="PATH", default=None,
-                   help="result JSON path (default BENCH_5.json)")
+                   help="result JSON path (default BENCH_5.json, or "
+                        "BENCH_6.json with --wal)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("recover",
+                       help="rebuild a durable fleet from its write-ahead "
+                            "log")
+    p.add_argument("wal_dir", metavar="WAL_DIR",
+                   help="the --wal-dir a durable gateway was serving from")
+    p.add_argument("--shards", type=int, default=1,
+                   help="rebuild as a sharded fleet over N worker "
+                        "processes (default 1: in-process fleet; either "
+                        "way the recovered state is bit-identical)")
+    p.add_argument("--verify", action="store_true",
+                   help="replay the WAL twice and fail unless both "
+                        "replays produce the bit-identical fleet "
+                        "checkpoint")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="checkpoint the recovered fleet (then serve it "
+                        "with a fresh --wal-dir)")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("fig5", help="trend-shift experiment (Fig. 5)")
     _add_common(p)

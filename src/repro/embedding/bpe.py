@@ -15,6 +15,8 @@ import re
 from collections import Counter
 from pathlib import Path
 
+from ..utils.serialization import atomic_write_json
+
 __all__ = ["BPETokenizer"]
 
 _EOW = "</w>"
@@ -172,7 +174,7 @@ class BPETokenizer:
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         payload = {"merges": self.merges, "vocab": self.id_to_token}
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "BPETokenizer":

@@ -1,0 +1,76 @@
+"""Typed exception hierarchy shared across the serving stack.
+
+Production callers need to branch on *what* failed — a shard worker
+dying is retryable by restarting the fleet, a corrupt write-ahead log
+segment is not — which bare ``RuntimeError`` strings cannot support.
+The hierarchy lives at the top of the dependency graph (stdlib only)
+so every layer can raise typed errors without importing a sibling:
+
+``ReproError``
+    Root of everything this package raises deliberately.
+``DurabilityError``
+    The write-ahead log / snapshot / recovery layer (:mod:`repro.wal`):
+    unopenable directories, append failures, replay problems.
+``WalCorruptionError``
+    A CRC-invalid or truncated frame *before* the repairable tail — the
+    log's history itself is damaged, not just its in-flight suffix.
+``RecoveryError``
+    Replay cannot rebuild a fleet (no snapshot record, unknown record
+    kinds, a replayed ingest that fails to score).
+``FleetError``
+    Multi-process fleet serving (:class:`~repro.serving.ShardedFleet`).
+``WorkerError``
+    A shard worker failed mid-command or died; carries ``shard`` when a
+    single shard is attributable.
+``WorkerStartupError``
+    A worker could not build its fleet at all (bad checkpoint payload,
+    embedding-fingerprint mismatch) — retrying the command cannot help.
+
+``DurabilityError`` and ``FleetError`` subclass ``RuntimeError`` so
+call sites (and tests) written against the historical bare
+``RuntimeError`` keep working; new code should catch the typed classes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "DurabilityError", "WalCorruptionError",
+           "RecoveryError", "FleetError", "WorkerError",
+           "WorkerStartupError"]
+
+
+class ReproError(Exception):
+    """Root of every deliberate error raised by this package."""
+
+
+class DurabilityError(ReproError, RuntimeError):
+    """The WAL / snapshot / recovery layer failed."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A log frame before the repairable tail is truncated or fails its
+    CRC — history is damaged, not just the in-flight suffix."""
+
+
+class RecoveryError(DurabilityError):
+    """Replay could not rebuild a fleet from snapshot + log suffix."""
+
+
+class FleetError(ReproError, RuntimeError):
+    """Multi-process fleet serving failed."""
+
+
+class WorkerError(FleetError):
+    """A shard worker failed mid-command or died unexpectedly.
+
+    ``shard`` is the failing shard's index when exactly one shard is
+    attributable, else ``None`` (aggregated broadcast failures).
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class WorkerStartupError(WorkerError):
+    """A shard worker could not build its fleet at startup; the command
+    that surfaced this cannot succeed by retrying."""

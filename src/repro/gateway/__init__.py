@@ -27,6 +27,11 @@ stdlib + numpy only:
 :func:`run_gateway_benchmark`
     The latency/throughput curve over client-concurrency levels written
     as ``BENCH_5.json``, engine metrics included.
+:func:`run_durability_benchmark`
+    The WAL durability A/B profile written as ``BENCH_6.json``: the
+    identical load served with and without ``wal_dir`` (see
+    :mod:`repro.wal`), recording the ack-after-append fsync overhead
+    and verifying the log it paid for actually recovers.
 
 The server itself no longer owns a round loop: requests feed the fleet's
 :class:`repro.runtime.ServingEngine` admission queues, and a pluggable
@@ -35,13 +40,16 @@ The server itself no longer owns a round loop: requests feed the fleet's
 """
 
 from .client import (
+    DEFAULT_DURABILITY_BENCH_PATH,
     DEFAULT_GATEWAY_BENCH_PATH,
     GatewayClient,
     GatewayError,
     LoadGenConfig,
     LoadGenerator,
     LoadGenResult,
+    format_durability_benchmark,
     format_gateway_benchmark,
+    run_durability_benchmark,
     run_gateway_benchmark,
 )
 # Compatibility re-exports: the metrics primitives were promoted to
@@ -87,6 +95,9 @@ __all__ = [
     "run_gateway_benchmark",
     "format_gateway_benchmark",
     "DEFAULT_GATEWAY_BENCH_PATH",
+    "run_durability_benchmark",
+    "format_durability_benchmark",
+    "DEFAULT_DURABILITY_BENCH_PATH",
     "Counter",
     "Gauge",
     "LatencyHistogram",

@@ -44,12 +44,19 @@ from .server import DEFAULT_MAX_QUEUE_DEPTH, serve_in_thread
 
 __all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
            "LoadGenerator", "LoadGenResult", "run_gateway_benchmark",
-           "format_gateway_benchmark", "DEFAULT_GATEWAY_BENCH_PATH"]
+           "format_gateway_benchmark", "DEFAULT_GATEWAY_BENCH_PATH",
+           "run_durability_benchmark", "format_durability_benchmark",
+           "DEFAULT_DURABILITY_BENCH_PATH"]
 
 #: BENCH_4 was the pre-runtime gateway artifact; BENCH_5 adds the
 #: promoted engine metrics (rounds, coalesce ratio, queue gauges) from
 #: the server's ``stats`` op next to the throughput/latency curve.
 DEFAULT_GATEWAY_BENCH_PATH = "BENCH_5.json"
+
+#: BENCH_6 is the durability A/B profile: the same load served with and
+#: without a write-ahead log, recording what ack-after-append fsync
+#: batching costs in request latency (p50/p95 delta) and throughput.
+DEFAULT_DURABILITY_BENCH_PATH = "BENCH_6.json"
 
 
 class GatewayError(Exception):
@@ -429,6 +436,168 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
         "parity": {"identical": all_identical},
         "environment": _environment(),
     }
+
+
+# ---------------------------------------------------------------------
+# The BENCH_6 harness: durability overhead A/B
+# ---------------------------------------------------------------------
+def run_durability_benchmark(pipeline, streams: int = 4,
+                             missions: list[str] | None = None,
+                             windows_per_step: int = 2, rounds: int = 6,
+                             clients: int = 2, rate: float | None = None,
+                             stream_seed: int = 100,
+                             max_batch_windows: int | None = None,
+                             max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                             policy=None, wal_dir=None,
+                             wal_config=None) -> dict:
+    """A/B profile of WAL durability overhead (the ``BENCH_6.json``
+    artifact): the identical pre-materialized load is served twice —
+    once by a plain gateway, once by a gateway with ``wal_dir`` set
+    (log-before-schedule, group-commit fsync per round) — and the
+    latency/throughput deltas are recorded.  Both runs stay parity-gated
+    against the direct in-process reference, and after the durable run
+    the WAL is recovered and its stream set checked, so the artifact
+    also witnesses that the log it paid for is actually recoverable.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..serving import build_fleet
+    from ..serving.bench import _environment
+
+    missions = missions or ["Stealing"]
+    stream_windows, reference, rounds = _direct_reference(
+        pipeline, missions, streams, windows_per_step, stream_seed,
+        rounds, max_batch_windows)
+
+    def run_side(wal_path) -> dict:
+        fleet = build_fleet(pipeline, missions, streams,
+                            adaptive=False, share_models=True,
+                            windows_per_step=windows_per_step,
+                            stream_seed=stream_seed,
+                            max_batch_windows=max_batch_windows)
+        server_kwargs = dict(max_queue_depth=max_queue_depth, policy=policy)
+        if wal_path is not None:
+            server_kwargs.update(wal_dir=wal_path, wal_config=wal_config)
+        with fleet, serve_in_thread(fleet, **server_kwargs) as handle:
+            generator = LoadGenerator(
+                handle.address, stream_windows,
+                LoadGenConfig(clients=clients, rounds=rounds, rate=rate))
+            result = generator.run()
+            with GatewayClient(*handle.address) as observer:
+                server_stats = observer.stats()
+        stats = result.summary(
+            phase=("durable" if wal_path is not None else "baseline")
+            + " gateway")
+        stats["parity"] = _check_parity(result, reference)
+        stats["server"] = {"engine": server_stats.get("engine"),
+                           "metrics": server_stats.get("metrics")}
+        if result.errors:
+            stats["error_messages"] = result.errors[:10]
+        return stats
+
+    baseline = run_side(None)
+    created_dir = wal_dir is None
+    wal_path = Path(wal_dir) if wal_dir is not None \
+        else Path(tempfile.mkdtemp(prefix="repro-wal-bench-"))
+    durable = run_side(wal_path)
+
+    # The durable side's acks are only worth their fsyncs if the log
+    # recovers: rebuild the fleet from it and check the stream set.
+    from ..wal import recover_fleet
+    recovered, report = recover_fleet(wal_path)
+    recovery = {"ok": sorted(recovered.names) == sorted(stream_windows),
+                "records": report.records, "replayed": report.replayed,
+                "duration_seconds": report.duration}
+    if created_dir:
+        shutil.rmtree(wal_path, ignore_errors=True)
+
+    def _pct(stats: dict, key: str) -> float | None:
+        latency = stats.get("latency") or {}
+        return latency.get(key)
+
+    overhead: dict = {}
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        base, dur = _pct(baseline, key), _pct(durable, key)
+        if base is not None and dur is not None:
+            overhead[f"{key.removesuffix('_ms')}_delta_ms"] = dur - base
+    if baseline["windows_per_sec"] > 0:
+        overhead["throughput_ratio"] = (durable["windows_per_sec"]
+                                        / baseline["windows_per_sec"])
+    wal_metrics = ((durable.get("server") or {}).get("metrics")
+                   or {})
+    histograms = wal_metrics.get("histograms") or {}
+    counters = wal_metrics.get("counters") or {}
+    overhead["fsyncs"] = counters.get("wal.fsyncs")
+    overhead["wal_records"] = counters.get("wal.records")
+    if (histograms.get("wal.fsync_latency") or {}).get("count"):
+        overhead["fsync_p95_ms"] = histograms["wal.fsync_latency"]["p95_ms"]
+    if (histograms.get("wal.append_latency") or {}).get("count"):
+        overhead["append_p95_ms"] = \
+            histograms["wal.append_latency"]["p95_ms"]
+
+    return {
+        "benchmark": "gateway_durability",
+        "config": {
+            "streams": streams,
+            "missions": list(missions),
+            "windows_per_step": windows_per_step,
+            "rounds": rounds,
+            "clients": clients,
+            "rate": rate,
+            "stream_seed": stream_seed,
+            "max_batch_windows": max_batch_windows,
+            "max_queue_depth": max_queue_depth,
+            "policy": getattr(policy, "name", policy) or "fair",
+            "fsync_batch": getattr(wal_config, "fsync_batch", None),
+            "fsync_interval_ms": getattr(wal_config, "fsync_interval_ms",
+                                         None),
+        },
+        "baseline": baseline,
+        "durable": durable,
+        "overhead": overhead,
+        "recovery": recovery,
+        "parity": {"identical": baseline["parity"]["identical"]
+                   and durable["parity"]["identical"]},
+        "environment": _environment(),
+    }
+
+
+def format_durability_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a BENCH_6 payload."""
+    cfg = result["config"]
+    lines = [
+        f"gateway durability benchmark: {cfg['streams']} stream(s) x "
+        f"{cfg['windows_per_step']} windows/request, {cfg['rounds']} "
+        f"round(s)/stream, {cfg['clients']} client(s)",
+    ]
+    for side in ("baseline", "durable"):
+        stats = result[side]
+        latency = stats.get("latency", {})
+        lines.append(
+            f"  {side:>8s}: {stats['windows_per_sec']:8.1f} windows/s"
+            f"   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+            f"   p95 {latency.get('p95_ms', float('nan')):7.2f} ms"
+            f"   identical: {stats['parity']['identical']}")
+    over = result["overhead"]
+    parts = []
+    if "p50_delta_ms" in over:
+        parts.append(f"p50 +{over['p50_delta_ms']:.2f} ms")
+    if "p95_delta_ms" in over:
+        parts.append(f"p95 +{over['p95_delta_ms']:.2f} ms")
+    if "throughput_ratio" in over:
+        parts.append(f"throughput x{over['throughput_ratio']:.3f}")
+    if over.get("fsyncs") is not None:
+        parts.append(f"{over['fsyncs']:.0f} fsync(s)")
+    if parts:
+        lines.append(f"  overhead: {', '.join(parts)}")
+    recovery = result["recovery"]
+    lines.append(f"  recovery: ok={recovery['ok']} "
+                 f"({recovery['records']} record(s), "
+                 f"{recovery['duration_seconds'] * 1e3:.1f} ms)")
+    lines.append(f"  parity (both sides): {result['parity']['identical']}")
+    return "\n".join(lines)
 
 
 def _format_server_stats(stats: dict | None) -> str | None:

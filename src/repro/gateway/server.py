@@ -23,6 +23,13 @@ the priority policy (a missed deadline answers a typed ``expired``
 frame); and ``shutdown`` drains every queued request before the server
 closes.
 
+Durable serving: constructed with ``wal_dir``, the gateway attaches a
+:class:`~repro.wal.WalDurability` hook to the engine — every accepted
+ingest is logged before it becomes schedulable and fsynced (group
+commit, one per round) before its response future resolves, so an acked
+ingest survives a SIGKILL and ``repro recover <wal_dir>`` rebuilds the
+fleet bit-identically.
+
 The server fronts a :class:`~repro.serving.DeploymentFleet` or a
 :class:`~repro.serving.ShardedFleet` interchangeably — both are facades
 over the engine, so the gateway never branches on fleet type.
@@ -90,7 +97,8 @@ class GatewayServer:
                  max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  metrics: MetricsRegistry | None = None,
-                 policy=None):
+                 policy=None, wal_dir=None, wal_config=None,
+                 snapshot_policy=None):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
         engine = getattr(fleet, "engine", None)
@@ -109,6 +117,19 @@ class GatewayServer:
             # the engine's so engine.* and gateway.* metrics land together.
             self.engine.metrics = metrics
         self.metrics = self.engine.metrics
+        # Durable serving: with a wal_dir every accepted ingest is
+        # appended to a write-ahead log before it becomes schedulable,
+        # and the engine group-commit fsyncs at the end of each round
+        # *before* any response future resolves — so an acked ingest is
+        # always on disk (ack-after-append), recoverable with
+        # ``repro recover <wal_dir>`` after a crash.
+        self.durability = None
+        if wal_dir is not None:
+            from ..wal import WalDurability
+            self.durability = WalDurability(
+                fleet, wal_dir, config=wal_config, policy=snapshot_policy,
+                metrics=self.metrics)
+            self.engine.durability = self.durability
         self.host = host
         self.port = port
         self.max_queue_depth = max_queue_depth
@@ -189,6 +210,10 @@ class GatewayServer:
         for conn in list(self._connections):
             conn.writer.close()
         self._executor.shutdown(wait=True)
+        if self.durability is not None:
+            # After the executor is done: no round is running, so the
+            # parting snapshot sees quiescent fleet state.
+            self.durability.close(self.engine)
         self._stopped.set()
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from pathlib import Path
 
 from ..embedding.joint_space import JointEmbeddingModel
 from ..kg.serialization import kg_from_dict, kg_to_dict
+from ..utils.serialization import atomic_write_json
 from ..utils.serialization import decode_array as _decode
 from ..utils.serialization import encode_array as _encode
 from .pipeline import MissionGNNConfig, MissionGNNModel
@@ -72,7 +73,7 @@ def deployment_from_dict(payload: dict,
 
 def save_deployment(model: MissionGNNModel, path: str | Path) -> None:
     """Write the full deployment artifact to ``path``."""
-    Path(path).write_text(json.dumps(deployment_to_dict(model)))
+    atomic_write_json(path, deployment_to_dict(model))
 
 
 def load_deployment(path: str | Path,

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..utils.serialization import atomic_write_json
 from .graph import EMBEDDING_TEXT, SENSOR_TEXT, KGNode, ReasoningKG
 
 __all__ = ["save_kg", "load_kg", "kg_to_dict", "kg_from_dict"]
@@ -75,7 +76,7 @@ def kg_from_dict(payload: dict) -> ReasoningKG:
 
 
 def save_kg(kg: ReasoningKG, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(kg_to_dict(kg)))
+    atomic_write_json(path, kg_to_dict(kg))
 
 
 def load_kg(path: str | Path) -> ReasoningKG:

@@ -91,6 +91,7 @@ class EngineRequest:
     deadline: float | None = None
     queued_at: float = 0.0
     tag: object = None
+    wal_seq: int | None = None     # durability log seq (set at admission)
 
 
 @dataclass
@@ -126,7 +127,8 @@ class ServingEngine:
     """
 
     def __init__(self, backend, policy=None, metrics: MetricsRegistry | None = None,
-                 max_queue_depth: int | None = None, clock=time.monotonic):
+                 max_queue_depth: int | None = None, clock=time.monotonic,
+                 durability=None):
         from .policies import FairRoundRobin
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -138,6 +140,12 @@ class ServingEngine:
         self._clock = clock
         self._queues: dict[str, deque[EngineRequest]] = {}
         self._lock = Lock()
+        # Duck-typed durability hook (e.g. repro.wal.WalDurability; the
+        # runtime layer never imports it): record_submit(request) → seq,
+        # record_applied(stream, seq), record_skip(seq), commit(engine).
+        # Accepted ingests are logged before they become schedulable and
+        # fsynced once per round before results reach any caller.
+        self.durability = durability
 
     # ------------------------------------------------------------------
     # Lock-step serving: rounds pulled from backend-owned streams
@@ -199,7 +207,16 @@ class ServingEngine:
     def submit(self, request: EngineRequest) -> None:
         """Admit a request into its stream's queue; raises
         :class:`AdmissionError` (``backpressure``) past
-        ``max_queue_depth`` queued requests for that stream."""
+        ``max_queue_depth`` queued requests for that stream.
+
+        With a durability hook attached, an accepted ``ingest`` request
+        is logged *here* — after admission control, before it joins the
+        queue — so exactly the accepted requests hit the log
+        (backpressure rejections never do) and, because the append runs
+        under the admission lock, per-stream log order equals per-stream
+        queue order.  A failed append propagates and the request is not
+        queued: log-before-schedule, never schedule-then-hope.
+        """
         with self._lock:
             queue = self._queues.setdefault(request.stream, deque())
             if (self.max_queue_depth is not None
@@ -209,6 +226,8 @@ class ServingEngine:
                     f"stream {request.stream!r} has {len(queue)} queued "
                     f"request(s) (limit {self.max_queue_depth}); retry "
                     "after backoff")
+            if self.durability is not None and request.op == "ingest":
+                request.wal_seq = self.durability.record_submit(request)
             if not request.queued_at:
                 request.queued_at = self._clock()
             queue.append(request)
@@ -238,6 +257,15 @@ class ServingEngine:
                     queue.clear()
                     queue.extend(kept)
             self._update_queue_gauge()
+        if self.durability is not None:
+            try:
+                for request in dropped:
+                    if request.wal_seq is not None:
+                        self.durability.record_skip(request.wal_seq)
+            except Exception:  # noqa: BLE001 — dropped work was never
+                # acked; a failed skip append only costs replay applying
+                # it, which is harmless extra state, not lost state.
+                self.metrics.counter("engine.durability_errors").inc()
         return dropped
 
     def run_round(self) -> list[RoundResult]:
@@ -289,6 +317,7 @@ class ServingEngine:
                 message=f"request for stream {request.stream!r} missed its "
                         f"deadline while queued; it was never served"))
         if not selected:
+            self._commit_durability(results)
             return results
 
         start = time.perf_counter()
@@ -315,7 +344,45 @@ class ServingEngine:
         except Exception:  # noqa: BLE001 — a metric name/kind collision
             pass           # on a shared registry is not worth hanging
                            # the callers awaiting these results.
+        self._commit_durability(results)
         return results
+
+    def _commit_durability(self, results: list[RoundResult]) -> None:
+        """End-of-round durability barrier: advance each applied ingest's
+        stream watermark, append skip records for requests that errored
+        or expired (logged but never applied, so replay must not apply
+        them either), then group-commit fsync — all *before* the results
+        leave :meth:`run_round`, which is what makes the gateway's acks
+        ack-after-append."""
+        durability = self.durability
+        if durability is None:
+            return
+        try:
+            for result in results:
+                request = result.request
+                if request.op != "ingest" or request.wal_seq is None:
+                    continue
+                if result.kind == "event":
+                    durability.record_applied(request.stream,
+                                              request.wal_seq)
+                else:
+                    durability.record_skip(request.wal_seq)
+            durability.commit(self)
+        except Exception:  # noqa: BLE001 — results are already computed
+            # and callers are waiting on them; count the failure (the
+            # gateway surfaces the counter) rather than wedging a round
+            # that, state-wise, fully succeeded.
+            self.metrics.counter("engine.durability_errors").inc()
+
+    def min_pending_wal_seq(self) -> int | None:
+        """Lowest durability-log seq still queued (``None`` when no
+        queued request carries one) — the snapshot truncation bound:
+        segments holding a logged-but-unserved request must survive."""
+        with self._lock:
+            seqs = [request.wal_seq
+                    for queue in self._queues.values()
+                    for request in queue if request.wal_seq is not None]
+        return min(seqs) if seqs else None
 
     @staticmethod
     def _waves(selected: list[EngineRequest],

@@ -28,6 +28,7 @@ executing through an :class:`~repro.runtime.InlineBackend`
 (``ShardedFleet``); the fleets own stream state and checkpointing.
 """
 
+from ..errors import FleetError, WorkerError, WorkerStartupError
 from .batcher import MicroBatcher, ScoreRequest
 from .bench import (BenchConfig, DEFAULT_BENCH_PATH,
                     DEFAULT_SHARD_BENCH_PATH, format_benchmark,
@@ -56,4 +57,7 @@ __all__ = [
     "format_benchmark",
     "DEFAULT_BENCH_PATH",
     "DEFAULT_SHARD_BENCH_PATH",
+    "FleetError",
+    "WorkerError",
+    "WorkerStartupError",
 ]

@@ -33,6 +33,7 @@ from ..api.deployment import Deployment
 from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..runtime.engine import FleetEvent, ServingEngine
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
+from ..utils.serialization import atomic_write_json
 from .batcher import MicroBatcher
 
 __all__ = ["FLEET_FORMAT_VERSION", "FleetEvent", "StreamSlot",
@@ -259,7 +260,7 @@ class DeploymentFleet:
                 "rounds": self.rounds}
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict, embedding_model,

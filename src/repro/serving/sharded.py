@@ -43,7 +43,9 @@ from ..api.config import config_from_dict, config_to_dict
 from ..api.deployment import Deployment
 from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..data.synthetic import FrameGenerator
+from ..errors import FleetError, WorkerError, WorkerStartupError
 from ..runtime.engine import FleetEvent, ServingEngine
+from ..utils.serialization import atomic_write_json
 from .batcher import ScoreRequest
 from .fleet import FLEET_FORMAT_VERSION, DeploymentFleet, build_fleet
 
@@ -317,7 +319,7 @@ class ShardedFleet:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("fleet is closed")
+            raise FleetError("fleet is closed")
 
     @staticmethod
     def _send(conn, message: tuple) -> None:
@@ -334,10 +336,18 @@ class ShardedFleet:
         except EOFError:
             return ("error", "worker process died unexpectedly")
 
+    @staticmethod
+    def _worker_error(shard: int, status: str, value) -> WorkerError:
+        """Typed exception for one shard's non-``ok`` reply: startup
+        failures (the worker's ``fatal`` relay) get the narrower
+        :class:`~repro.errors.WorkerStartupError`."""
+        cls = WorkerStartupError if status == "fatal" else WorkerError
+        return cls(f"shard {shard}: {value}", shard=shard)
+
     def _receive(self, shard: int):
         status, value = self._recv(self._conns[shard])
         if status != "ok":
-            raise RuntimeError(f"shard {shard}: {value}")
+            raise self._worker_error(shard, status, value)
         return value
 
     def _request(self, shard: int, message: tuple):
@@ -356,11 +366,17 @@ class ShardedFleet:
         for conn in self._conns:
             self._send(conn, message)
         replies = [self._recv(conn) for conn in self._conns]
-        errors = [f"shard {shard}: {value}"
+        failed = [(shard, status, value)
                   for shard, (status, value) in enumerate(replies)
                   if status != "ok"]
-        if errors:
-            raise RuntimeError("; ".join(errors))
+        if failed:
+            # One shard's startup failure outranks run-of-the-mill errors:
+            # it is the root cause the others' broken pipes follow from.
+            shard, status, value = next(
+                (f for f in failed if f[1] == "fatal"), failed[0])
+            cls = WorkerStartupError if status == "fatal" else WorkerError
+            raise cls("; ".join(f"shard {s}: {v}" for s, _, v in failed),
+                      shard=shard)
         return [value for _, value in replies]
 
     def close(self) -> None:
@@ -507,15 +523,19 @@ class ShardedFleet:
             self._send(self._conns[shard],
                        (command, per_shard[shard], *extra))
         merged: dict = {}
-        errors = []
+        failed: list[tuple[int, str, object]] = []
         for shard in shards:
             status, value = self._recv(self._conns[shard])
             if status != "ok":
-                errors.append(f"shard {shard}: {value}")
+                failed.append((shard, status, value))
             else:
                 merged.update(value)
-        if errors:
-            raise RuntimeError("; ".join(errors))
+        if failed:
+            shard, status, value = next(
+                (f for f in failed if f[1] == "fatal"), failed[0])
+            cls = WorkerStartupError if status == "fatal" else WorkerError
+            raise cls("; ".join(f"shard {s}: {v}" for s, _, v in failed),
+                      shard=shard)
         return merged
 
     def ingest_round(self, arrivals: dict, batched: bool = True,
@@ -584,7 +604,7 @@ class ShardedFleet:
                 "infra": self.infra.to_payload()}
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict, shards: int | None = None,

@@ -3,15 +3,75 @@
 Arrays are stored as base64-encoded float64 bytes plus a shape, which
 keeps deployment artifacts plain JSON (inspectable, diffable) while
 round-tripping bit-exactly.
+
+:func:`atomic_write_text` / :func:`atomic_write_json` are the one
+durable-save path every checkpoint writer uses: a plain
+``Path.write_text`` that crashes mid-write leaves a truncated file where
+the *only* copy of a fleet or deployment snapshot used to be.  Writing a
+temp file in the same directory, fsyncing it, and ``os.replace``-ing it
+over the target makes the save all-or-nothing — readers only ever see
+the old complete file or the new complete file.
 """
 
 from __future__ import annotations
 
 import base64
+import json
+import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["encode_array", "decode_array"]
+__all__ = ["encode_array", "decode_array", "atomic_write_text",
+           "atomic_write_json", "fsync_directory"]
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (rename/create durability); a
+    no-op on platforms that cannot fsync directories."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Crash-safe replacement for ``Path(path).write_text(text)``.
+
+    The text lands in a temp file beside the target (same filesystem, so
+    the final rename is atomic), is fsynced, then ``os.replace``d over
+    the target; the directory entry is fsynced last so the rename itself
+    survives a power loss.  A crash at any point leaves either the old
+    file or the new one — never a truncated hybrid.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent or Path("."),
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with_error = Path(tmp_name)
+        if with_error.exists():
+            with_error.unlink()
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_json(path: str | Path, payload) -> None:
+    """:func:`atomic_write_text` over ``json.dumps(payload)`` — the
+    shared save path for every JSON checkpoint format in this repo."""
+    atomic_write_text(path, json.dumps(payload))
 
 
 def encode_array(array: np.ndarray) -> dict:

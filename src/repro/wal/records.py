@@ -1,0 +1,120 @@
+"""Typed WAL records: what the durability log actually remembers.
+
+Each record is a JSON-safe dict with a ``"kind"`` discriminator and the
+``"seq"`` the log assigned at append time.  Five kinds exist:
+
+``ingest``
+    One accepted ingest request: stream name + its ``(B, T, frame_dim)``
+    arrival windows, encoded through the repo's bit-exact base64 float64
+    codec (:mod:`repro.utils.serialization`) so replayed windows score
+    to the very same bits.
+``skip``
+    Cancels one earlier ``ingest`` record (by its seq): the request was
+    accepted and logged but never reached a deployment — it expired on
+    its deadline or failed to score — so replay must not apply it.
+``attach`` / ``detach``
+    A stream joining or leaving the fleet mid-run.  The attach body is
+    one slot entry in the fleet-checkpoint format (deployment payload
+    with its model, stream config, cursor), the same self-describing
+    shape :class:`~repro.serving.ShardedFleet` ships over worker pipes.
+``snapshot``
+    A whole-fleet checkpoint embedded in the log: the fleet payload
+    (``fleet.to_dict()`` — the PR 3 self-describing checkpoint format),
+    the :class:`~repro.serving.FleetInfra` seeds needed to rebuild it in
+    a fresh process, and the per-stream applied watermark (the highest
+    ingest seq each stream had dispatched into its deployment when the
+    snapshot was taken).  Recovery rebuilds from the latest snapshot and
+    replays only ingest records past each stream's watermark.
+
+Records deliberately stay plain dicts on the wire (the log frames raw
+JSON bytes); the constructors and :func:`validate_record` here are the
+single place their shapes are defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RecoveryError
+from ..utils.serialization import decode_array, encode_array
+
+__all__ = ["RECORD_KINDS", "ingest_record", "skip_record", "attach_record",
+           "detach_record", "snapshot_record", "record_windows",
+           "validate_record"]
+
+RECORD_KINDS = ("ingest", "skip", "attach", "detach", "snapshot")
+
+#: Required non-``seq`` fields per kind (shape validation for replay).
+_REQUIRED = {
+    "ingest": ("stream", "windows"),
+    "skip": ("target",),
+    "attach": ("entry",),
+    "detach": ("stream",),
+    "snapshot": ("fleet", "infra", "applied"),
+}
+
+
+def ingest_record(stream: str, windows: np.ndarray) -> dict:
+    """One accepted ingest request's durable form."""
+    return {"kind": "ingest", "stream": stream,
+            "windows": encode_array(np.asarray(windows, dtype=np.float64))}
+
+
+def record_windows(record: dict) -> np.ndarray:
+    """Decode an ``ingest`` record's windows (bit-exact round trip)."""
+    return decode_array(record["windows"])
+
+
+def skip_record(target_seq: int) -> dict:
+    """Cancel the ``ingest`` record at ``target_seq`` during replay."""
+    return {"kind": "skip", "target": int(target_seq)}
+
+
+def attach_record(entry: dict) -> dict:
+    """A stream joining the fleet; ``entry`` is one fleet-checkpoint slot
+    entry (name, deployment payload with model, stream config, cursor)."""
+    return {"kind": "attach", "entry": entry}
+
+
+def detach_record(stream: str) -> dict:
+    """A stream leaving the fleet."""
+    return {"kind": "detach", "stream": stream}
+
+
+def snapshot_record(fleet_payload: dict, infra_payload: dict,
+                    applied: dict[str, int]) -> dict:
+    """A whole-fleet checkpoint embedded in the log.
+
+    ``applied`` maps stream name → highest ingest-record seq whose
+    windows that stream's deployment had consumed when the snapshot was
+    taken.  Because the engine preserves per-stream FIFO, the applied
+    seqs of a stream are always a prefix of its logged seqs — one
+    watermark per stream fully describes what the snapshot contains.
+    """
+    return {"kind": "snapshot", "fleet": fleet_payload,
+            "infra": dict(infra_payload),
+            "applied": {name: int(seq) for name, seq in applied.items()}}
+
+
+def validate_record(record: dict) -> str:
+    """Check a decoded record's shape; returns its kind.
+
+    Raises :class:`~repro.errors.RecoveryError` on an unknown kind or a
+    missing field — a structurally valid frame (length + CRC passed)
+    holding a record replay cannot interpret means the log was written
+    by an incompatible version, which silent skipping would turn into
+    silently wrong recovered state.
+    """
+    kind = record.get("kind")
+    if kind not in _REQUIRED:
+        raise RecoveryError(
+            f"unknown WAL record kind {kind!r} at seq "
+            f"{record.get('seq')!r}; this log was written by an "
+            f"incompatible version (known kinds: {', '.join(RECORD_KINDS)})")
+    missing = [field for field in ("seq", *_REQUIRED[kind])
+               if field not in record]
+    if missing:
+        raise RecoveryError(
+            f"WAL {kind!r} record at seq {record.get('seq')!r} is missing "
+            f"required field(s): {', '.join(missing)}")
+    return kind

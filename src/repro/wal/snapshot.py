@@ -1,0 +1,95 @@
+"""Automatic snapshot-then-truncate: keeping the log short.
+
+Replay cost grows with the log, so a durable fleet periodically embeds
+a whole-fleet checkpoint (the PR 3 self-describing ``fleet.to_dict()``
+payload) as a ``snapshot`` record and then deletes the segments its
+watermark makes redundant.  :class:`SnapshotPolicy` decides *when*
+(rounds served or log bytes accumulated since the last snapshot);
+:class:`SnapshotManager` performs the write:
+
+1. rotate — the snapshot starts a fresh segment, so everything before
+   it forms whole deletable units;
+2. append the snapshot record with an immediate fsync (a snapshot that
+   is not durable must never justify deleting the records it covers);
+3. truncate — delete closed segments every record of which is either
+   applied (covered by the snapshot's per-stream watermark) or
+   abandoned (skipped), i.e. all records below the lowest seq still
+   *queued* in the engine.  Queued-but-unserved requests were logged
+   before the snapshot but are not in it; cutting at the snapshot's own
+   seq would silently drop them, which is exactly the loss this
+   subsystem exists to prevent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .log import WriteAheadLog
+from .records import snapshot_record
+
+__all__ = ["SnapshotPolicy", "SnapshotManager"]
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """When to snapshot: after ``every_rounds`` served rounds or once
+    ``max_log_bytes`` of log accumulate since the last snapshot,
+    whichever comes first (``None`` disables that trigger)."""
+
+    every_rounds: int | None = 64
+    max_log_bytes: int | None = 16 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.every_rounds is not None and self.every_rounds < 1:
+            raise ValueError("every_rounds must be >= 1")
+        if self.max_log_bytes is not None and self.max_log_bytes < 1:
+            raise ValueError("max_log_bytes must be >= 1")
+
+
+class SnapshotManager:
+    """Drives snapshot-then-truncate over one :class:`WriteAheadLog`."""
+
+    def __init__(self, wal: WriteAheadLog,
+                 policy: SnapshotPolicy | None = None):
+        self.wal = wal
+        self.policy = policy or SnapshotPolicy()
+        self.snapshots_taken = 0
+        self._rounds_at_last = 0
+        self._bytes_at_last = wal.size_bytes
+
+    def due(self, rounds: int) -> bool:
+        """Whether the policy calls for a snapshot at ``rounds`` served
+        rounds (and the log's current size)."""
+        policy = self.policy
+        if policy.every_rounds is not None \
+                and rounds - self._rounds_at_last >= policy.every_rounds:
+            return True
+        return (policy.max_log_bytes is not None
+                and self.wal.size_bytes - self._bytes_at_last
+                >= policy.max_log_bytes)
+
+    def snapshot(self, fleet_payload: dict, infra_payload: dict,
+                 applied: dict[str, int], rounds: int,
+                 pending_low: int | None = None) -> int:
+        """Write one snapshot record and truncate what it covers.
+
+        ``pending_low`` is the lowest WAL seq still queued in the engine
+        (``None`` when the queues are empty): segments at or above it
+        must survive truncation because their ingest records have not
+        been applied yet.  Returns the snapshot record's seq.
+        """
+        start = time.perf_counter()
+        self.wal.rotate()
+        seq = self.wal.append(
+            snapshot_record(fleet_payload, infra_payload, applied),
+            sync=True)
+        cutoff = seq if pending_low is None else min(pending_low, seq)
+        self.wal.truncate_below(cutoff)
+        self.snapshots_taken += 1
+        self._rounds_at_last = rounds
+        self._bytes_at_last = self.wal.size_bytes
+        self.wal.metrics.counter("wal.snapshots").inc()
+        self.wal.metrics.histogram("wal.snapshot_latency").observe(
+            time.perf_counter() - start)
+        return seq

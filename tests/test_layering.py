@@ -16,8 +16,11 @@ import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Packages/modules that must never depend on the gateway.
-LOWER_LAYERS = ("serving", "runtime", "api", "metrics.py")
+#: Packages/modules that must never depend on the gateway.  ``wal`` sits
+#: beside serving (recovery imports it; the runtime engine only sees a
+#: duck-typed durability hook), so it too must never reach up.
+LOWER_LAYERS = ("serving", "runtime", "api", "wal", "metrics.py",
+                "errors.py")
 
 
 def _modules():
