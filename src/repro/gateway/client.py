@@ -507,9 +507,12 @@ def run_durability_benchmark(pipeline, streams: int = 4,
     # recovers: rebuild the fleet from it and check the stream set.
     from ..wal import recover_fleet
     recovered, report = recover_fleet(wal_path)
-    recovery = {"ok": sorted(recovered.names) == sorted(stream_windows),
-                "records": report.records, "replayed": report.replayed,
-                "duration_seconds": report.duration}
+    try:
+        recovery = {"ok": sorted(recovered.names) == sorted(stream_windows),
+                    "records": report.records, "replayed": report.replayed,
+                    "duration_seconds": report.duration}
+    finally:
+        recovered.close()
     if created_dir:
         shutil.rmtree(wal_path, ignore_errors=True)
 

@@ -146,6 +146,7 @@ class ServingEngine:
         # Accepted ingests are logged before they become schedulable and
         # fsynced once per round before results reach any caller.
         self.durability = durability
+        self._durability_failed = False
 
     # ------------------------------------------------------------------
     # Lock-step serving: rounds pulled from backend-owned streams
@@ -227,6 +228,12 @@ class ServingEngine:
                     f"request(s) (limit {self.max_queue_depth}); retry "
                     "after backoff")
             if self.durability is not None and request.op == "ingest":
+                if self._durability_failed:
+                    raise AdmissionError(
+                        "durability",
+                        "the durability log failed a group commit; the "
+                        "engine refuses new ingests until the WAL is "
+                        "healthy (restart the service and run recovery)")
                 request.wal_seq = self.durability.record_submit(request)
             if not request.queued_at:
                 request.queued_at = self._clock()
@@ -353,26 +360,51 @@ class ServingEngine:
         or expired (logged but never applied, so replay must not apply
         them either), then group-commit fsync — all *before* the results
         leave :meth:`run_round`, which is what makes the gateway's acks
-        ack-after-append."""
+        ack-after-append.
+
+        A failed commit (ENOSPC, I/O error) must not turn into acks for
+        requests that are not on disk: every would-be-acked ingest result
+        in the round is converted to a typed ``durability`` error in
+        place, and the engine latches — :meth:`submit` refuses further
+        ingests — because retrying fsync on a file descriptor that
+        already failed one is not reliable; the operator restarts and
+        recovers from the durable prefix.  ``scores`` results still
+        return normally: scoring is stateless and promises nothing about
+        the log.
+        """
         durability = self.durability
         if durability is None:
             return
-        try:
-            for result in results:
-                request = result.request
-                if request.op != "ingest" or request.wal_seq is None:
-                    continue
-                if result.kind == "event":
-                    durability.record_applied(request.stream,
-                                              request.wal_seq)
-                else:
-                    durability.record_skip(request.wal_seq)
-            durability.commit(self)
-        except Exception:  # noqa: BLE001 — results are already computed
-            # and callers are waiting on them; count the failure (the
-            # gateway surfaces the counter) rather than wedging a round
-            # that, state-wise, fully succeeded.
-            self.metrics.counter("engine.durability_errors").inc()
+        if not self._durability_failed:
+            try:
+                for result in results:
+                    request = result.request
+                    if request.op != "ingest" or request.wal_seq is None:
+                        continue
+                    if result.kind == "event":
+                        durability.record_applied(request.stream,
+                                                  request.wal_seq)
+                    else:
+                        durability.record_skip(request.wal_seq)
+                durability.commit(self)
+                return
+            except Exception:  # noqa: BLE001 — fail the acks, keep going
+                self.metrics.counter("engine.durability_errors").inc()
+                self._durability_failed = True
+        # Latched (this round or a previous one): rounds draining the
+        # already-admitted queue no longer touch the WAL — a descriptor
+        # that failed one fsync cannot be trusted to report a later one
+        # honestly — so their would-be acks fail too.
+        for index, result in enumerate(results):
+            if result.request.op != "ingest" or result.kind == "error":
+                continue
+            results[index] = RoundResult(
+                request=result.request, kind="error", code="durability",
+                message=f"the request for stream "
+                        f"{result.request.stream!r} was served but its "
+                        f"durability commit failed; it is NOT on disk "
+                        f"and will not survive recovery — treat it as "
+                        f"unacknowledged")
 
     def min_pending_wal_seq(self) -> int | None:
         """Lowest durability-log seq still queued (``None`` when no

@@ -160,9 +160,14 @@ class WalDurability:
         Must run on the round-runner thread (fleet state is only mutated
         by rounds, so between rounds it is stable).  ``engine`` supplies
         the lowest still-queued WAL seq, which bounds truncation —
-        logged-but-unserved requests must survive.
+        logged-but-unserved requests must survive.  The bound is passed
+        as a callable so the manager reads it *after* the snapshot
+        record is appended: admission holds the engine lock across
+        append+enqueue, so a post-append read sees every ingest whose
+        seq precedes the snapshot's, closing the window in which a
+        concurrently admitted request could be truncated away.
         """
-        pending_low = (engine.min_pending_wal_seq()
+        pending_low = (engine.min_pending_wal_seq
                        if engine is not None else None)
         rounds = engine.rounds if engine is not None else 0
         return self.snapshots.snapshot(self.fleet.to_dict(),

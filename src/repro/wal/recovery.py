@@ -14,9 +14,12 @@
 3. **Replay** the whole retained log in seq order against the snapshot's
    per-stream applied watermarks: an ``ingest`` record applies iff its
    seq is above its stream's watermark and not cancelled by a ``skip``
-   record; ``attach``/``detach`` records re-play membership changes
-   (idempotent by presence, so records already reflected in the snapshot
-   are no-ops).  Replay scans the *entire* retained log, not just the
+   record; ``attach``/``detach`` records re-play membership changes —
+   but only those *after* the snapshot's seq (earlier ones are already
+   reflected in its fleet payload, and replaying them under
+   detach-then-reattach churn would regress a snapshotted stream to
+   stale attach-time state).  Replay scans the *entire* retained log,
+   not just the
    suffix after the snapshot — truncation keeps any segment holding a
    still-pending (queued-but-unapplied) request, and such records
    precede the snapshot record in log order.
@@ -172,12 +175,25 @@ def recover_fleet(wal_dir: str | Path, shards: int | None = None,
                 # served; the live engine never acked it (acks follow the
                 # round), so dropping it here loses nothing durable.
                 report.orphaned += 1
-        elif kind == "attach" and record["entry"]["name"] not in fleet:
-            _attach_entry(fleet, record["entry"], embedding, generator)
-            report.attached += 1
-        elif kind == "detach" and record["stream"] in fleet:
-            fleet.remove(record["stream"])
-            report.detached += 1
+        elif kind in ("attach", "detach"):
+            # Membership records at or below the snapshot seq are
+            # already reflected in the snapshot's fleet payload (they
+            # sync-append before fleet state mutates, so the snapshot,
+            # taken later, saw them).  They must be ignored, not
+            # replayed-if-absent: under detach-then-reattach churn a
+            # retained pre-snapshot detach would remove the snapshotted
+            # stream and the matching attach would resurrect it with
+            # stale attach-time state, while its at-or-below-watermark
+            # ingests stay "covered" and never re-apply — a recovered
+            # stream strictly staler than the snapshot.
+            if int(record["seq"]) <= report.snapshot_seq:
+                continue
+            if kind == "attach" and record["entry"]["name"] not in fleet:
+                _attach_entry(fleet, record["entry"], embedding, generator)
+                report.attached += 1
+            elif kind == "detach" and record["stream"] in fleet:
+                fleet.remove(record["stream"])
+                report.detached += 1
 
     report.duration = time.perf_counter() - start
     registry.counter("wal.recoveries").inc()

@@ -71,20 +71,31 @@ class SnapshotManager:
 
     def snapshot(self, fleet_payload: dict, infra_payload: dict,
                  applied: dict[str, int], rounds: int,
-                 pending_low: int | None = None) -> int:
+                 pending_low=None) -> int:
         """Write one snapshot record and truncate what it covers.
 
         ``pending_low`` is the lowest WAL seq still queued in the engine
         (``None`` when the queues are empty): segments at or above it
         must survive truncation because their ingest records have not
-        been applied yet.  Returns the snapshot record's seq.
+        been applied yet.  Pass a zero-arg callable (e.g.
+        ``engine.min_pending_wal_seq``) rather than a pre-read value
+        whenever admission runs concurrently: it is evaluated *after*
+        the snapshot record is durably appended, so every ingest whose
+        seq falls below the snapshot's — appended under the engine's
+        admission lock before it was enqueued — is visible to the read
+        and bounds truncation.  A value read before the append races
+        with admission: a request logged between the read and
+        ``truncate_below`` would sit in a just-rotated closed segment
+        and be deleted, losing an eventually-acked request.  Returns
+        the snapshot record's seq.
         """
         start = time.perf_counter()
         self.wal.rotate()
         seq = self.wal.append(
             snapshot_record(fleet_payload, infra_payload, applied),
             sync=True)
-        cutoff = seq if pending_low is None else min(pending_low, seq)
+        low = pending_low() if callable(pending_low) else pending_low
+        cutoff = seq if low is None else min(low, seq)
         self.wal.truncate_below(cutoff)
         self.snapshots_taken += 1
         self._rounds_at_last = rounds

@@ -17,7 +17,7 @@ from repro.api import Deployment
 from repro.data import TrendShiftConfig, TrendShiftStream
 from repro.errors import DurabilityError, RecoveryError
 from repro.metrics import MetricsRegistry
-from repro.runtime import EngineRequest
+from repro.runtime import AdmissionError, EngineRequest
 from repro.serving import DeploymentFleet, ShardedFleet
 from repro.wal import (
     SnapshotPolicy,
@@ -200,6 +200,37 @@ class TestSnapshotTruncate:
         assert np.array_equal(report.scores[queued_name][0],
                               reference[queued_name][0])
 
+    def test_request_admitted_during_snapshot_survives(self, fleet_factory,
+                                                       materialized,
+                                                       tmp_path):
+        windows, reference = materialized
+        fleet = fleet_factory()
+        durability = make_durable(fleet, tmp_path)
+        name = fleet.names[0]
+        wal = durability.wal
+        original_rotate = wal.rotate
+
+        def admit_then_rotate():
+            # The gateway's event loop admits a request in the window
+            # between the snapshot starting and its record landing: the
+            # ingest appends into the active segment the rotation is
+            # about to close, so its seq precedes the snapshot record's
+            # and only a post-append pending_low read protects it.
+            fleet.engine.submit(EngineRequest(
+                op="ingest", stream=name, windows=windows[name][0]))
+            return original_rotate()
+
+        wal.rotate = admit_then_rotate
+        try:
+            durability.snapshot(fleet.engine)
+        finally:
+            wal.rotate = original_rotate
+        kinds = [r["kind"] for r in read_records(tmp_path)]
+        assert "ingest" in kinds, "racing admission was truncated away"
+        recovered, report = recover_fleet(tmp_path)
+        assert report.replayed == 1
+        assert np.array_equal(report.scores[name][0], reference[name][0])
+
     def test_watermarks_advance_with_served_rounds(self, fleet_factory,
                                                    materialized, tmp_path):
         windows, _ = materialized
@@ -294,6 +325,49 @@ class TestMembershipReplay:
         assert np.array_equal(report.scores["cam-new"][0],
                               twin_events["cam-new"].scores)
 
+    def test_pre_snapshot_churn_does_not_regress_snapshot(
+            self, fleet_factory, fresh_model, frame_generator,
+            materialized, tmp_path):
+        windows, _ = materialized
+        fleet = fleet_factory()
+        durability = make_durable(fleet, tmp_path)
+        victim, waiting = fleet.names[0], fleet.names[1]
+        # A queued-but-unserved request admitted first: its seq bounds
+        # truncation, so every later record — including the churn below
+        # — is still in the retained log when the snapshot fires.
+        fleet.engine.submit(EngineRequest(
+            op="ingest", stream=waiting, windows=windows[waiting][0]))
+        # Churn: the victim leaves and rejoins with a fresh deployment...
+        fleet.remove(victim)
+        durability.record_detach(victim)
+        model = fresh_model("Stealing", window=4)
+        model.eval()
+        deployment = Deployment(model, mission="Stealing", adaptive=False)
+        stream = make_stream(frame_generator, seed=60)
+        fleet.add(victim, deployment, stream)
+        durability.record_attach(victim, deployment, stream)
+        # ...then advances past its attach-time state: one served,
+        # applied, acked ingest before the snapshot captures it.
+        seq = durability.record_submit(EngineRequest(
+            op="ingest", stream=victim, windows=windows[victim][0]))
+        fleet.ingest_round({victim: windows[victim][0]})
+        durability.record_applied(victim, seq)
+        durability.snapshot(fleet.engine)
+        durability.wal.flush()
+
+        recovered, report = recover_fleet(tmp_path)
+        # The retained pre-snapshot detach/attach pair must not replay:
+        # the snapshot already reflects it, and replaying would reset
+        # the victim to attach-time state while its watermark-covered
+        # ingest stays un-reapplied — a stream staler than the snapshot.
+        assert report.attached == 0 and report.detached == 0
+        assert report.covered == 1      # the victim's pre-snapshot ingest
+        assert report.replayed == 1     # the still-waiting request
+        live = fleet.ingest_round({victim: windows[victim][1]})[victim]
+        replayed = recovered.ingest_round({victim: windows[victim][1]})[victim]
+        assert replayed.step == live.step
+        assert np.array_equal(replayed.scores, live.scores)
+
     def test_orphaned_ingest_is_counted_not_fatal(self, fleet_factory,
                                                   materialized, tmp_path):
         windows, _ = materialized
@@ -306,6 +380,77 @@ class TestMembershipReplay:
         durability.wal.flush()
         recovered, report = recover_fleet(tmp_path)
         assert report.orphaned == 1 and report.replayed == 0
+
+
+class FailingCommitDurability:
+    """Duck-typed durability hook whose group commit always fails, the
+    shape of an ENOSPC/I/O error at fsync time."""
+
+    def __init__(self):
+        self.next_seq = 0
+
+    def record_submit(self, request):
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def record_applied(self, stream, seq):
+        pass
+
+    def record_skip(self, seq):
+        pass
+
+    def commit(self, engine):
+        raise DurabilityError("group-commit fsync failed: no space left")
+
+
+class TestCommitFailure:
+    """A failed group commit must fail the acks it was meant to back —
+    never return results for ingests that are not on disk."""
+
+    def test_failed_commit_fails_acks_and_latches(self, fleet_factory,
+                                                  materialized):
+        windows, _ = materialized
+        fleet = fleet_factory()
+        engine = fleet.engine
+        engine.durability = FailingCommitDurability()
+        for name in fleet.names:
+            engine.submit(EngineRequest(
+                op="ingest", stream=name, windows=windows[name][0]))
+        results = engine.run_round()
+        assert len(results) == len(fleet.names)
+        assert all(r.kind == "error" and r.code == "durability"
+                   for r in results)
+        assert engine.metrics.counter(
+            "engine.durability_errors").value == 1
+        # Latched: further ingests are refused at the door with a typed
+        # admission error instead of riding an untrustworthy log.
+        with pytest.raises(AdmissionError) as excinfo:
+            engine.submit(EngineRequest(
+                op="ingest", stream=fleet.names[0],
+                windows=windows[fleet.names[0]][0]))
+        assert excinfo.value.code == "durability"
+
+    def test_latched_engine_still_serves_stateless_scores(self,
+                                                          fleet_factory,
+                                                          materialized):
+        windows, _ = materialized
+        fleet = fleet_factory()
+        engine = fleet.engine
+        engine.durability = FailingCommitDurability()
+        name = fleet.names[0]
+        engine.submit(EngineRequest(
+            op="ingest", stream=name, windows=windows[name][0]))
+        assert all(r.code == "durability" for r in engine.run_round())
+        # Score-only requests promise nothing about the log: they are
+        # admitted and served normally on a latched engine.
+        engine.submit(EngineRequest(
+            op="scores", stream=name, windows=windows[name][0]))
+        results = engine.run_round()
+        assert [r.kind for r in results] == ["scores"]
+        # The latch never re-touches the failed WAL: one error counted.
+        assert engine.metrics.counter(
+            "engine.durability_errors").value == 1
 
 
 class TestRefusals:
