@@ -44,7 +44,7 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "api", "runtime", "metrics", "serving", "gateway", "wal", "errors",

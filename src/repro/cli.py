@@ -334,7 +334,8 @@ def cmd_gateway(args) -> int:
     try:
         server = GatewayServer(fleet, host=args.host, port=args.port,
                                max_queue_depth=args.max_queue_depth,
-                               policy=args.policy, **wal_kwargs)
+                               policy=args.policy, codec=args.codec,
+                               **wal_kwargs)
     except DurabilityError as exc:
         fleet.close()
         raise SystemExit(f"error: {exc}")
@@ -342,7 +343,8 @@ def cmd_gateway(args) -> int:
     async def main() -> None:
         host, port = await server.start()
         print(f"[gateway] listening on {host}:{port} "
-              f"(policy: {server.engine.policy.name}) — streams: "
+              f"(policy: {server.engine.policy.name}, codecs: "
+              f"{'/'.join(server.codecs)}) — streams: "
               f"{', '.join(fleet.names)}")
         if args.wal_dir:
             print(f"[gateway] durable: write-ahead log at {args.wal_dir} "
@@ -364,14 +366,21 @@ def cmd_gateway(args) -> int:
 
 def cmd_loadgen(args) -> int:
     """Drive an in-process gateway, verify parity, write BENCH_5.json
-    (or, with ``--wal``, the BENCH_6.json durability A/B profile)."""
+    (or, with ``--wal``, the BENCH_6.json durability A/B profile; with
+    ``--codec-ab``, the BENCH_7.json wire-codec A/B profile)."""
     from .api import Pipeline
-    from .gateway import (DEFAULT_DURABILITY_BENCH_PATH,
+    from .gateway import (DEFAULT_CODEC_AB_BENCH_PATH,
+                          DEFAULT_DURABILITY_BENCH_PATH,
                           DEFAULT_GATEWAY_BENCH_PATH,
+                          format_codec_ab_benchmark,
                           format_durability_benchmark,
                           format_gateway_benchmark,
+                          run_codec_ab_benchmark,
                           run_durability_benchmark, run_gateway_benchmark)
     from .serving import write_benchmark
+    if args.wal and args.codec_ab:
+        raise SystemExit("error: --wal and --codec-ab are separate "
+                         "profiles; pick one")
     config = _build_config(args)
     if args.quick:
         _apply_quick_overrides(config, args)
@@ -383,6 +392,29 @@ def cmd_loadgen(args) -> int:
         raise SystemExit("error: --levels entries must be >= 1")
     print(f"[loadgen] training {len(set(args.missions))} mission "
           f"model(s)...")
+    if args.codec_ab:
+        print(f"[loadgen] wire codec A/B: {args.streams} stream(s) x "
+              f"{rounds} round(s), levels {list(levels)}, json vs binary "
+              "frames at small and large window batches...")
+        result = run_codec_ab_benchmark(
+            pipeline, streams=args.streams, missions=args.missions,
+            windows_per_step=args.windows_per_step, rounds=rounds,
+            levels=levels, rate=args.rate, stream_seed=args.stream_seed,
+            max_batch_windows=args.max_batch_windows,
+            max_queue_depth=args.max_queue_depth, policy=args.policy)
+        print(format_codec_ab_benchmark(result))
+        path = write_benchmark(result,
+                               args.output or DEFAULT_CODEC_AB_BENCH_PATH)
+        print(f"[loadgen] wrote {path}")
+        if not result["parity"]["identical"]:
+            print("[loadgen] FAIL: gateway scores diverged from the "
+                  "direct in-process fleet run")
+            return 1
+        if args.verify and not result["gate"]["large_p50_binary_le_json"]:
+            print("[loadgen] FAIL: binary p50 exceeded JSON p50 on the "
+                  "large-window profile (the codec regression gate)")
+            return 1
+        return 0
     if args.wal:
         clients = levels[0]
         print(f"[loadgen] durability A/B: {args.streams} stream(s) x "
@@ -414,7 +446,8 @@ def cmd_loadgen(args) -> int:
         windows_per_step=args.windows_per_step, rounds=rounds,
         levels=levels, rate=args.rate, stream_seed=args.stream_seed,
         max_batch_windows=args.max_batch_windows,
-        max_queue_depth=args.max_queue_depth, policy=args.policy)
+        max_queue_depth=args.max_queue_depth, policy=args.policy,
+        codec=args.codec)
     print(format_gateway_benchmark(result))
     path = write_benchmark(result, args.output or DEFAULT_GATEWAY_BENCH_PATH)
     print(f"[loadgen] wrote {path}")
@@ -691,6 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-queue-depth", type=int, default=8,
                    help="queued requests per stream before backpressure "
                         "(default 8)")
+    p.add_argument("--codec", choices=("binary", "json"), default="binary",
+                   help="wire codecs to offer: binary (raw float64 frames, "
+                        "negotiated per client, JSON always accepted — the "
+                        "default) or json (v1-compatible server; binary-"
+                        "preferring clients fall back automatically)")
     p.add_argument("--wal-dir", metavar="PATH", default=None,
                    help="durable serving: write-ahead log every accepted "
                         "ingest to this (fresh) directory; acks follow the "
@@ -737,6 +775,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server admission limit per stream (default 8)")
     p.add_argument("--quick", action="store_true",
                    help="small training + fewer rounds (CI smoke profile)")
+    p.add_argument("--codec", choices=("binary", "json"), default="binary",
+                   help="wire codec the load clients negotiate for the "
+                        "concurrency sweep (default binary)")
+    p.add_argument("--codec-ab", action="store_true",
+                   help="wire-codec A/B profile instead of the concurrency "
+                        "sweep: serve identical parity-verified load over "
+                        "json and binary frames at small and large window "
+                        "batches, plus a sharded shared-memory-ring side, "
+                        "and record the latency/throughput deltas "
+                        "(BENCH_7.json); with --verify, fail unless binary "
+                        "p50 <= json p50 on the large profile")
     p.add_argument("--wal", action="store_true",
                    help="durability A/B profile instead of the concurrency "
                         "sweep: serve the identical load with and without "
@@ -747,10 +796,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail (exit 1) unless gateway scores are "
                         "bit-identical to the direct in-process run "
                         "(parity is always measured; this is already the "
-                        "default behavior, the flag records intent)")
+                        "default behavior, the flag records intent); with "
+                        "--codec-ab, additionally enforce the codec "
+                        "regression gate")
     p.add_argument("--output", metavar="PATH", default=None,
-                   help="result JSON path (default BENCH_5.json, or "
-                        "BENCH_6.json with --wal)")
+                   help="result JSON path (default BENCH_5.json; "
+                        "BENCH_6.json with --wal, BENCH_7.json with "
+                        "--codec-ab)")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("recover",

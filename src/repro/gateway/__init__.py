@@ -7,9 +7,11 @@ package is the ingestion front door a production stack hangs off it,
 stdlib + numpy only:
 
 :mod:`~repro.gateway.protocol`
-    Versioned length-prefixed JSON wire format with ops for ``ingest``,
-    ``scores``, ``attach``/``detach``, ``stats`` and ``shutdown``, plus
-    typed error frames.
+    Versioned wire format — length-prefixed JSON frames (protocol v1)
+    and binary frames with raw float64 window/score buffers (protocol
+    v2, negotiated at ``attach``, JSON fallback for old peers) — with
+    ops for ``ingest``, ``scores``, ``attach``/``detach``, ``stats``
+    and ``shutdown``, plus typed error frames.
 :class:`GatewayServer`
     Asyncio TCP server fronting a :class:`~repro.serving.DeploymentFleet`
     or :class:`~repro.serving.ShardedFleet`: concurrently arriving
@@ -32,6 +34,11 @@ stdlib + numpy only:
     identical load served with and without ``wal_dir`` (see
     :mod:`repro.wal`), recording the ack-after-append fsync overhead
     and verifying the log it paid for actually recovers.
+:func:`run_codec_ab_benchmark`
+    The wire codec A/B profile written as ``BENCH_7.json``: the same
+    parity-verified load served over JSON and over binary frames at
+    small and large window batches (plus a shared-memory sharded side),
+    recording the latency/throughput delta the binary codec buys.
 
 The server itself no longer owns a round loop: requests feed the fleet's
 :class:`repro.runtime.ServingEngine` admission queues, and a pluggable
@@ -40,6 +47,7 @@ The server itself no longer owns a round loop: requests feed the fleet's
 """
 
 from .client import (
+    DEFAULT_CODEC_AB_BENCH_PATH,
     DEFAULT_DURABILITY_BENCH_PATH,
     DEFAULT_GATEWAY_BENCH_PATH,
     GatewayClient,
@@ -47,8 +55,10 @@ from .client import (
     LoadGenConfig,
     LoadGenerator,
     LoadGenResult,
+    format_codec_ab_benchmark,
     format_durability_benchmark,
     format_gateway_benchmark,
+    run_codec_ab_benchmark,
     run_durability_benchmark,
     run_gateway_benchmark,
 )
@@ -62,10 +72,12 @@ from ..metrics import (
     percentile,
 )
 from .protocol import (
+    CODECS,
     ERROR_CODES,
     MAX_FRAME_BYTES,
     OPS,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameError,
     RequestError,
 )
@@ -78,6 +90,8 @@ from .server import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "CODECS",
     "MAX_FRAME_BYTES",
     "OPS",
     "ERROR_CODES",
@@ -98,6 +112,9 @@ __all__ = [
     "run_durability_benchmark",
     "format_durability_benchmark",
     "DEFAULT_DURABILITY_BENCH_PATH",
+    "run_codec_ab_benchmark",
+    "format_codec_ab_benchmark",
+    "DEFAULT_CODEC_AB_BENCH_PATH",
     "Counter",
     "Gauge",
     "LatencyHistogram",

@@ -34,7 +34,9 @@ import numpy as np
 
 from ..metrics import LatencyHistogram
 from .protocol import (
+    CODECS,
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     FrameError,
     recv_frame,
     request_frame,
@@ -46,7 +48,9 @@ __all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
            "LoadGenerator", "LoadGenResult", "run_gateway_benchmark",
            "format_gateway_benchmark", "DEFAULT_GATEWAY_BENCH_PATH",
            "run_durability_benchmark", "format_durability_benchmark",
-           "DEFAULT_DURABILITY_BENCH_PATH"]
+           "DEFAULT_DURABILITY_BENCH_PATH",
+           "run_codec_ab_benchmark", "format_codec_ab_benchmark",
+           "DEFAULT_CODEC_AB_BENCH_PATH"]
 
 #: BENCH_4 was the pre-runtime gateway artifact; BENCH_5 adds the
 #: promoted engine metrics (rounds, coalesce ratio, queue gauges) from
@@ -57,6 +61,12 @@ DEFAULT_GATEWAY_BENCH_PATH = "BENCH_5.json"
 #: without a write-ahead log, recording what ack-after-append fsync
 #: batching costs in request latency (p50/p95 delta) and throughput.
 DEFAULT_DURABILITY_BENCH_PATH = "BENCH_6.json"
+
+#: BENCH_7 is the codec A/B profile: the identical parity-verified load
+#: served once over JSON frames and once over binary frames, at small
+#: and large window batches, recording the latency/throughput delta —
+#: plus a sharded (shared-memory ring) side gated on the same parity.
+DEFAULT_CODEC_AB_BENCH_PATH = "BENCH_7.json"
 
 
 class GatewayError(Exception):
@@ -69,26 +79,50 @@ class GatewayError(Exception):
 
 
 class GatewayClient:
-    """Blocking request/response client for one gateway connection."""
+    """Blocking request/response client for one gateway connection.
+
+    ``codec`` is a *preference*: the client always opens the
+    conversation in JSON (the one codec every peer speaks) at its
+    newest protocol version, and upgrades window traffic to binary
+    frames only after an ``attach`` response advertises the codec.  A
+    v1-only server answers ``version_mismatch`` instead; the client
+    transparently re-attaches with ``v = 1`` and stays on JSON — the
+    fallback path that keeps old peers working.  ``negotiated_codec``
+    reports where negotiation landed.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 60.0,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 codec: str = "binary"):
+        if codec not in CODECS:
+            raise ValueError(f"codec must be one of {CODECS}, got {codec!r}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.max_frame_bytes = max_frame_bytes
+        self.preferred_codec = codec
+        #: Protocol version spoken on this connection; drops to 1 after
+        #: a ``version_mismatch`` from a v1-only peer.
+        self.protocol_version = PROTOCOL_VERSION if codec == "binary" else 1
+        #: Wire codec for window traffic; "json" until negotiated up.
+        self.negotiated_codec = "json"
         self._next_id = 0
         self._closed = False
 
     # -- plumbing ------------------------------------------------------
-    def request(self, op: str, **fields) -> dict:
+    def request(self, op: str, codec: str | None = None, **fields) -> dict:
         """Send one request and wait for its response frame; raises
         :class:`GatewayError` on an error frame, :class:`FrameError` /
-        :class:`ConnectionError` on transport problems."""
+        :class:`ConnectionError` on transport problems.  ``codec``
+        overrides the negotiated wire codec for this one frame."""
         if self._closed:
             raise ConnectionError("client is closed")
         request_id = self._next_id
         self._next_id += 1
-        send_frame(self._sock, request_frame(op, request_id, **fields))
+        send_frame(self._sock,
+                   request_frame(op, request_id,
+                                 version=self.protocol_version, **fields),
+                   codec=codec or self.negotiated_codec,
+                   max_bytes=self.max_frame_bytes)
         reply = recv_frame(self._sock, self.max_frame_bytes)
         if reply is None:
             raise ConnectionError("gateway closed the connection")
@@ -113,27 +147,53 @@ class GatewayClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _wire_windows(self, windows) -> object:
+        """Windows as this connection's codec spells them: an ndarray
+        rides a binary frame as its raw float64 buffer; JSON gets nested
+        lists.  Either way the server decodes the identical values."""
+        array = np.asarray(windows, dtype=np.float64)
+        return array if self.negotiated_codec == "binary" else array.tolist()
+
     # -- ops -----------------------------------------------------------
     def attach(self, stream: str) -> dict:
-        return self.request("attach", stream=stream)
+        """Attach to a stream — and negotiate the wire codec.
+
+        The attach itself always goes as JSON: it must be readable by a
+        peer that has never heard of binary frames.  A v2 response
+        advertising ``codecs`` upgrades this connection's window traffic
+        to the preferred codec; a ``version_mismatch`` from a v1-only
+        peer triggers one silent re-attach at ``v = 1``.
+        """
+        try:
+            reply = self.request("attach", stream=stream, codec="json")
+        except GatewayError as exc:
+            if exc.code != "version_mismatch" or self.protocol_version <= 1:
+                raise
+            self.protocol_version = 1
+            self.negotiated_codec = "json"
+            reply = self.request("attach", stream=stream, codec="json")
+        advertised = reply.get("codecs") or ["json"]
+        if self.preferred_codec == "binary" and "binary" in advertised \
+                and self.protocol_version >= 2:
+            self.negotiated_codec = "binary"
+        return reply
 
     def detach(self, stream: str) -> dict:
         return self.request("detach", stream=stream)
 
     def ingest(self, stream: str, windows) -> dict:
-        """Submit one arrival batch; the reply's ``"scores"`` list is
-        converted to an array under ``"scores_array"``."""
-        reply = self.request(
-            "ingest", stream=stream,
-            windows=np.asarray(windows, dtype=np.float64).tolist())
+        """Submit one arrival batch; the reply's ``"scores"`` (nested
+        list over JSON, raw float64 ndarray over binary) is normalized
+        to an array under ``"scores_array"``."""
+        reply = self.request("ingest", stream=stream,
+                             windows=self._wire_windows(windows))
         reply["scores_array"] = np.asarray(reply["scores"], dtype=np.float64)
         return reply
 
     def scores(self, stream: str, windows) -> np.ndarray:
         """Score windows without feeding the stream's monitor."""
-        reply = self.request(
-            "scores", stream=stream,
-            windows=np.asarray(windows, dtype=np.float64).tolist())
+        reply = self.request("scores", stream=stream,
+                             windows=self._wire_windows(windows))
         return np.asarray(reply["scores"], dtype=np.float64)
 
     def stats(self) -> dict:
@@ -156,6 +216,7 @@ class LoadGenConfig:
     rate: float | None = None         # total requests/sec; None = closed-loop
     timeout: float = 120.0
     max_samples: int = 65536
+    codec: str = "binary"             # preferred wire codec (negotiated)
 
 
 @dataclass
@@ -260,7 +321,8 @@ class LoadGenerator:
                      part: LoadGenResult) -> None:
         cfg = self.config
         try:
-            client = GatewayClient(*self.address, timeout=cfg.timeout)
+            client = GatewayClient(*self.address, timeout=cfg.timeout,
+                                   codec=cfg.codec)
         except OSError as exc:
             part.errors.append(f"client {index}: connect: {exc}")
             return
@@ -371,7 +433,7 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
                           stream_seed: int = 100,
                           max_batch_windows: int | None = None,
                           max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
-                          policy=None) -> dict:
+                          policy=None, codec: str = "binary") -> dict:
     """Latency/throughput curve over client-concurrency levels.
 
     For each level a *fresh* fleet (same build arguments, hence the same
@@ -404,7 +466,8 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
                                     policy=policy) as handle:
             generator = LoadGenerator(
                 handle.address, stream_windows,
-                LoadGenConfig(clients=level, rounds=rounds, rate=rate))
+                LoadGenConfig(clients=level, rounds=rounds, rate=rate,
+                              codec=codec))
             result = generator.run()
             with GatewayClient(*handle.address) as observer:
                 server_stats = observer.stats()
@@ -431,6 +494,7 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
             "max_batch_windows": max_batch_windows,
             "max_queue_depth": max_queue_depth,
             "policy": getattr(policy, "name", policy) or "fair",
+            "codec": codec,
         },
         "levels": level_results,
         "parity": {"identical": all_identical},
@@ -652,4 +716,225 @@ def format_gateway_benchmark(result: dict) -> str:
         if server_line:
             lines.append(f"              server: {server_line}")
     lines.append(f"  parity (all levels): {result['parity']['identical']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# The BENCH_7 harness: wire codec A/B
+# ---------------------------------------------------------------------
+def run_codec_ab_benchmark(pipeline, streams: int = 4,
+                           missions: list[str] | None = None,
+                           windows_per_step: int = 2,
+                           large_windows_per_step: int = 8,
+                           rounds: int = 6,
+                           levels: tuple[int, ...] = (1, 4),
+                           rate: float | None = None,
+                           stream_seed: int = 100,
+                           max_batch_windows: int | None = None,
+                           max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                           policy=None, shards: int = 2) -> dict:
+    """Codec A/B curve (the ``BENCH_7.json`` artifact).
+
+    Two window profiles — ``small`` (``windows_per_step``) and ``large``
+    (``large_windows_per_step``, where serialization cost dominates) —
+    are each served over JSON frames and over binary frames at every
+    client-concurrency level, always against a *fresh* fleet replaying
+    identical pre-materialized windows, and always checked bit-for-bit
+    against the direct in-process reference.  The ``delta`` section
+    records binary-vs-JSON p50 and throughput ratios per level; the
+    ``gate`` section holds the two regression predicates CI enforces
+    (binary p50 ≤ JSON p50 on the large profile; ≥1.2x throughput or
+    lower p50 at the top level).  A sharded side (``shards`` workers
+    over the shared-memory ring transport, binary codec) rides along,
+    gated on the same reference — the proof that codec and transport
+    changes compose without perturbing a single score bit.
+    """
+    from ..serving import build_fleet, build_sharded_fleet
+    from ..serving.bench import _environment
+
+    missions = missions or ["Stealing"]
+    top_level = str(max(levels))
+
+    def run_side(fleet_factory, stream_windows, reference, profile_rounds,
+                 codec, level, phase) -> dict:
+        fleet = fleet_factory()
+        with fleet, serve_in_thread(fleet, max_queue_depth=max_queue_depth,
+                                    policy=policy) as handle:
+            generator = LoadGenerator(
+                handle.address, stream_windows,
+                LoadGenConfig(clients=level, rounds=profile_rounds,
+                              rate=rate, codec=codec))
+            result = generator.run()
+            with GatewayClient(*handle.address) as observer:
+                server_stats = observer.stats()
+        stats = result.summary(phase=phase)
+        stats["parity"] = _check_parity(result, reference)
+        counters = ((server_stats.get("metrics") or {}).get("counters")
+                    or {})
+        stats["server_frames"] = {
+            wire: counters.get(f"gateway.frames.{wire}") for wire in CODECS}
+        if result.errors:
+            stats["error_messages"] = result.errors[:10]
+        return stats
+
+    profiles: dict[str, dict] = {}
+    all_identical = True
+    small_profile_data = None
+    for name, wps in (("small", windows_per_step),
+                      ("large", large_windows_per_step)):
+        stream_windows, reference, profile_rounds = _direct_reference(
+            pipeline, missions, streams, wps, stream_seed, rounds,
+            max_batch_windows)
+        if name == "small":
+            small_profile_data = (stream_windows, reference, profile_rounds,
+                                  wps)
+
+        def factory(wps=wps):
+            return build_fleet(pipeline, missions, streams,
+                               adaptive=False, share_models=True,
+                               windows_per_step=wps,
+                               stream_seed=stream_seed,
+                               max_batch_windows=max_batch_windows)
+
+        codec_stats: dict[str, dict] = {}
+        for codec in CODECS:
+            codec_stats[codec] = {}
+            for level in levels:
+                stats = run_side(factory, stream_windows, reference,
+                                 profile_rounds, codec, level,
+                                 f"{name}/{codec}/{level}-client")
+                codec_stats[codec][str(level)] = stats
+                all_identical = all_identical \
+                    and stats["parity"]["identical"] \
+                    and "error_messages" not in stats
+        delta: dict[str, dict] = {}
+        for level in levels:
+            json_side = codec_stats["json"][str(level)]
+            binary_side = codec_stats["binary"][str(level)]
+            entry: dict = {}
+            json_p50 = (json_side.get("latency") or {}).get("p50_ms")
+            binary_p50 = (binary_side.get("latency") or {}).get("p50_ms")
+            if json_p50 is not None and binary_p50 is not None:
+                entry["p50_delta_ms"] = binary_p50 - json_p50
+                if json_p50 > 0:
+                    entry["p50_ratio"] = binary_p50 / json_p50
+            if json_side["windows_per_sec"] > 0:
+                entry["throughput_ratio"] = \
+                    binary_side["windows_per_sec"] \
+                    / json_side["windows_per_sec"]
+            delta[str(level)] = entry
+        profiles[name] = {"windows_per_step": wps, "rounds": profile_rounds,
+                          "codecs": codec_stats, "delta": delta}
+
+    # The sharded side: same small-profile load, binary codec, served by
+    # a fleet partitioned across worker processes whose parent<->worker
+    # traffic rides the shared-memory ring transport.
+    sharded = None
+    if shards:
+        stream_windows, reference, profile_rounds, wps = small_profile_data
+
+        def sharded_factory():
+            return build_sharded_fleet(pipeline, missions, streams, shards,
+                                       adaptive=False, share_models=True,
+                                       windows_per_step=wps,
+                                       stream_seed=stream_seed,
+                                       max_batch_windows=max_batch_windows)
+
+        stats = run_side(sharded_factory, stream_windows, reference,
+                         profile_rounds, "binary", max(levels),
+                         f"sharded({shards})/binary/{top_level}-client")
+        all_identical = all_identical and stats["parity"]["identical"] \
+            and "error_messages" not in stats
+        sharded = {"shards": shards, "codec": "binary",
+                   "clients": max(levels), "stats": stats}
+
+    large_top = profiles["large"]["delta"].get(top_level, {})
+    small_top = profiles["small"]["delta"].get(top_level, {})
+    p50_delta = large_top.get("p50_delta_ms")
+    throughput_ratio = large_top.get("throughput_ratio")
+    gate = {
+        # CI regression gate: on the large-window profile (serialization
+        # bound), binary must not be slower than JSON at the top level.
+        "large_p50_binary_le_json":
+            p50_delta is not None and p50_delta <= 0.0,
+        # Acceptance: >=1.2x throughput or lower p50 at the top level,
+        # on either profile (the large one is where the codec earns it).
+        "top_level_speedup": {
+            "large_throughput_ratio": throughput_ratio,
+            "large_p50_delta_ms": p50_delta,
+            "small_throughput_ratio": small_top.get("throughput_ratio"),
+            "small_p50_delta_ms": small_top.get("p50_delta_ms"),
+            "ok": (throughput_ratio is not None
+                   and throughput_ratio >= 1.2)
+            or (p50_delta is not None and p50_delta < 0.0),
+        },
+    }
+    return {
+        "benchmark": "codec_ab",
+        "config": {
+            "streams": streams,
+            "missions": list(missions),
+            "windows_per_step": windows_per_step,
+            "large_windows_per_step": large_windows_per_step,
+            "rounds": rounds,
+            "levels": [int(level) for level in levels],
+            "rate": rate,
+            "stream_seed": stream_seed,
+            "max_batch_windows": max_batch_windows,
+            "max_queue_depth": max_queue_depth,
+            "policy": getattr(policy, "name", policy) or "fair",
+            "shards": shards,
+        },
+        "profiles": profiles,
+        "sharded": sharded,
+        "gate": gate,
+        "parity": {"identical": all_identical},
+        "environment": _environment(),
+    }
+
+
+def format_codec_ab_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a BENCH_7 payload."""
+    cfg = result["config"]
+    lines = [
+        f"wire codec A/B benchmark: {cfg['streams']} stream(s), "
+        f"{cfg['rounds']} round(s)/stream, levels {cfg['levels']}, "
+        f"profiles small={cfg['windows_per_step']} / "
+        f"large={cfg['large_windows_per_step']} windows/request",
+    ]
+    for name, profile in result["profiles"].items():
+        lines.append(f"  {name} profile "
+                     f"({profile['windows_per_step']} windows/request):")
+        for codec, per_level in profile["codecs"].items():
+            for level, stats in per_level.items():
+                latency = stats.get("latency", {})
+                lines.append(
+                    f"    {codec:>6s} x{level} client(s): "
+                    f"{stats['windows_per_sec']:8.1f} windows/s"
+                    f"   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+                    f"   p95 {latency.get('p95_ms', float('nan')):7.2f} ms"
+                    f"   identical: {stats['parity']['identical']}")
+        for level, entry in profile["delta"].items():
+            parts = []
+            if "throughput_ratio" in entry:
+                parts.append(f"throughput x{entry['throughput_ratio']:.3f}")
+            if "p50_delta_ms" in entry:
+                parts.append(f"p50 {entry['p50_delta_ms']:+.2f} ms")
+            if parts:
+                lines.append(f"    binary vs json @{level} client(s): "
+                             f"{', '.join(parts)}")
+    sharded = result.get("sharded")
+    if sharded:
+        stats = sharded["stats"]
+        latency = stats.get("latency", {})
+        lines.append(
+            f"  sharded ({sharded['shards']} shard(s), shm rings, "
+            f"{sharded['codec']}): {stats['windows_per_sec']:8.1f} "
+            f"windows/s   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+            f"   identical: {stats['parity']['identical']}")
+    gate = result["gate"]
+    lines.append(f"  gate: large-profile p50 binary<=json: "
+                 f"{gate['large_p50_binary_le_json']}, top-level speedup "
+                 f"ok: {gate['top_level_speedup']['ok']}")
+    lines.append(f"  parity (all runs): {result['parity']['identical']}")
     return "\n".join(lines)

@@ -52,10 +52,14 @@ import numpy as np
 from ..metrics import MetricsRegistry
 from ..runtime import AdmissionError, EngineRequest, resolve_policy
 from .protocol import (
+    CODECS,
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameError,
     RequestError,
     error_frame,
+    frame_codec,
     ok_frame,
     read_frame,
     validate_request,
@@ -98,9 +102,20 @@ class GatewayServer:
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  metrics: MetricsRegistry | None = None,
                  policy=None, wal_dir=None, wal_config=None,
-                 snapshot_policy=None):
+                 snapshot_policy=None, codec: str = "binary"):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if codec not in CODECS:
+            raise ValueError(f"codec must be one of {CODECS}, got {codec!r}")
+        # codec="binary": speak protocol v1 and v2, advertise both codecs
+        # in attach responses, answer each request in the codec it
+        # arrived in.  codec="json": behave as a legacy v1-only peer —
+        # v2 requests get version_mismatch and binary frames get
+        # bad_frame — which is exactly what clients negotiate against.
+        self.codec = codec
+        self.supported_versions = SUPPORTED_VERSIONS if codec == "binary" \
+            else (1,)
+        self.codecs = ("json", "binary") if codec == "binary" else ("json",)
         engine = getattr(fleet, "engine", None)
         if engine is None:
             raise TypeError(
@@ -149,6 +164,8 @@ class GatewayServer:
         for op in ("ingest", "scores", "attach", "detach", "stats",
                    "shutdown"):
             self.metrics.counter(f"gateway.requests.{op}")
+        for wire_codec in CODECS:
+            self.metrics.counter(f"gateway.frames.{wire_codec}")
         self.metrics.counter("gateway.rejected.backpressure")
         self.metrics.counter("gateway.errors")
         self.metrics.counter("gateway.rounds")
@@ -278,6 +295,15 @@ class GatewayServer:
             while True:
                 try:
                     payload = await read_frame(reader, self.max_frame_bytes)
+                    if payload is not None \
+                            and frame_codec(payload) == "binary" \
+                            and "binary" not in self.codecs:
+                        # A v1-only peer does not even understand binary
+                        # framing; refuse at the framing layer, exactly
+                        # as a genuinely old server would.
+                        raise FrameError(
+                            "this server speaks protocol v1 (JSON frames "
+                            "only); binary frames are not understood")
                 except FrameError as exc:
                     # A corrupt stream cannot be re-synchronized: answer
                     # once, then hang up.
@@ -285,7 +311,9 @@ class GatewayServer:
                     with contextlib.suppress(ConnectionError, OSError):
                         async with conn.write_lock:
                             await write_frame(writer, error_frame(
-                                None, "bad_frame", str(exc)))
+                                None, "bad_frame", str(exc),
+                                version=max(self.supported_versions)),
+                                max_bytes=self.max_frame_bytes)
                     break
                 if payload is None:
                     break
@@ -302,6 +330,12 @@ class GatewayServer:
                 await writer.wait_closed()
 
     async def _respond(self, payload: dict, conn: _Connection) -> None:
+        # Answer in the codec the request arrived in: binary requests get
+        # binary responses (scores as raw float64 buffers), JSON requests
+        # get JSON — which is what lets mixed-codec clients share one
+        # server, or one connection switch codecs frame by frame.
+        codec = frame_codec(payload)
+        self.metrics.counter(f"gateway.frames.{codec}").inc()
         try:
             reply = await self._dispatch(payload, conn)
         except asyncio.CancelledError:
@@ -309,10 +343,26 @@ class GatewayServer:
         except Exception as exc:  # noqa: BLE001 — never leave a client hanging
             self.metrics.counter("gateway.errors").inc()
             reply = error_frame(None, "internal",
-                                f"{type(exc).__name__}: {exc}")
+                                f"{type(exc).__name__}: {exc}",
+                                version=max(self.supported_versions))
         with contextlib.suppress(ConnectionError, OSError):
             async with conn.write_lock:
-                await write_frame(conn.writer, reply)
+                try:
+                    await write_frame(conn.writer, reply, codec=codec,
+                                      max_bytes=self.max_frame_bytes)
+                except FrameError as exc:
+                    # Write-side frame cap: an oversized response must
+                    # become a typed error the client can parse, not a
+                    # frame it will reject after buffering.
+                    self.metrics.counter("gateway.errors").inc()
+                    await write_frame(
+                        conn.writer,
+                        error_frame(reply.get("id"), "bad_frame",
+                                    f"response exceeds the frame cap: "
+                                    f"{exc}",
+                                    version=reply.get(
+                                        "v", max(self.supported_versions))),
+                        codec=codec, max_bytes=self.max_frame_bytes)
 
     def _drop_pending(self, conn: _Connection) -> None:
         """Forget a disconnected client's queued-but-unserved requests
@@ -326,32 +376,41 @@ class GatewayServer:
         raw_id = payload.get("id")
         echo_id = raw_id if isinstance(raw_id, (int, str)) \
             and not isinstance(raw_id, bool) else None
+        # Echo the request's protocol version in the response envelope
+        # (a v1 client must not see v2 frames); invalid versions are
+        # answered with the server's newest.
+        raw_v = payload.get("v")
+        echo_v = raw_v if raw_v in self.supported_versions \
+            else max(self.supported_versions)
         try:
-            op = validate_request(payload)
+            op = validate_request(payload, self.supported_versions)
         except RequestError as exc:
             self.metrics.counter("gateway.errors").inc()
-            return error_frame(echo_id, exc.code, exc.message)
+            return error_frame(echo_id, exc.code, exc.message,
+                               version=echo_v)
         self.metrics.counter(f"gateway.requests.{op}").inc()
         try:
             if op in ("ingest", "scores"):
-                return await self._serve_windows(op, payload, conn, echo_id)
+                return await self._serve_windows(op, payload, conn, echo_id,
+                                                 echo_v)
             if op == "attach":
-                return self._attach(payload, conn, echo_id)
+                return self._attach(payload, conn, echo_id, echo_v)
             if op == "detach":
-                return self._detach(payload, conn, echo_id)
+                return self._detach(payload, conn, echo_id, echo_v)
             if op == "stats":
-                return self._stats(echo_id)
+                return self._stats(echo_id, echo_v)
             # shutdown: acknowledge first; the drain task closes the
             # connection once every queued request has been served.
             if self._drain_task is None:
                 self._draining = True
                 self._drain_task = asyncio.ensure_future(
                     self._drain_and_stop())
-            return ok_frame(echo_id, draining=True)
+            return ok_frame(echo_id, version=echo_v, draining=True)
         except RequestError as exc:
             if exc.code != "backpressure":  # rejections counted separately
                 self.metrics.counter("gateway.errors").inc()
-            return error_frame(echo_id, exc.code, exc.message)
+            return error_frame(echo_id, exc.code, exc.message,
+                               version=echo_v)
 
     def _stream_of(self, payload: dict) -> str:
         stream = payload.get("stream")
@@ -360,7 +419,8 @@ class GatewayServer:
                                "request needs a non-empty 'stream' field")
         return stream
 
-    def _attach(self, payload: dict, conn: _Connection, echo_id) -> dict:
+    def _attach(self, payload: dict, conn: _Connection, echo_id,
+                echo_v: int) -> dict:
         if self._draining:
             raise RequestError("shutting_down",
                                "server is draining; no new attachments")
@@ -371,23 +431,27 @@ class GatewayServer:
                 f"no stream named {stream!r} attached to the fleet "
                 f"(known: {', '.join(sorted(self.fleet.names)) or 'none'})")
         conn.attached.add(stream)
-        return ok_frame(echo_id, stream=stream,
+        # The negotiation advertisement: the codecs list tells a v2
+        # client it may switch this connection to binary frames.
+        return ok_frame(echo_id, version=echo_v, stream=stream,
                         attached=sorted(conn.attached),
-                        max_queue_depth=self.max_queue_depth)
+                        max_queue_depth=self.max_queue_depth,
+                        codecs=list(self.codecs))
 
-    def _detach(self, payload: dict, conn: _Connection, echo_id) -> dict:
+    def _detach(self, payload: dict, conn: _Connection, echo_id,
+                echo_v: int) -> dict:
         stream = self._stream_of(payload)
         if stream not in conn.attached:
             raise RequestError(
                 "not_attached",
                 f"this connection is not attached to stream {stream!r}")
         conn.attached.discard(stream)
-        return ok_frame(echo_id, stream=stream,
+        return ok_frame(echo_id, version=echo_v, stream=stream,
                         attached=sorted(conn.attached))
 
-    def _stats(self, echo_id) -> dict:
+    def _stats(self, echo_id, echo_v: int) -> dict:
         return ok_frame(
-            echo_id,
+            echo_id, version=echo_v,
             metrics=self.metrics.to_dict(),
             engine=self.engine.stats(concurrent=True),
             fleet={"type": type(self.fleet).__name__,
@@ -418,8 +482,13 @@ class GatewayServer:
         return priority, self.engine.now() + float(deadline_ms) / 1e3
 
     async def _serve_windows(self, op: str, payload: dict,
-                             conn: _Connection, echo_id) -> dict:
+                             conn: _Connection, echo_id,
+                             echo_v: int) -> dict:
         started = time.perf_counter()
+        # Binary responses carry scores as raw float64 buffers; JSON as
+        # nested lists.  Either way the values are bit-identical — JSON
+        # float64 round-trips exactly via shortest repr.
+        binary_reply = frame_codec(payload) == "binary"
         stream = self._stream_of(payload)
         if self._draining:
             raise RequestError("shutting_down",
@@ -457,14 +526,18 @@ class GatewayServer:
             raise RequestError(result.code, result.message)
         self.metrics.histogram(f"gateway.{op}_latency").observe(
             time.perf_counter() - started)
+        def _wire_scores(scores) -> object:
+            array = np.asarray(scores, dtype=np.float64)
+            return array if binary_reply else array.tolist()
+
         if result.kind == "scores":
-            return ok_frame(echo_id, stream=stream,
-                            scores=np.asarray(result.scores).tolist())
+            return ok_frame(echo_id, version=echo_v, stream=stream,
+                            scores=_wire_scores(result.scores))
         event = result.event
         log = event.log
         return ok_frame(
-            echo_id, stream=stream, step=event.step,
-            scores=np.asarray(event.scores).tolist(),
+            echo_id, version=echo_v, stream=stream, step=event.step,
+            scores=_wire_scores(event.scores),
             mission=event.mission,
             adapted=bool(log.updated) if log is not None else False,
             pruned=len(log.pruned) if log is not None else 0)

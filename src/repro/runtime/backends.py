@@ -73,6 +73,14 @@ class ExecutionBackend(abc.ABC):
         the backend can report them cheaply; ``None`` otherwise."""
         return None
 
+    def transport_stats(self) -> dict | None:
+        """Cross-process transport counters (shared-memory ring traffic,
+        pipe fallbacks) when the backend has a transport; ``None``
+        otherwise.  Must be cheap and thread-safe — plain attribute
+        reads, no worker round-trips — because ``engine.stats()``
+        surfaces it on concurrent snapshots too."""
+        return None
+
     def close(self) -> None:
         """Release backend resources (worker processes, sockets)."""
 
@@ -209,6 +217,13 @@ class ShardedBackend(ExecutionBackend):
         stats = self._fleet.batcher_stats()
         return {"batches_run": stats["batches_run"],
                 "windows_scored": stats["windows_scored"]}
+
+    def transport_stats(self) -> dict | None:
+        # Parent-side counters only — no worker round-trip, so this is
+        # safe on concurrent stats snapshots (unlike batch_stats).
+        if self._fleet._closed:
+            return None
+        return self._fleet.transport_stats()
 
     def close(self) -> None:
         self._fleet.close()

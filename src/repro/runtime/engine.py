@@ -532,6 +532,14 @@ class ServingEngine:
             "rounds": self.rounds,
             "queued": self.queued_depths(),
         }
+        # Transport counters (sharded shm rings vs pipe fallbacks) are
+        # plain parent-side attribute reads — safe from any thread, so
+        # they're reported even on concurrent snapshots.
+        transport = getattr(self.backend, "transport_stats", None)
+        if transport is not None:
+            info = transport()
+            if info:
+                out["transport"] = info
         if concurrent and not self.backend.concurrent_safe_stats:
             return out
         batch = self.backend.batch_stats()

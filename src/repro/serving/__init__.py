@@ -37,6 +37,8 @@ from .bench import (BenchConfig, DEFAULT_BENCH_PATH,
 from .fleet import DeploymentFleet, FleetEvent, StreamSlot, build_fleet
 from .sharded import (FleetInfra, ShardedFleet, build_sharded_fleet,
                       partition_fleet_payload)
+from .shm_ring import (DEFAULT_RING_BYTES, RingBuffer, RingError,
+                       dumps_message, loads_message)
 
 __all__ = [
     "MicroBatcher",
@@ -49,6 +51,11 @@ __all__ = [
     "ShardedFleet",
     "build_sharded_fleet",
     "partition_fleet_payload",
+    "RingBuffer",
+    "RingError",
+    "DEFAULT_RING_BYTES",
+    "dumps_message",
+    "loads_message",
     "BenchConfig",
     "run_benchmark",
     "run_shard_benchmark",

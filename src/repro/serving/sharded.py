@@ -27,6 +27,15 @@ facade over :class:`~repro.runtime.ServingEngine` — here with a
 :class:`~repro.runtime.ShardedBackend` that scatters rounds across the
 worker pool, while each worker's in-process fleet runs the same engine
 loop over its own shard.
+
+Parent<->worker payloads ride per-shard :mod:`multiprocessing.shared_memory`
+ring buffers (:mod:`repro.serving.shm_ring`); the pipe is the control
+plane — a ``("shm", length)`` doorbell per message (which also provides
+the happens-before edge that makes the lock-free SPSC rings safe under
+the fleet's strict request/response alternation), ``("inline", payload)``
+fallbacks for messages that outsize a ring, and error/``stop``
+signaling.  :meth:`ShardedFleet.transport_stats` counts ring traffic
+and pipe fallbacks; ``ring_bytes=0`` turns the rings off entirely.
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ from ..runtime.engine import FleetEvent, ServingEngine
 from ..utils.serialization import atomic_write_json
 from .batcher import ScoreRequest
 from .fleet import FLEET_FORMAT_VERSION, DeploymentFleet, build_fleet
+from .shm_ring import (DEFAULT_RING_BYTES, RingBuffer, RingError,
+                       dumps_message, loads_message)
 
 __all__ = ["FleetInfra", "ShardedFleet", "build_sharded_fleet",
            "partition_fleet_payload"]
@@ -155,7 +166,8 @@ def partition_fleet_payload(payload: dict, shards: int) -> list[dict]:
     return parts
 
 
-def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
+def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
+                       ring_names: tuple[str, str] | None = None) -> None:
     """One shard's process: a private DeploymentFleet behind a pipe.
 
     Module-level so the ``spawn`` start method can import it; every
@@ -165,15 +177,36 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
     mismatch) are relayed as a ``("fatal", message)`` reply so the
     parent's next request reports the real cause rather than a bare
     EOFError.
+
+    With ``ring_names`` the payload bytes of every request and reply
+    ride the parent's shared-memory rings (see
+    :mod:`repro.serving.shm_ring`); the pipe carries only transport
+    tokens — ``("shm", length)`` doorbells or ``("inline", payload)``
+    fallbacks for messages that outsize the ring.
     """
+    ring_in = ring_out = None
+
+    def reply(payload: tuple) -> None:
+        if ring_out is not None:
+            blob = dumps_message(payload)
+            if ring_out.write(blob):
+                conn.send(("shm", len(blob)))
+                return
+        conn.send(("inline", payload))
+
     try:
+        if ring_names is not None:
+            # (parent->worker, worker->parent), named from the parent's
+            # point of view; attaching never unlinks (see RingBuffer).
+            ring_in = RingBuffer.attach(ring_names[0])
+            ring_out = RingBuffer.attach(ring_names[1])
         embedding, generator = FleetInfra.from_payload(infra_payload).build()
         fleet = DeploymentFleet.from_dict(json.loads(payload_json),
                                           embedding, generator)
     except Exception as exc:  # noqa: BLE001 — relayed to the parent
         try:
-            conn.send(("fatal", f"worker startup failed: "
-                                f"{type(exc).__name__}: {exc}"))
+            conn.send(("inline", ("fatal", f"worker startup failed: "
+                                           f"{type(exc).__name__}: {exc}")))
         finally:
             conn.close()
         return
@@ -181,12 +214,23 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
     models_by_token: dict[str, object] = {}  # "add"-shipped shared models
     while True:
         try:
-            message = conn.recv()
+            token = conn.recv()
         except EOFError:
             break
+        try:
+            kind = token[0] if isinstance(token, tuple) and token else None
+            if kind == "shm":
+                message = loads_message(ring_in.read(token[1]))
+            elif kind == "inline":
+                message = token[1]
+            else:
+                raise RingError(f"unexpected transport token {token!r}")
+        except RingError as exc:
+            reply(("error", f"shared-memory transport failure: {exc}"))
+            continue
         command, *args = message
         if command == "stop":
-            conn.send(("ok", None))
+            reply(("ok", None))
             break
         try:
             if command == "step":
@@ -244,9 +288,12 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict) -> None:
                           for slot, s in zip(fleet.slots, scores)}
             else:
                 raise ValueError(f"unknown worker command {command!r}")
-            conn.send(("ok", result))
+            reply(("ok", result))
         except Exception as exc:  # noqa: BLE001 — relayed to the parent
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            reply(("error", f"{type(exc).__name__}: {exc}"))
+    for ring in (ring_in, ring_out):
+        if ring is not None:
+            ring.close()
     conn.close()
 
 
@@ -264,7 +311,8 @@ class ShardedFleet:
     """
 
     def __init__(self, shards: int, infra: FleetInfra | None = None,
-                 max_batch_windows: int | None = None):
+                 max_batch_windows: int | None = None,
+                 ring_bytes: int | None = None):
         if shards < 1:
             raise ValueError("need at least one shard")
         self.shards = shards
@@ -282,9 +330,22 @@ class ShardedFleet:
         self._conns: list = []
         self._procs: list = []
         self._closed = False
+        self._init_transport(ring_bytes)
         self._init_engine()
         self._start_workers([_empty_fleet_payload(max_batch_windows)
                              for _ in range(shards)])
+
+    def _init_transport(self, ring_bytes: int | None) -> None:
+        """Per-shard shared-memory ring state.  ``ring_bytes`` sizes each
+        direction's ring (``None`` = default, ``0`` = pure pipe)."""
+        self._ring_bytes = DEFAULT_RING_BYTES if ring_bytes is None \
+            else int(ring_bytes)
+        if self._ring_bytes < 0:
+            raise ValueError("ring_bytes must be >= 0")
+        self._rings_out: list[RingBuffer | None] = []  # parent -> worker
+        self._rings_in: list[RingBuffer | None] = []   # worker -> parent
+        self._transport_counters = {"shm_messages": 0, "shm_bytes": 0,
+                                    "pipe_fallbacks": 0}
 
     def _init_engine(self, policy=None, metrics=None) -> None:
         from ..runtime.backends import ShardedBackend
@@ -307,34 +368,81 @@ class ShardedFleet:
         context = multiprocessing.get_context("spawn")
         infra_payload = self.infra.to_payload()
         for payload in payloads:
+            to_worker = from_worker = None
+            if self._ring_bytes:
+                try:
+                    to_worker = RingBuffer.create(self._ring_bytes)
+                    from_worker = RingBuffer.create(self._ring_bytes)
+                except (OSError, ValueError):
+                    # No usable /dev/shm: serve over the pipe alone.
+                    if to_worker is not None:
+                        to_worker.close()
+                        to_worker.unlink()
+                    to_worker = from_worker = None
+            ring_names = None if to_worker is None \
+                else (to_worker.name, from_worker.name)
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, json.dumps(payload), infra_payload),
+                args=(child_conn, json.dumps(payload), infra_payload,
+                      ring_names),
                 daemon=True)
             process.start()
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(process)
+            self._rings_out.append(to_worker)
+            self._rings_in.append(from_worker)
 
     def _check_open(self) -> None:
         if self._closed:
             raise FleetError("fleet is closed")
 
-    @staticmethod
-    def _send(conn, message: tuple) -> None:
+    def _send(self, shard: int, message: tuple) -> None:
         # A send to a dead worker fails; its queued "fatal" reply (or an
         # EOF) is still waiting on the recv side, which reports the cause.
+        #
+        # The payload rides this shard's shared-memory ring when it
+        # fits (the pipe carries only a ("shm", length) doorbell) and
+        # falls back to an inline pipe message otherwise — capacity
+        # bounds latency, never correctness.
+        conn = self._conns[shard]
+        ring = self._rings_out[shard]
         try:
-            conn.send(message)
-        except (BrokenPipeError, OSError):
+            if ring is not None:
+                blob = dumps_message(message)
+                if ring.write(blob):
+                    self._transport_counters["shm_messages"] += 1
+                    self._transport_counters["shm_bytes"] += len(blob)
+                    conn.send(("shm", len(blob)))
+                    return
+                self._transport_counters["pipe_fallbacks"] += 1
+            conn.send(("inline", message))
+        except (BrokenPipeError, OSError, RingError):
             pass
 
-    def _recv(self, conn) -> tuple:
+    def _recv(self, shard: int) -> tuple:
         try:
-            return conn.recv()
+            token = self._conns[shard].recv()
         except EOFError:
             return ("error", "worker process died unexpectedly")
+        kind = token[0] if isinstance(token, tuple) and token else None
+        if kind == "inline":
+            return token[1]
+        if kind == "shm":
+            ring = self._rings_in[shard]
+            if ring is None:
+                return ("error", "worker sent a shared-memory doorbell "
+                                 "but this fleet has no ring attached")
+            try:
+                reply = loads_message(ring.read(token[1]))
+                self._transport_counters["shm_messages"] += 1
+                self._transport_counters["shm_bytes"] += int(token[1])
+                return reply
+            except RingError as exc:
+                return ("error",
+                        f"shared-memory transport failure: {exc}")
+        return ("error", f"unexpected transport token {token!r}")
 
     @staticmethod
     def _worker_error(shard: int, status: str, value) -> WorkerError:
@@ -345,14 +453,14 @@ class ShardedFleet:
         return cls(f"shard {shard}: {value}", shard=shard)
 
     def _receive(self, shard: int):
-        status, value = self._recv(self._conns[shard])
+        status, value = self._recv(shard)
         if status != "ok":
             raise self._worker_error(shard, status, value)
         return value
 
     def _request(self, shard: int, message: tuple):
         self._check_open()
-        self._send(self._conns[shard], message)
+        self._send(shard, message)
         return self._receive(shard)
 
     def _broadcast(self, message: tuple) -> list:
@@ -363,9 +471,9 @@ class ShardedFleet:
         desynchronize the next command.
         """
         self._check_open()
-        for conn in self._conns:
-            self._send(conn, message)
-        replies = [self._recv(conn) for conn in self._conns]
+        for shard in range(len(self._conns)):
+            self._send(shard, message)
+        replies = [self._recv(shard) for shard in range(len(self._conns))]
         failed = [(shard, status, value)
                   for shard, (status, value) in enumerate(replies)
                   if status != "ok"]
@@ -380,14 +488,20 @@ class ShardedFleet:
         return [value for _, value in replies]
 
     def close(self) -> None:
-        """Shut down the worker processes (idempotent)."""
+        """Shut down the worker processes (idempotent).
+
+        Shared-memory segments are closed and unlinked *after* the
+        workers are down — even workers that died mid-command — so a
+        closed fleet never leaks ``/dev/shm`` entries.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for shard, conn in enumerate(self._conns):
             try:
-                conn.send(("stop",))
-                conn.recv()
+                # "stop" is control-plane: always inline on the pipe.
+                conn.send(("inline", ("stop",)))
+                self._recv(shard)
             except (BrokenPipeError, EOFError, OSError):
                 pass
             conn.close()
@@ -396,8 +510,14 @@ class ShardedFleet:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
+        for ring in (*self._rings_out, *self._rings_in):
+            if ring is not None:
+                ring.close()
+                ring.unlink()
         self._conns = []
         self._procs = []
+        self._rings_out = []
+        self._rings_in = []
 
     def __enter__(self) -> "ShardedFleet":
         return self
@@ -493,6 +613,16 @@ class ShardedFleet:
         return {"batches_run": sum(s["batches_run"] for s in stats),
                 "windows_scored": sum(s["windows_scored"] for s in stats)}
 
+    def transport_stats(self) -> dict:
+        """Parent<->worker transport counters: messages/bytes over the
+        shared-memory rings and how often a message outsized its ring
+        and fell back to the pipe (surfaced through ``engine.stats()``
+        and the gateway ``stats`` op)."""
+        shm = any(ring is not None for ring in self._rings_out)
+        return {"transport": "shm" if shm else "pipe",
+                "ring_bytes": self._ring_bytes if shm else 0,
+                **self._transport_counters}
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -520,12 +650,11 @@ class ShardedFleet:
             per_shard.setdefault(shard, {})[name] = value
         shards = sorted(per_shard)
         for shard in shards:
-            self._send(self._conns[shard],
-                       (command, per_shard[shard], *extra))
+            self._send(shard, (command, per_shard[shard], *extra))
         merged: dict = {}
         failed: list[tuple[int, str, object]] = []
         for shard in shards:
-            status, value = self._recv(self._conns[shard])
+            status, value = self._recv(shard)
             if status != "ok":
                 failed.append((shard, status, value))
             else:
@@ -608,7 +737,8 @@ class ShardedFleet:
 
     @classmethod
     def from_dict(cls, payload: dict, shards: int | None = None,
-                  infra: FleetInfra | None = None) -> "ShardedFleet":
+                  infra: FleetInfra | None = None,
+                  ring_bytes: int | None = None) -> "ShardedFleet":
         """Rebuild a sharded fleet from a whole-fleet payload.
 
         ``shards`` defaults to the payload's ``"shards"`` hint (1 for a
@@ -629,6 +759,7 @@ class ShardedFleet:
         fleet.shards = shards
         fleet.infra = infra or FleetInfra()
         fleet.max_batch_windows = payload.get("max_batch_windows")
+        fleet._init_transport(ring_bytes)
         fleet._init_engine()
         fleet.rounds = int(payload.get("rounds", 0))
         fleet._order = [entry["name"] for entry in payload["slots"]]
@@ -646,13 +777,16 @@ class ShardedFleet:
 
     @classmethod
     def load(cls, path: str | Path, shards: int | None = None,
-             infra: FleetInfra | None = None) -> "ShardedFleet":
+             infra: FleetInfra | None = None,
+             ring_bytes: int | None = None) -> "ShardedFleet":
         return cls.from_dict(json.loads(Path(path).read_text()),
-                             shards=shards, infra=infra)
+                             shards=shards, infra=infra,
+                             ring_bytes=ring_bytes)
 
     @classmethod
     def from_fleet(cls, fleet: DeploymentFleet, shards: int,
-                   infra: FleetInfra | None = None) -> "ShardedFleet":
+                   infra: FleetInfra | None = None,
+                   ring_bytes: int | None = None) -> "ShardedFleet":
         """Partition an in-process fleet across ``shards`` workers.
 
         The fleet is serialized through its checkpoint format, so every
@@ -668,7 +802,8 @@ class ShardedFleet:
             infra = FleetInfra.from_generator(generator.model.seed,
                                               generator)
         payload = fleet.to_dict()
-        return cls.from_dict(payload, shards=shards, infra=infra)
+        return cls.from_dict(payload, shards=shards, infra=infra,
+                             ring_bytes=ring_bytes)
 
 
 def build_sharded_fleet(pipeline, missions: list[str], streams: int,
@@ -676,6 +811,7 @@ def build_sharded_fleet(pipeline, missions: list[str], streams: int,
                         share_models: bool = True, windows_per_step: int = 2,
                         stream_seed: int = 100,
                         max_batch_windows: int | None = None,
+                        ring_bytes: int | None = None,
                         **stream_overrides) -> ShardedFleet:
     """Assemble a sharded fleet over a :class:`~repro.api.Pipeline`.
 
@@ -691,4 +827,5 @@ def build_sharded_fleet(pipeline, missions: list[str], streams: int,
                         max_batch_windows=max_batch_windows,
                         **stream_overrides)
     return ShardedFleet.from_fleet(fleet, shards,
-                                   infra=FleetInfra.from_pipeline(pipeline))
+                                   infra=FleetInfra.from_pipeline(pipeline),
+                                   ring_bytes=ring_bytes)

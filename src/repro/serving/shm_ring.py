@@ -1,0 +1,235 @@
+"""Shared-memory SPSC ring buffers for parent<->worker shard traffic.
+
+Pickling a round's windows and scores through a :mod:`multiprocessing`
+pipe costs two copies and a kernel round-trip per message; at gateway
+rates the pipe becomes the sharded fleet's hot path.  This module moves
+the *payload* bytes into a :class:`multiprocessing.shared_memory` ring
+buffer per direction — the pipe stays as the control plane (a tiny
+``("shm", length)`` doorbell per message, plus error/"stop" signaling
+and the happens-before edge that makes the lock-free ring safe).
+
+Single-producer/single-consumer by construction: the sharded fleet
+keeps at most one outstanding request per shard (send, then receive),
+so by the time either side touches the ring the doorbell message has
+already synchronized it with the peer — positions never race.
+
+Layout: an 16-byte control header of two little-endian u64 *monotonic*
+byte counters (``write_pos``, ``read_pos``), then ``capacity`` data
+bytes used circularly (``capacity`` derives from the segment's true
+size, which the kernel may round up to a page).  A message that does
+not fit in the free span is the caller's problem — :meth:`RingBuffer.
+write` returns ``False`` and the caller falls back to sending the
+payload inline over the pipe, so ring capacity bounds *latency*, never
+correctness.
+
+Messages themselves are framed with :func:`dumps_message` /
+:func:`loads_message`: pickle protocol 5 with out-of-band buffers, so
+numpy windows and scores ride as raw bytes instead of pickle opcodes,
+and decode into *writable* arrays over a fresh ``bytearray``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing import shared_memory
+
+__all__ = ["RingBuffer", "RingError", "dumps_message", "loads_message",
+           "DEFAULT_RING_BYTES"]
+
+#: Per-direction ring capacity the sharded fleet asks for by default.
+#: Big enough for a round's windows at benchmark batch sizes; anything
+#: larger falls back to the pipe (counted, not failed).
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+#: write_pos, read_pos — monotonic byte counters (never wrapped; the
+#: data offset is ``pos % capacity``), so ``write_pos - read_pos`` is
+#: exactly the number of unread bytes even after u64 aeons.
+_CTRL = struct.Struct("<QQ")
+
+_MSG_COUNT = struct.Struct("<I")    # segments per message (pickle first)
+_MSG_LEN = struct.Struct("<Q")      # length of one segment
+
+
+class RingError(RuntimeError):
+    """The ring or a message frame is in a state that cannot be correct
+    under the SPSC protocol (torn counters, short reads, bad frames)."""
+
+
+class RingBuffer:
+    """One single-producer/single-consumer byte ring in shared memory.
+
+    The creating side owns the segment (and must eventually
+    :meth:`unlink` it); the attaching side maps the same bytes and is
+    unregistered from its process's resource tracker so a worker exit —
+    clean or not — never unlinks a live segment.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self.capacity = shm.size - _CTRL.size
+        if self.capacity < 1:
+            raise ValueError(f"segment of {shm.size} bytes leaves no "
+                             f"data capacity")
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "RingBuffer":
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1 byte")
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=_CTRL.size + capacity)
+        shm.buf[:_CTRL.size] = _CTRL.pack(0, 0)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "RingBuffer":
+        # Spawned workers share the parent's resource-tracker process
+        # (the fd rides the spawn handshake), so this attach's REGISTER
+        # is an idempotent re-add of the owner's entry — no unregister
+        # games needed, and the owner's unlink() retires the entry once.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def _positions(self) -> tuple[int, int]:
+        return _CTRL.unpack_from(self._shm.buf, 0)
+
+    def used(self) -> int:
+        """Unread bytes currently in the ring."""
+        write_pos, read_pos = self._positions()
+        return write_pos - read_pos
+
+    def free(self) -> int:
+        return self.capacity - self.used()
+
+    def write(self, data) -> bool:
+        """Append ``data`` (with wraparound); ``False`` when it does not
+        fit in the free span — the caller's cue to fall back to the
+        pipe.  Only ever called by the producing side."""
+        if self._closed:
+            raise RingError("ring is closed")
+        count = len(data)
+        write_pos, read_pos = self._positions()
+        if count > self.capacity - (write_pos - read_pos):
+            return False
+        view = memoryview(data)
+        buf = self._shm.buf
+        start = write_pos % self.capacity
+        first = min(count, self.capacity - start)
+        base = _CTRL.size
+        buf[base + start:base + start + first] = view[:first]
+        if first < count:
+            buf[base:base + count - first] = view[first:]
+        # Publish last: the consumer only learns the new write_pos via
+        # the pipe doorbell, which happens-after this store.
+        struct.pack_into("<Q", buf, 0, write_pos + count)
+        return True
+
+    def read(self, count: int) -> bytearray:
+        """Consume exactly ``count`` bytes (with wraparound) into a
+        fresh writable buffer.  Only ever called by the consuming side;
+        the doorbell told it exactly how many bytes one message holds."""
+        if self._closed:
+            raise RingError("ring is closed")
+        write_pos, read_pos = self._positions()
+        if count > write_pos - read_pos:
+            raise RingError(
+                f"ring holds {write_pos - read_pos} unread byte(s); "
+                f"asked for {count} — producer and consumer are "
+                f"desynchronized")
+        out = bytearray(count)
+        buf = self._shm.buf
+        start = read_pos % self.capacity
+        first = min(count, self.capacity - start)
+        base = _CTRL.size
+        out[:first] = buf[base + start:base + start + first]
+        if first < count:
+            out[first:] = buf[base:base + count - first]
+        struct.pack_into("<Q", buf, 8, read_pos + count)
+        return out
+
+    def close(self) -> None:
+        """Unmap this side's view (idempotent); the segment itself lives
+        until the owner unlinks it."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from ``/dev/shm`` (owner side, idempotent;
+        a no-op if the segment is already gone)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "RingBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------
+# Message framing: pickle-5 with out-of-band buffers
+# ---------------------------------------------------------------------
+def dumps_message(obj) -> bytes:
+    """Serialize one message to a self-describing byte blob.
+
+    Out-of-band pickle-5 buffers (numpy array payloads, chiefly) are
+    carried as raw segments after the pickle stream — no bytes->opcode
+    round-trip for the window data itself.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    head = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    segments = [head, *(buffer.raw() for buffer in buffers)]
+    parts = [_MSG_COUNT.pack(len(segments))]
+    parts.extend(_MSG_LEN.pack(len(segment)) for segment in segments)
+    parts.extend(segments)
+    return b"".join(parts)
+
+
+def loads_message(blob) -> object:
+    """Rebuild a message from :func:`dumps_message` bytes.
+
+    Pass a ``bytearray`` (what :meth:`RingBuffer.read` returns) and the
+    reconstructed arrays view it writably — no extra copy.
+    """
+    view = memoryview(blob)
+    if len(view) < _MSG_COUNT.size:
+        raise RingError(f"message blob of {len(view)} byte(s) is shorter "
+                        f"than its segment-count header")
+    (count,) = _MSG_COUNT.unpack_from(view, 0)
+    offset = _MSG_COUNT.size
+    if count < 1 or len(view) < offset + count * _MSG_LEN.size:
+        raise RingError(f"message blob claims {count} segment(s) but is "
+                        f"only {len(view)} byte(s) long")
+    lengths = []
+    for _ in range(count):
+        (length,) = _MSG_LEN.unpack_from(view, offset)
+        offset += _MSG_LEN.size
+        lengths.append(length)
+    if offset + sum(lengths) != len(view):
+        raise RingError(
+            f"message blob is {len(view)} byte(s); its segment table "
+            f"promises {offset + sum(lengths)}")
+    segments = []
+    for length in lengths:
+        segments.append(view[offset:offset + length])
+        offset += length
+    try:
+        return pickle.loads(segments[0], buffers=segments[1:])
+    except Exception as exc:
+        raise RingError(f"undecodable ring message: "
+                        f"{type(exc).__name__}: {exc}") from None

@@ -5,9 +5,13 @@ Each record is a JSON-safe dict with a ``"kind"`` discriminator and the
 
 ``ingest``
     One accepted ingest request: stream name + its ``(B, T, frame_dim)``
-    arrival windows, encoded through the repo's bit-exact base64 float64
-    codec (:mod:`repro.utils.serialization`) so replayed windows score
-    to the very same bits.
+    arrival windows.  The windows stay a float64 ndarray in the record;
+    the log serializes them through the shared binary body codec
+    (:mod:`repro.utils.binframe` — raw little-endian float64 buffers,
+    same wire format as the gateway's binary frames) so replayed
+    windows score to the very same bits.  Logs written by older
+    versions carry base64 dicts instead; :func:`record_windows`
+    decodes both.
 ``skip``
     Cancels one earlier ``ingest`` record (by its seq): the request was
     accepted and logged but never reached a deployment — it expired on
@@ -26,9 +30,10 @@ Each record is a JSON-safe dict with a ``"kind"`` discriminator and the
     snapshot was taken).  Recovery rebuilds from the latest snapshot and
     replays only ingest records past each stream's watermark.
 
-Records deliberately stay plain dicts on the wire (the log frames raw
-JSON bytes); the constructors and :func:`validate_record` here are the
-single place their shapes are defined.
+Records deliberately stay plain dicts on the wire (the log frames each
+one as a JSON or binary body); the constructors and
+:func:`validate_record` here are the single place their shapes are
+defined.
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import RecoveryError
-from ..utils.serialization import decode_array, encode_array
+from ..utils.serialization import decode_array
 
 __all__ = ["RECORD_KINDS", "ingest_record", "skip_record", "attach_record",
            "detach_record", "snapshot_record", "record_windows",
@@ -55,14 +60,27 @@ _REQUIRED = {
 
 
 def ingest_record(stream: str, windows: np.ndarray) -> dict:
-    """One accepted ingest request's durable form."""
+    """One accepted ingest request's durable form.
+
+    The windows ride as a float64 ndarray; the log picks their on-disk
+    encoding (binary body by default, base64-in-JSON under
+    ``WalConfig(codec="json")``).
+    """
     return {"kind": "ingest", "stream": stream,
-            "windows": encode_array(np.asarray(windows, dtype=np.float64))}
+            "windows": np.ascontiguousarray(windows, dtype=np.float64)}
 
 
 def record_windows(record: dict) -> np.ndarray:
-    """Decode an ``ingest`` record's windows (bit-exact round trip)."""
-    return decode_array(record["windows"])
+    """An ``ingest`` record's windows (bit-exact round trip).
+
+    Handles both encodings: an ndarray (binary-codec log, or a record
+    that never left this process) and the legacy base64 dict written by
+    pre-binary versions — old logs replay unchanged.
+    """
+    windows = record["windows"]
+    if isinstance(windows, np.ndarray):
+        return np.asarray(windows, dtype=np.float64)
+    return decode_array(windows)
 
 
 def skip_record(target_seq: int) -> dict:

@@ -1,0 +1,228 @@
+"""Shared-memory ring transport tests: the byte ring itself, pickle-5
+message framing, the sharded fleet's ring path (parity + counters), and
+/dev/shm hygiene when workers die uncleanly.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    DEFAULT_RING_BYTES,
+    RingBuffer,
+    RingError,
+    ShardedFleet,
+    dumps_message,
+    loads_message,
+)
+from test_serving_sharded import (
+    INFRA,
+    assert_rounds_identical,
+    collect_rounds,
+    make_single_fleet,
+)
+
+
+def shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+
+class TestRingBuffer:
+    def test_create_attach_round_trip(self):
+        with RingBuffer.create(1 << 16) as ring:
+            with RingBuffer.attach(ring.name) as other:
+                assert ring.write(b"hello rings")
+                assert bytes(other.read(11)) == b"hello rings"
+            ring.unlink()
+        assert not shm_exists(ring.name)
+
+    def test_wraparound_many_cycles(self):
+        """Fill/drain far past capacity: the monotonic counters wrap the
+        data region while every message round-trips intact."""
+        with RingBuffer.create(1 << 12) as ring:
+            capacity = ring.capacity
+            message = bytes(range(256)) * 3   # 768 bytes, not a divisor
+            cycles = (capacity // len(message)) * 50
+            for index in range(cycles):
+                stamped = message + index.to_bytes(8, "little")
+                assert ring.write(stamped)
+                assert bytes(ring.read(len(stamped))) == stamped
+            assert ring.used() == 0
+            ring.unlink()
+
+    def test_interleaved_writes_wrap_the_boundary(self):
+        with RingBuffer.create(1 << 12) as ring:
+            chunk = ring.capacity // 3 + 7    # forces a split write soon
+            for index in range(30):
+                data = bytes([index % 251]) * chunk
+                assert ring.write(data)
+                assert bytes(ring.read(chunk)) == data
+            ring.unlink()
+
+    def test_oversized_write_returns_false(self):
+        with RingBuffer.create(1 << 12) as ring:
+            assert not ring.write(b"\x00" * (ring.capacity + 1))
+            # A full ring refuses further writes but never corrupts.
+            assert ring.write(b"\x01" * ring.capacity)
+            assert not ring.write(b"x")
+            assert bytes(ring.read(ring.capacity)) == b"\x01" * ring.capacity
+            assert ring.write(b"x")
+            ring.unlink()
+
+    def test_read_past_unread_is_ring_error(self):
+        with RingBuffer.create(1 << 12) as ring:
+            ring.write(b"abc")
+            with pytest.raises(RingError, match="desynchronized"):
+                ring.read(4)
+            ring.unlink()
+
+    def test_closed_ring_refuses_io(self):
+        ring = RingBuffer.create(1 << 12)
+        ring.close()
+        with pytest.raises(RingError, match="closed"):
+            ring.write(b"x")
+        with pytest.raises(RingError, match="closed"):
+            ring.read(1)
+        ring.unlink()
+
+    def test_unlink_is_owner_only_and_idempotent(self):
+        ring = RingBuffer.create(1 << 12)
+        peer = RingBuffer.attach(ring.name)
+        peer.unlink()                      # non-owner: no-op
+        assert shm_exists(ring.name)
+        peer.close()
+        ring.close()
+        ring.unlink()
+        ring.unlink()                      # second unlink: no-op
+        assert not shm_exists(ring.name)
+
+
+class TestMessageFraming:
+    def test_numpy_out_of_band_round_trip(self):
+        rng = np.random.default_rng(7)
+        message = ("ok", {"scores": rng.normal(size=(4, 6)),
+                          "meta": [1, "two"]})
+        blob = dumps_message(message)
+        kind, payload = loads_message(bytearray(blob))
+        assert kind == "ok" and payload["meta"] == [1, "two"]
+        np.testing.assert_array_equal(payload["scores"],
+                                      message[1]["scores"])
+        payload["scores"][0, 0] = -1.0     # decoded arrays are writable
+
+    def test_ring_to_message_round_trip(self):
+        message = {"windows": np.arange(24.0).reshape(2, 3, 4)}
+        with RingBuffer.create(1 << 16) as ring:
+            blob = dumps_message(message)
+            assert ring.write(blob)
+            decoded = loads_message(ring.read(len(blob)))
+            np.testing.assert_array_equal(decoded["windows"],
+                                          message["windows"])
+            ring.unlink()
+
+    @pytest.mark.parametrize("blob", [
+        b"",                                   # shorter than the count
+        b"\x00\x00\x00\x00",                   # zero segments
+        b"\xff\xff\xff\xff",                   # absurd segment count
+        dumps_message({"a": 1})[:-2],          # truncated payload
+        dumps_message({"a": 1}) + b"xx",       # trailing bytes
+    ])
+    def test_malformed_blobs_raise_ring_error(self, blob):
+        with pytest.raises(RingError):
+            loads_message(blob)
+
+    def test_undecodable_pickle_is_ring_error(self):
+        blob = bytearray(dumps_message({"a": 1}))
+        blob[-1] ^= 0xFF                       # corrupt the pickle tail
+        with pytest.raises(RingError, match="undecodable"):
+            loads_message(bytes(blob))
+
+
+class TestShardedRingTransport:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_parity_over_the_ring_path(self, fresh_model, frame_generator,
+                                       shards):
+        """Sharded serving over shared-memory rings stays bit-identical
+        to the single-process fleet at every shard count — and actually
+        used the rings (shm transport, zero pipe fallbacks)."""
+        single = make_single_fleet(fresh_model, frame_generator, streams=4)
+        reference = collect_rounds(single, max_rounds=2)
+        single = make_single_fleet(fresh_model, frame_generator, streams=4)
+        with ShardedFleet.from_fleet(single, shards, infra=INFRA) as sharded:
+            rounds = collect_rounds(sharded, max_rounds=2)
+            stats = sharded.transport_stats()
+        assert_rounds_identical(reference, rounds)
+        assert stats["transport"] == "shm"
+        assert stats["ring_bytes"] == DEFAULT_RING_BYTES
+        assert stats["shm_messages"] > 0
+        assert stats["pipe_fallbacks"] == 0
+
+    def test_oversized_round_falls_back_to_the_pipe(self, fresh_model,
+                                                    frame_generator):
+        """A ring too small for a round's payload is a latency knob, not
+        a correctness cliff: the oversized message rides the pipe and
+        scores stay bit-identical.  (The kernel page-rounds a ring
+        request up, so overflow it with a window batch bigger than any
+        page-rounded minimum ring.)"""
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        frame_dim = single.slots[0].stream.batch(0).windows.shape[-1]
+        batches = 2 + (1 << 16) // (4 * frame_dim * 8)  # > 64 KiB payload
+        arrivals = {
+            name: np.linspace(0.0, 1.0, batches * 4 * frame_dim)
+            .reshape(batches, 4, frame_dim)
+            for name in list(single.names)[:2]}
+        expected = single.score_only(arrivals)
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        with ShardedFleet.from_fleet(single, 2, infra=INFRA,
+                                     ring_bytes=1024) as sharded:
+            got = sharded.score_only(arrivals)
+            stats = sharded.transport_stats()
+        assert set(got) == set(expected)
+        for name in got:
+            np.testing.assert_array_equal(got[name], expected[name])
+        assert stats["transport"] == "shm"
+        assert stats["pipe_fallbacks"] > 0
+
+    def test_ring_bytes_zero_is_pure_pipe(self, fresh_model,
+                                          frame_generator):
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        reference = collect_rounds(single, max_rounds=2)
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        with ShardedFleet.from_fleet(single, 2, infra=INFRA,
+                                     ring_bytes=0) as sharded:
+            rounds = collect_rounds(sharded, max_rounds=2)
+            stats = sharded.transport_stats()
+        assert_rounds_identical(reference, rounds)
+        assert stats["transport"] == "pipe"
+        assert stats["shm_messages"] == 0
+
+    def test_close_unlinks_every_segment(self, fresh_model,
+                                         frame_generator):
+        single = make_single_fleet(fresh_model, frame_generator, streams=3)
+        sharded = ShardedFleet.from_fleet(single, 2, infra=INFRA)
+        names = [ring.name
+                 for ring in (*sharded._rings_out, *sharded._rings_in)]
+        assert names and all(shm_exists(name) for name in names)
+        sharded.close()
+        assert not any(shm_exists(name) for name in names)
+
+    def test_worker_crash_leaves_no_segments(self, fresh_model,
+                                             frame_generator):
+        """SIGKILL a worker mid-run (it can never close its side), then
+        close(): the parent still unlinks every ring segment."""
+        single = make_single_fleet(fresh_model, frame_generator, streams=4)
+        sharded = ShardedFleet.from_fleet(single, 2, infra=INFRA)
+        names = [ring.name
+                 for ring in (*sharded._rings_out, *sharded._rings_in)]
+        collect_rounds(sharded, max_rounds=1)
+        victim = sharded._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        deadline = time.monotonic() + 10
+        while victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not victim.is_alive()
+        sharded.close()
+        assert not any(shm_exists(name) for name in names)

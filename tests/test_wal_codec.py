@@ -1,0 +1,144 @@
+"""WAL wire-codec tests: binary ingest bodies on disk, legacy base64
+logs replaying unchanged, mixed-codec segments, and corruption typing.
+"""
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import WalCorruptionError
+from repro.utils.binframe import BIN_MAGIC
+from repro.utils.serialization import encode_array
+from repro.wal import (
+    WalConfig,
+    WriteAheadLog,
+    ingest_record,
+    record_windows,
+    skip_record,
+)
+
+FRAME = struct.Struct("<II")
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    return FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@pytest.fixture()
+def windows():
+    return np.random.default_rng(9).normal(size=(3, 4, 6))
+
+
+class TestBinaryRecords:
+    def test_ingest_round_trip_is_bit_exact(self, tmp_path, windows):
+        with WriteAheadLog(tmp_path) as log:
+            log.append(ingest_record("cam-1", windows), sync=True)
+            log.append(skip_record(0), sync=True)
+        with WriteAheadLog(tmp_path) as log:
+            records = list(log.replay())
+        assert [r["kind"] for r in records] == ["ingest", "skip"]
+        back = record_windows(records[0])
+        assert back.dtype == np.float64
+        assert back.tobytes() == windows.tobytes()
+
+    def test_on_disk_frame_is_binary(self, tmp_path, windows):
+        with WriteAheadLog(tmp_path) as log:
+            log.append(ingest_record("cam-1", windows), sync=True)
+            path = log.segment_paths[0]
+        payload = path.read_bytes()[FRAME.size:]
+        assert payload[:2] == BIN_MAGIC
+        # and is substantially smaller than the base64-JSON encoding
+        legacy = json.dumps({"kind": "ingest", "stream": "cam-1", "seq": 0,
+                             "windows": encode_array(windows)})
+        assert len(payload) < len(legacy)
+
+    def test_records_without_arrays_stay_json(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append(skip_record(7), sync=True)
+            path = log.segment_paths[0]
+        payload = path.read_bytes()[FRAME.size:]
+        assert payload[:1] == b"{"
+        assert json.loads(payload)["kind"] == "skip"
+
+    def test_nan_inf_windows_survive(self, tmp_path):
+        ugly = np.array([[[np.nan, np.inf, -np.inf, -0.0]]])
+        with WriteAheadLog(tmp_path) as log:
+            log.append(ingest_record("cam-1", ugly), sync=True)
+        with WriteAheadLog(tmp_path) as log:
+            back = record_windows(next(iter(log.replay())))
+        assert back.tobytes() == ugly.tobytes()
+
+
+class TestCodecConfig:
+    def test_json_codec_writes_legacy_base64(self, tmp_path, windows):
+        with WriteAheadLog(tmp_path, WalConfig(codec="json")) as log:
+            log.append(ingest_record("cam-1", windows), sync=True)
+            path = log.segment_paths[0]
+        payload = path.read_bytes()[FRAME.size:]
+        record = json.loads(payload)
+        assert isinstance(record["windows"], dict)
+        with WriteAheadLog(tmp_path) as log:
+            back = record_windows(next(iter(log.replay())))
+        assert back.tobytes() == windows.tobytes()
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            WalConfig(codec="msgpack")
+
+
+class TestCompatibility:
+    def test_legacy_log_replays_and_appends_mixed(self, tmp_path, windows):
+        """A log written by a pre-binary version (base64-in-JSON frames)
+        replays unchanged, and this version keeps appending binary
+        frames to the very same segment."""
+        legacy = json.dumps({"kind": "ingest", "stream": "cam-1", "seq": 0,
+                             "windows": encode_array(windows)}).encode()
+        (tmp_path / "00000001.wal").write_bytes(frame_bytes(legacy))
+        with WriteAheadLog(tmp_path) as log:
+            assert log.next_seq == 1
+            log.append(ingest_record("cam-2", windows * 2), sync=True)
+        with WriteAheadLog(tmp_path) as log:
+            records = list(log.replay())
+        assert record_windows(records[0]).tobytes() == windows.tobytes()
+        assert record_windows(records[1]).tobytes() == (windows * 2).tobytes()
+
+    def test_record_windows_accepts_both_encodings(self, windows):
+        assert record_windows(
+            {"windows": windows}).tobytes() == windows.tobytes()
+        assert record_windows(
+            {"windows": encode_array(windows)}).tobytes() == windows.tobytes()
+
+
+class TestCorruption:
+    def test_crc_valid_garbage_binary_is_typed(self, tmp_path):
+        """A frame that passes its CRC but holds a malformed binary body
+        is version-skew corruption, not a torn tail: typed error."""
+        garbage = BIN_MAGIC + b"\x00" * 30
+        (tmp_path / "00000001.wal").write_bytes(frame_bytes(garbage))
+        with pytest.raises(WalCorruptionError, match="binary record"):
+            WriteAheadLog(tmp_path)
+
+    def test_binary_body_without_seq_is_typed(self, tmp_path):
+        from repro.utils.binframe import encode_payload
+        payload = encode_payload({"kind": "ingest", "stream": "cam-1",
+                                  "windows": np.zeros((1, 2, 2))})
+        (tmp_path / "00000001.wal").write_bytes(frame_bytes(payload))
+        with pytest.raises(WalCorruptionError, match="seq"):
+            WriteAheadLog(tmp_path)
+
+    def test_torn_binary_tail_is_repaired(self, tmp_path, windows):
+        with WriteAheadLog(tmp_path) as log:
+            log.append(ingest_record("cam-1", windows), sync=True)
+            log.append(ingest_record("cam-2", windows + 1), sync=True)
+            path = log.segment_paths[0]
+        data = path.read_bytes()
+        path.write_bytes(data[:-20])       # tear the final binary frame
+        log = WriteAheadLog(tmp_path)
+        assert log.repaired_bytes > 0
+        records = list(log.replay())
+        assert [r["stream"] for r in records] == ["cam-1"]
+        assert record_windows(records[0]).tobytes() == windows.tobytes()
+        log.close()
