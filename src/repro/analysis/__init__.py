@@ -1,0 +1,14 @@
+"""repro.analysis — AST invariant analyzer behind ``repro lint``.
+
+A small static-analysis framework (``core``) plus the project's five
+invariant rules (``rules``): layer-dag, lock-guard, async-blocking,
+typed-raise, wire-consts.  Stdlib-only by design — it sits below every
+other layer and lints all of them.
+"""
+
+from .core import Analyzer, Finding, Rule, SourceFile
+from .report import render_json, render_text
+from .rules import RULES, default_rules
+
+__all__ = ["Analyzer", "Finding", "Rule", "SourceFile",
+           "render_json", "render_text", "RULES", "default_rules"]

@@ -1,0 +1,247 @@
+"""The analyzer core: source model, rule protocol, suppression handling.
+
+:class:`Analyzer` walks a set of paths, parses every ``*.py`` file once
+into a :class:`SourceFile` (AST + per-line comment map), runs each
+:class:`Rule` over each file, then gives every rule a ``finalize()``
+pass for cross-file invariants (the wire-consts rule checks constants
+*between* modules).  The output is a sorted, suppression-filtered list
+of :class:`Finding` records.
+
+Inline control comments
+-----------------------
+``# repro: allow[rule-id]``
+    Suppress the named rule(s): trailing a statement it covers that
+    line; on a line of its own it covers the line below (comma-separate
+    several ids; append a justification after the bracket — required by
+    review convention, not by the parser).
+``# repro: guarded-by[_lock]``
+    On an attribute assignment (``self.x = ... # repro: guarded-by[_lock]``):
+    registers ``x`` as guarded — every later access must sit inside
+    ``with self._lock:`` (see the lock-guard rule).
+``# repro: lock-held``
+    On a ``def`` line: the method's contract is that its caller already
+    holds every lock its class declares, so guarded accesses inside it
+    are exempt (the machine-checked replacement for "Caller holds
+    self._lock." prose comments).
+
+Comments are extracted with :mod:`tokenize`, so control markers inside
+string literals (e.g. rule-fixture snippets in tests) are never
+misread as live annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["Finding", "SourceFile", "Rule", "Analyzer", "PARSE_ERROR_ID",
+           "module_name"]
+
+#: Pseudo-rule id attached to files that do not parse; never suppressible.
+PARSE_ERROR_ID = "parse-error"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\- ]+)\]")
+_LOCK_HELD_RE = re.compile(r"#\s*repro:\s*lock-held\b")
+_GUARDED_BY_RE = re.compile(r"#\s*repro:\s*guarded-by\[([A-Za-z_]\w*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path``, found by walking up through
+    ``__init__.py`` package directories (``src/repro/wal/log.py`` ->
+    ``repro.wal.log``; a loose script maps to its stem)."""
+    path = Path(path).resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts)
+
+
+class SourceFile:
+    """One parsed source file plus its control-comment maps.
+
+    ``module`` may be injected (rule unit tests exercise project-scoped
+    rules on synthetic snippets by claiming a module name); by default
+    it is derived from the path's package structure.
+    """
+
+    def __init__(self, path: str | Path, text: str,
+                 module: str | None = None):
+        self.path = Path(path)
+        self.text = text
+        self.module = module_name(self.path) if module is None else module
+        self.is_package = self.path.stem == "__init__"
+        self.syntax_error: SyntaxError | None = None
+        try:
+            self.tree: ast.Module = ast.parse(text)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self.comments: dict[int, str] = self._extract_comments(text)
+        self.suppressions: dict[int, frozenset[str]] = \
+            self._extract_suppressions()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SourceFile":
+        return cls(path, Path(path).read_text(encoding="utf-8"))
+
+    @staticmethod
+    def _extract_comments(text: str) -> dict[int, str]:
+        comments: dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            pass  # the AST parse reports the real problem
+        return comments
+
+    def _extract_suppressions(self) -> dict[int, frozenset[str]]:
+        table: dict[int, set[str]] = {}
+        source_lines = self.text.splitlines()
+        for line, comment in self.comments.items():
+            match = _ALLOW_RE.search(comment)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")
+                   if part.strip()}
+            # A trailing comment suppresses its own line; a comment-only
+            # line suppresses the statement on the line below it.
+            text = source_lines[line - 1] if line <= len(source_lines) else ""
+            standalone = text.lstrip().startswith("#")
+            covered = line + 1 if standalone else line
+            table.setdefault(covered, set()).update(ids)
+        return {line: frozenset(ids) for line, ids in table.items()}
+
+    # ------------------------------------------------------------------
+    # Control-comment queries used by rules
+    # ------------------------------------------------------------------
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule == PARSE_ERROR_ID:
+            return False
+        return finding.rule in self.suppressions.get(finding.line, ())
+
+    def lock_held(self, node: ast.AST) -> bool:
+        """Whether a ``def`` node carries the lock-held annotation (on
+        the ``def`` line or the line directly above it)."""
+        for line in (node.lineno, node.lineno - 1):
+            comment = self.comments.get(line)
+            if comment and _LOCK_HELD_RE.search(comment):
+                return True
+        return False
+
+    def guarded_by(self, line: int) -> str | None:
+        """The lock name a ``guarded-by[...]`` comment on ``line``
+        declares, or ``None``."""
+        comment = self.comments.get(line)
+        if comment:
+            match = _GUARDED_BY_RE.search(comment)
+            if match:
+                return match.group(1)
+        return None
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(path=str(self.path), rule=rule, message=message,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0))
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set ``id``/``summary`` and implement :meth:`check`; rules
+    that correlate facts across files also implement :meth:`finalize`,
+    which runs once after every file was checked.  Rule instances are
+    single-run (the analyzer constructs fresh ones per invocation), so
+    accumulating state on ``self`` during :meth:`check` is safe.
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(candidate for candidate in path.rglob("*.py")
+                         if not any(part.startswith(".")
+                                    for part in candidate.parts))
+    unique = {path.resolve(): path for path in files}
+    return [unique[key] for key in sorted(unique)]
+
+
+class Analyzer:
+    """Run a set of rules over a set of paths.
+
+    ``rules`` accepts rule instances or classes (classes are
+    instantiated fresh, which is what keeps stateful rules single-run);
+    by default every registered rule runs (see
+    :data:`repro.analysis.rules.RULES`).
+    """
+
+    def __init__(self, rules: Iterable[Rule | type[Rule]] | None = None):
+        if rules is None:
+            from .rules import default_rules
+            self.rules: list[Rule] = default_rules()
+        else:
+            self.rules = [rule() if isinstance(rule, type) else rule
+                          for rule in rules]
+
+    def run(self, paths: Iterable[str | Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        sources: dict[str, SourceFile] = {}
+        for path in _iter_python_files(paths):
+            source = SourceFile.load(path)
+            sources[str(source.path)] = source
+            if source.syntax_error is not None:
+                exc = source.syntax_error
+                findings.append(Finding(
+                    path=str(source.path), line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1, rule=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}"))
+                continue
+            for rule in self.rules:
+                findings.extend(rule.check(source))
+        for rule in self.rules:
+            findings.extend(rule.finalize())
+        kept = []
+        for finding in findings:
+            source = sources.get(finding.path)
+            if source is not None and source.is_suppressed(finding):
+                continue
+            kept.append(finding)
+        return sorted(kept)

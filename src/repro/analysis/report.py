@@ -1,0 +1,29 @@
+"""Finding reporters: line-oriented text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    lines = [f"{f.path}:{f.line}:{f.col}: {f.rule}: {f.message}"
+             for f in findings]
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    findings = list(findings)
+    counts = Counter(f.rule for f in findings)
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,153 @@
+"""lock-guard: guarded attributes are only touched under their lock.
+
+An attribute assignment carrying ``# repro: guarded-by[_lock]``
+registers that attribute for its class: every other read or write of
+``self.<attr>`` in the class body must sit lexically inside a
+``with self.<lock>:`` block naming the registered lock, or inside a
+method annotated ``# repro: lock-held`` (caller provides the lock —
+the machine-checked replacement for "Caller holds self._lock." prose).
+
+Scope choices, deliberately conservative:
+
+* ``__init__`` is exempt — the object is not yet published, locking
+  there would be theater.
+* A nested ``def``/``lambda`` does not inherit the enclosing ``with``:
+  closures escape and run later, when the lock is long released.
+* Only accesses through the method's own self parameter are checked;
+  cross-instance accesses (rare, and visible in review) pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, Rule, SourceFile
+
+__all__ = ["LockGuardRule"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_name(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = func.args.posonlyargs + func.args.args
+    return args[0].arg if args else None
+
+
+def _with_locks(node: ast.With | ast.AsyncWith, self_name: str) -> set[str]:
+    """Lock attribute names a ``with`` statement acquires via
+    ``self.<lock>`` (plain or via ``self.<lock>: ...`` alias forms)."""
+    locks: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        # unwrap e.g. contextlib-style self._lock() calls
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == self_name):
+            locks.add(expr.attr)
+    return locks
+
+
+class _MethodScanner(ast.NodeVisitor):
+    def __init__(self, rule: "LockGuardRule", source: SourceFile,
+                 guards: dict[str, str], self_name: str):
+        self.rule = rule
+        self.source = source
+        self.guards = guards
+        self.self_name = self_name
+        self.held: set[str] = set()
+        self.findings: list[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired = _with_locks(node, self.self_name) - self.held
+        for item in node.items:
+            self.visit(item)
+        self.held |= acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held -= acquired
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node) -> None:
+        # A closure's body runs after the enclosing with exits: no lock.
+        outer, self.held = self.held, set()
+        self.generic_visit(node)
+        self.held = outer
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name)
+                and node.value.id == self.self_name
+                and node.attr in self.guards):
+            lock = self.guards[node.attr]
+            if lock not in self.held:
+                access = ("write" if isinstance(node.ctx,
+                                                (ast.Store, ast.Del))
+                          else "read")
+                self.findings.append(self.source.finding(
+                    node, self.rule.id,
+                    f"{access} of guarded attribute 'self.{node.attr}' "
+                    f"outside 'with self.{lock}' (annotate the method "
+                    f"'# repro: lock-held' if its caller holds it)"))
+        self.generic_visit(node)
+
+
+class LockGuardRule(Rule):
+    id = "lock-guard"
+    summary = ("attributes registered '# repro: guarded-by[lock]' are "
+               "only accessed under that lock")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _collect_guards(self, source: SourceFile,
+                        cls: ast.ClassDef) -> dict[str, str]:
+        guards: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            lock = source.guarded_by(node.lineno)
+            if lock is None:
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)):
+                    guards[target.attr] = lock
+        return guards
+
+    def _check_class(self, source: SourceFile,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        guards = self._collect_guards(source, cls)
+        if not guards:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, _FUNC_NODES):
+                continue
+            if stmt.name == "__init__" or source.lock_held(stmt):
+                continue
+            self_name = _self_name(stmt)
+            if self_name is None:
+                continue
+            scanner = _MethodScanner(self, source, guards, self_name)
+            for inner in stmt.body:
+                scanner.visit(inner)
+            yield from scanner.findings

@@ -1,0 +1,53 @@
+"""typed-raise: serving-stack library code raises ``repro.errors`` types.
+
+Inside ``repro.serving``, ``repro.runtime``, ``repro.gateway``, and
+``repro.wal``, a bare ``raise RuntimeError(...)`` / ``raise
+ValueError(...)`` is indistinguishable to callers from an interpreter
+bug.  The error taxonomy in :mod:`repro.errors` keeps builtin
+compatibility via dual inheritance (e.g. ``ConfigError(ReproError,
+ValueError)``), so converting a raise never breaks an existing
+``except ValueError`` — which is why this rule can insist on it.
+
+Re-raises (``raise`` with no exception) and raising a bound name
+(``raise exc``) are not flagged; only literal constructions and bare
+references of the builtin names are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, Rule, SourceFile
+
+__all__ = ["TypedRaiseRule"]
+
+#: module prefixes where the error-discipline applies
+SCOPED_PREFIXES = ("repro.serving", "repro.runtime", "repro.gateway",
+                   "repro.wal")
+
+#: builtin exception names that must be replaced by repro.errors types
+UNTYPED = frozenset({"RuntimeError", "ValueError"})
+
+
+class TypedRaiseRule(Rule):
+    id = "typed-raise"
+    summary = ("serving/runtime/gateway/wal raise repro.errors types, "
+               "not bare RuntimeError/ValueError")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        if not any(source.module == prefix
+                   or source.module.startswith(prefix + ".")
+                   for prefix in SCOPED_PREFIXES):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = exc.func if isinstance(exc, ast.Call) else exc
+            if isinstance(name, ast.Name) and name.id in UNTYPED:
+                yield source.finding(
+                    node, self.id,
+                    f"bare 'raise {name.id}' in {source.module} — raise "
+                    f"a repro.errors type (they keep {name.id} "
+                    f"compatibility via dual inheritance)")

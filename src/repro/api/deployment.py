@@ -129,7 +129,9 @@ class Deployment:
         :meth:`ingest` exactly as before).
         """
         # Imported here: repro.serving builds on repro.api, not the
-        # other way around.
+        # other way around — this convenience wrapper is the one upward
+        # edge, deferred so the layering holds at import time.
+        # repro: allow[layer-dag] deliberate lazy back-edge, see above
         from ..serving.fleet import DeploymentFleet
         fleet = DeploymentFleet()
         fleet.add("deployment", self, stream)

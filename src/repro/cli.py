@@ -598,6 +598,27 @@ def cmd_kg(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the repro.analysis invariant rules; exit 0 clean, 1 findings."""
+    from .analysis import Analyzer, render_json, render_text
+    from .analysis.rules import RULES
+    rules = None
+    if args.rules:
+        rules = [RULES[rule_id] for rule_id in args.rules]
+    try:
+        findings = Analyzer(rules).run(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    if findings and args.format != "json":
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Continuous KG-adaptive VAD reproduction")
@@ -857,6 +878,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=3)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_kg)
+
+    p = sub.add_parser("lint",
+                       help="run the AST invariant analyzer "
+                            "(layering, locks, async, errors, wire)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text)")
+    from .analysis.rules import RULES as _LINT_RULES
+    p.add_argument("--rule", action="append", dest="rules", default=None,
+                   choices=sorted(_LINT_RULES),
+                   help="run only this rule id, repeatable "
+                        "(default: all rules)")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -26,16 +26,36 @@ so every layer can raise typed errors without importing a sibling:
     A worker could not build its fleet at all (bad checkpoint payload,
     embedding-fingerprint mismatch) — retrying the command cannot help.
 
-``DurabilityError`` and ``FleetError`` subclass ``RuntimeError`` so
-call sites (and tests) written against the historical bare
-``RuntimeError`` keep working; new code should catch the typed classes.
+``ConfigError``
+    A constructor or entry point was handed invalid parameters (bad
+    sizes, unknown names, malformed options) — the call can never
+    succeed as written.
+``WindowShapeError``
+    Window/score arrays with the wrong rank, an empty axis, or mixed
+    shapes where one shape is required.
+``StateError``
+    An operation was invoked against an object in the wrong lifecycle
+    state (scoring before priming, serving after close/drain).
+``CheckpointError``
+    A checkpoint/attach payload cannot be used: unknown format version,
+    non-checkpointable stream, fingerprint mismatch.
+
+Every concrete class also subclasses the builtin its call sites
+historically raised — ``DurabilityError``, ``FleetError``, and
+``StateError`` are ``RuntimeError``; ``ConfigError``,
+``WindowShapeError``, and ``CheckpointError`` are ``ValueError`` — so
+code (and tests) written against the bare builtins keep working; new
+code should catch the typed classes.  The **typed-raise** rule of
+``repro lint`` enforces that serving/runtime/gateway/wal code raises
+these types rather than fresh bare builtins.
 """
 
 from __future__ import annotations
 
 __all__ = ["ReproError", "DurabilityError", "WalCorruptionError",
            "RecoveryError", "FleetError", "WorkerError",
-           "WorkerStartupError"]
+           "WorkerStartupError", "ConfigError", "WindowShapeError",
+           "StateError", "CheckpointError"]
 
 
 class ReproError(Exception):
@@ -74,3 +94,23 @@ class WorkerError(FleetError):
 class WorkerStartupError(WorkerError):
     """A shard worker could not build its fleet at startup; the command
     that surfaced this cannot succeed by retrying."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid parameters handed to a constructor or entry point; the
+    call can never succeed as written."""
+
+
+class WindowShapeError(ConfigError):
+    """Window/score arrays with the wrong rank, an empty axis, or mixed
+    shapes where a single shape is required."""
+
+
+class StateError(ReproError, RuntimeError):
+    """An operation hit an object in the wrong lifecycle state (scoring
+    before priming, serving after close/drain)."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint/attach payload cannot be used: unknown format
+    version, non-checkpointable stream, wrong fingerprint."""

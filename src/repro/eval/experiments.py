@@ -68,7 +68,9 @@ class ExperimentContext:
     """
 
     def __init__(self, config: ExperimentConfig | None = None):
+        # repro: allow[layer-dag] compat shim wraps the higher-level
         from ..api.config import ReproConfig
+        # repro: allow[layer-dag] Pipeline; lazy so eval stays below api
         from ..api.pipeline import Pipeline
         self.pipeline = Pipeline(ReproConfig(experiment=config
                                              or ExperimentConfig()))

@@ -43,6 +43,7 @@ from .protocol import (
     send_frame,
 )
 from .server import DEFAULT_MAX_QUEUE_DEPTH, serve_in_thread
+from ..errors import ConfigError
 
 __all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
            "LoadGenerator", "LoadGenResult", "run_gateway_benchmark",
@@ -95,7 +96,7 @@ class GatewayClient:
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  codec: str = "binary"):
         if codec not in CODECS:
-            raise ValueError(f"codec must be one of {CODECS}, got {codec!r}")
+            raise ConfigError(f"codec must be one of {CODECS}, got {codec!r}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.max_frame_bytes = max_frame_bytes
@@ -262,12 +263,12 @@ class LoadGenerator:
                  stream_windows: dict[str, list[np.ndarray]],
                  config: LoadGenConfig | None = None):
         if not stream_windows:
-            raise ValueError("need at least one stream to drive")
+            raise ConfigError("need at least one stream to drive")
         self.address = address
         self.stream_windows = stream_windows
         self.config = config or LoadGenConfig()
         if self.config.clients < 1:
-            raise ValueError("need at least one client")
+            raise ConfigError("need at least one client")
 
     def run(self) -> LoadGenResult:
         cfg = self.config

@@ -36,6 +36,12 @@ over the engine, so the gateway never branches on fleet type.
 :func:`serve_in_thread` runs the event loop in a daemon thread for
 blocking callers — tests, examples, and the ``repro loadgen`` harness
 driving a server in the same process.
+
+Event-loop hygiene is machine-checked: no ``async def`` in this package
+may call blocking work (fsync, sleeps, socket dials, subprocesses, or
+engine/fleet round methods) directly — it must route through
+``loop.run_in_executor`` — enforced by ``repro lint``'s
+**async-blocking** rule in CI.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ConfigError, StateError
 from ..metrics import MetricsRegistry
 from ..runtime import AdmissionError, EngineRequest, resolve_policy
 from .protocol import (
@@ -104,9 +111,9 @@ class GatewayServer:
                  policy=None, wal_dir=None, wal_config=None,
                  snapshot_policy=None, codec: str = "binary"):
         if max_queue_depth < 1:
-            raise ValueError("max_queue_depth must be >= 1")
+            raise ConfigError("max_queue_depth must be >= 1")
         if codec not in CODECS:
-            raise ValueError(f"codec must be one of {CODECS}, got {codec!r}")
+            raise ConfigError(f"codec must be one of {CODECS}, got {codec!r}")
         # codec="binary": speak protocol v1 and v2, advertise both codecs
         # in attach responses, answer each request in the codec it
         # arrived in.  codec="json": behave as a legacy v1-only peer —
@@ -178,7 +185,7 @@ class GatewayServer:
         """Bind and start serving; returns the bound ``(host, port)``
         (with ``port=0`` the OS picks a free ephemeral port)."""
         if self._server is not None:
-            raise RuntimeError("server already started")
+            raise StateError("server already started")
         self._work = asyncio.Event()
         self._paused = asyncio.Event()
         self._paused.set()
@@ -211,7 +218,7 @@ class GatewayServer:
         """Graceful drain: stop admitting work, serve every already
         queued request, then close the listener and all connections."""
         if self._server is None:
-            raise RuntimeError("server was never started")
+            raise StateError("server was never started")
         if self._drain_task is None:
             self._draining = True
             self._drain_task = asyncio.ensure_future(self._drain_and_stop())
@@ -229,8 +236,12 @@ class GatewayServer:
         self._executor.shutdown(wait=True)
         if self.durability is not None:
             # After the executor is done: no round is running, so the
-            # parting snapshot sees quiescent fleet state.
-            self.durability.close(self.engine)
+            # parting snapshot sees quiescent fleet state.  The close
+            # snapshots + fsyncs, so it runs off-loop — the round
+            # executor is already shut down, hence the default pool.
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.durability.close,
+                                       self.engine)
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -623,5 +634,5 @@ def serve_in_thread(fleet, **kwargs) -> GatewayHandle:
     if not started.wait(timeout=60):
         raise TimeoutError("gateway server failed to start in time")
     if "error" in box:
-        raise RuntimeError("gateway server failed to start") from box["error"]
+        raise StateError("gateway server failed to start") from box["error"]
     return GatewayHandle(server, thread, box["loop"])

@@ -32,6 +32,7 @@ import abc
 import numpy as np
 
 from .engine import FleetEvent, make_fleet_event
+from ..errors import WindowShapeError
 
 __all__ = ["ExecutionBackend", "InlineBackend", "ShardedBackend"]
 
@@ -111,7 +112,7 @@ class InlineBackend(ExecutionBackend):
         for slot in slots:
             batch = np.asarray(arrivals[slot.name], dtype=np.float64)
             if batch.ndim != 3 or 0 in batch.shape:
-                raise ValueError(
+                raise WindowShapeError(
                     f"stream {slot.name!r}: expected non-empty "
                     f"(B, T, frame_dim) windows, got shape {batch.shape}")
             windows.append(batch)
@@ -121,6 +122,7 @@ class InlineBackend(ExecutionBackend):
         # Imported here, not at module level: repro.serving's modules
         # import repro.runtime, so the runtime package must not import
         # repro.serving back at import time.
+        # repro: allow[layer-dag] the one engine->batcher lazy back-edge
         from ..serving.batcher import ScoreRequest
         return self._fleet.batcher.score(
             [ScoreRequest(slot.deployment.model, batch)

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..errors import ConfigError, ReproError
 from ..metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
@@ -106,7 +107,7 @@ class RoundResult:
     message: str | None = None
 
 
-class AdmissionError(RuntimeError):
+class AdmissionError(ReproError, RuntimeError):
     """A request refused at the queue door; carries a typed code."""
 
     def __init__(self, code: str, message: str):
@@ -124,6 +125,12 @@ class ServingEngine:
     the gateway's arrangement.  The lock-step entry points (:meth:`step`,
     :meth:`ingest_round`, :meth:`score_only`) are single-caller, like the
     fleet methods they replaced.
+
+    The lock discipline is machine-checked: attributes annotated
+    ``# repro: guarded-by[_lock]`` (the queues, the durability latch)
+    may only be touched inside ``with self._lock`` or in methods
+    annotated ``# repro: lock-held`` — ``repro lint`` (the **lock-guard**
+    rule) fails CI on any unguarded access.
     """
 
     def __init__(self, backend, policy=None, metrics: MetricsRegistry | None = None,
@@ -131,14 +138,14 @@ class ServingEngine:
                  durability=None):
         from .policies import FairRoundRobin
         if max_queue_depth is not None and max_queue_depth < 1:
-            raise ValueError("max_queue_depth must be >= 1")
+            raise ConfigError("max_queue_depth must be >= 1")
         self.backend = backend
         self.policy = policy or FairRoundRobin()
         self.metrics = metrics or MetricsRegistry()
         self.max_queue_depth = max_queue_depth
         self.rounds = 0
         self._clock = clock
-        self._queues: dict[str, deque[EngineRequest]] = {}
+        self._queues: dict[str, deque[EngineRequest]] = {}  # repro: guarded-by[_lock]
         self._lock = Lock()
         # Duck-typed durability hook (e.g. repro.wal.WalDurability; the
         # runtime layer never imports it): record_submit(request) → seq,
@@ -146,7 +153,7 @@ class ServingEngine:
         # Accepted ingests are logged before they become schedulable and
         # fsynced once per round before results reach any caller.
         self.durability = durability
-        self._durability_failed = False
+        self._durability_failed = False  # repro: guarded-by[_lock]
 
     # ------------------------------------------------------------------
     # Lock-step serving: rounds pulled from backend-owned streams
@@ -375,7 +382,9 @@ class ServingEngine:
         durability = self.durability
         if durability is None:
             return
-        if not self._durability_failed:
+        with self._lock:
+            failed = self._durability_failed
+        if not failed:
             try:
                 for result in results:
                     request = result.request
@@ -390,7 +399,8 @@ class ServingEngine:
                 return
             except Exception:  # noqa: BLE001 — fail the acks, keep going
                 self.metrics.counter("engine.durability_errors").inc()
-                self._durability_failed = True
+                with self._lock:
+                    self._durability_failed = True
         # Latched (this round or a previous one): rounds draining the
         # already-admitted queue no longer touch the WAL — a descriptor
         # that failed one fsync cannot be trusted to report a later one
@@ -511,8 +521,7 @@ class ServingEngine:
         self.metrics.gauge("engine.last_round_streams").set(streams)
         self.metrics.gauge("engine.last_round_windows").set(windows)
 
-    def _update_queue_gauge(self) -> None:
-        # Caller holds self._lock.
+    def _update_queue_gauge(self) -> None:  # repro: lock-held
         self.metrics.gauge("engine.queue_depth").set(
             sum(len(queue) for queue in self._queues.values()))
 

@@ -32,6 +32,7 @@ import abc
 from dataclasses import dataclass, field
 
 from .engine import EngineRequest
+from ..errors import ConfigError
 
 __all__ = ["RoundPlan", "SchedulingPolicy", "FairRoundRobin",
            "GreedyDrain", "PriorityAdmission", "POLICIES",
@@ -88,7 +89,7 @@ class GreedyDrain(SchedulingPolicy):
 
     def __init__(self, max_per_stream: int | None = None):
         if max_per_stream is not None and max_per_stream < 1:
-            raise ValueError("max_per_stream must be >= 1")
+            raise ConfigError("max_per_stream must be >= 1")
         self.max_per_stream = max_per_stream
 
     def select(self, queues, now):
@@ -113,7 +114,7 @@ class PriorityAdmission(SchedulingPolicy):
 
     def __init__(self, max_streams: int | None = None):
         if max_streams is not None and max_streams < 1:
-            raise ValueError("max_streams must be >= 1")
+            raise ConfigError("max_streams must be >= 1")
         self.max_streams = max_streams
 
     def select(self, queues, now):
@@ -154,6 +155,6 @@ def resolve_policy(policy) -> SchedulingPolicy:
     try:
         return POLICIES[policy]()
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown scheduling policy {policy!r} "
             f"(known: {', '.join(sorted(POLICIES))})") from None

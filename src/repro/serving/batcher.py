@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from ..errors import ConfigError, WindowShapeError
 
 __all__ = ["ScoreRequest", "MicroBatcher"]
 
@@ -33,7 +34,7 @@ class ScoreRequest:
     def __post_init__(self) -> None:
         self.windows = np.asarray(self.windows, dtype=np.float64)
         if self.windows.ndim != 3:
-            raise ValueError(
+            raise WindowShapeError(
                 f"expected (B, T, frame_dim) windows, got {self.windows.shape}")
 
 
@@ -49,7 +50,7 @@ class MicroBatcher:
 
     def __init__(self, max_batch_windows: int | None = None):
         if max_batch_windows is not None and max_batch_windows < 1:
-            raise ValueError("max_batch_windows must be >= 1")
+            raise ConfigError("max_batch_windows must be >= 1")
         self.max_batch_windows = max_batch_windows
         self.batches_run = 0     # forwards actually executed
         self.windows_scored = 0  # total windows pushed through
@@ -66,7 +67,7 @@ class MicroBatcher:
             model = requests[indices[0]].model
             shapes = {requests[i].windows.shape[1:] for i in indices}
             if len(shapes) > 1:
-                raise ValueError(
+                raise WindowShapeError(
                     f"cannot coalesce windows of mixed shapes {sorted(shapes)} "
                     "into one batch")
             stacked = np.concatenate([requests[i].windows for i in indices])

@@ -29,6 +29,7 @@ from ..metrics import percentile
 from ..runtime import EngineRequest, resolve_policy
 from .fleet import build_fleet
 from .sharded import build_sharded_fleet
+from ..errors import ConfigError
 
 __all__ = ["BenchConfig", "run_benchmark", "run_shard_benchmark",
            "run_engine_parity", "write_benchmark"]
@@ -71,7 +72,7 @@ def _percentile(samples: list[float], q: float,
 def _mode_stats(latencies: list[float], windows_per_round: int,
                 phase: str = "serving") -> dict:
     if not latencies:
-        raise ValueError(
+        raise ConfigError(
             f"benchmark phase {phase!r} recorded no timed rounds "
             "(zero-round stream or repeats=0?); cannot summarize an "
             "empty latency list")
@@ -284,7 +285,7 @@ def _parity_fleet(pipeline, cfg: BenchConfig, backend: str, shards: int):
     if backend == "sharded":
         return build_sharded_fleet(pipeline, cfg.missions, cfg.streams,
                                    shards=shards, **kwargs)
-    raise ValueError(f"unknown parity backend {backend!r} "
+    raise ConfigError(f"unknown parity backend {backend!r} "
                      f"(known: {', '.join(PARITY_BACKENDS)})")
 
 

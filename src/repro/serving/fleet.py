@@ -35,6 +35,7 @@ from ..runtime.engine import FleetEvent, ServingEngine
 from ..gnn.checkpoint import deployment_from_dict, deployment_to_dict
 from ..utils.serialization import atomic_write_json
 from .batcher import MicroBatcher
+from ..errors import CheckpointError, ConfigError
 
 __all__ = ["FLEET_FORMAT_VERSION", "FleetEvent", "StreamSlot",
            "DeploymentFleet", "build_fleet"]
@@ -125,11 +126,11 @@ class DeploymentFleet:
         serving diverge and entangle the streams' trajectories.
         """
         if name in self._slots:
-            raise ValueError(f"stream {name!r} already attached")
+            raise ConfigError(f"stream {name!r} already attached")
         for other in self._slots.values():
             if (other.deployment.model is deployment.model
                     and (deployment.adaptive or other.deployment.adaptive)):
-                raise ValueError(
+                raise ConfigError(
                     f"stream {name!r} shares a scoring model with "
                     f"{other.name!r} and at least one of them is adaptive; "
                     "adaptive deployments need private model copies")
@@ -239,7 +240,7 @@ class DeploymentFleet:
         for slot in self._slots.values():
             if not slot.indexable or not isinstance(slot.stream,
                                                     TrendShiftStream):
-                raise ValueError(
+                raise CheckpointError(
                     f"stream {slot.name!r} is not a TrendShiftStream; "
                     "only random-access streams can be checkpointed")
             key = id(slot.deployment.model)
@@ -273,7 +274,7 @@ class DeploymentFleet:
         """
         version = payload.get("fleet_format_version")
         if version != FLEET_FORMAT_VERSION:
-            raise ValueError(f"unsupported fleet format version: {version}")
+            raise CheckpointError(f"unsupported fleet format version: {version}")
         fleet = cls(MicroBatcher(payload.get("max_batch_windows")))
         fleet.rounds = int(payload.get("rounds", 0))
         models = [deployment_from_dict(p, embedding_model)
@@ -312,9 +313,9 @@ def build_fleet(pipeline, missions: list[str], streams: int,
     KG adaptation makes each stream's weights diverge.
     """
     if streams < 1:
-        raise ValueError("need at least one stream")
+        raise ConfigError("need at least one stream")
     if not missions:
-        raise ValueError("need at least one mission")
+        raise ConfigError("need at least one mission")
     fleet = DeploymentFleet(MicroBatcher(max_batch_windows))
     shared: dict[str, object] = {}
     for index in range(streams):

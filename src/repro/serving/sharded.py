@@ -52,7 +52,8 @@ from ..api.config import config_from_dict, config_to_dict
 from ..api.deployment import Deployment
 from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..data.synthetic import FrameGenerator
-from ..errors import FleetError, WorkerError, WorkerStartupError
+from ..errors import (CheckpointError, ConfigError, FleetError,
+                      StateError, WorkerError, WorkerStartupError)
 from ..runtime.engine import FleetEvent, ServingEngine
 from ..utils.serialization import atomic_write_json
 from .batcher import ScoreRequest
@@ -146,7 +147,7 @@ def partition_fleet_payload(payload: dict, shards: int) -> list[dict]:
     remapped, so shared models keep coalescing *within* a shard.
     """
     if shards < 1:
-        raise ValueError("need at least one shard")
+        raise ConfigError("need at least one shard")
     parts = []
     for shard in range(shards):
         entries = [dict(entry) for index, entry in enumerate(payload["slots"])
@@ -279,7 +280,7 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
                           if bench_rounds and fleet.slots else 0)
             elif command == "score_round":
                 if bench_rounds is None:
-                    raise RuntimeError("score_round before prime")
+                    raise StateError("score_round before prime")
                 windows = bench_rounds[args[0]]
                 scores = fleet.batcher.score(
                     [ScoreRequest(slot.deployment.model, w)
@@ -287,7 +288,7 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
                 result = {slot.name: s
                           for slot, s in zip(fleet.slots, scores)}
             else:
-                raise ValueError(f"unknown worker command {command!r}")
+                raise ConfigError(f"unknown worker command {command!r}")
             reply(("ok", result))
         except Exception as exc:  # noqa: BLE001 — relayed to the parent
             reply(("error", f"{type(exc).__name__}: {exc}"))
@@ -314,7 +315,7 @@ class ShardedFleet:
                  max_batch_windows: int | None = None,
                  ring_bytes: int | None = None):
         if shards < 1:
-            raise ValueError("need at least one shard")
+            raise ConfigError("need at least one shard")
         self.shards = shards
         self.infra = infra or FleetInfra()
         self.max_batch_windows = max_batch_windows
@@ -341,7 +342,7 @@ class ShardedFleet:
         self._ring_bytes = DEFAULT_RING_BYTES if ring_bytes is None \
             else int(ring_bytes)
         if self._ring_bytes < 0:
-            raise ValueError("ring_bytes must be >= 0")
+            raise ConfigError("ring_bytes must be >= 0")
         self._rings_out: list[RingBuffer | None] = []  # parent -> worker
         self._rings_in: list[RingBuffer | None] = []   # worker -> parent
         self._transport_counters = {"shm_messages": 0, "shm_bytes": 0,
@@ -545,16 +546,16 @@ class ShardedFleet:
         """
         self._check_open()
         if name in self._assignment:
-            raise ValueError(f"stream {name!r} already attached")
+            raise ConfigError(f"stream {name!r} already attached")
         if not isinstance(stream, TrendShiftStream):
-            raise ValueError(
+            raise ConfigError(
                 f"stream {name!r} is not a TrendShiftStream; only "
                 "checkpointable streams can cross the process boundary")
         expected = self.infra.effective_generator_params()
         actual = {param: getattr(stream.generator, param)
                   for param in _GENERATOR_PARAMS}
         if actual != expected:
-            raise ValueError(
+            raise ConfigError(
                 f"stream {name!r} was built over a FrameGenerator whose "
                 f"hyperparameters {actual} differ from this fleet's "
                 f"FleetInfra {expected}; workers would regenerate "
@@ -750,7 +751,7 @@ class ShardedFleet:
         """
         version = payload.get("fleet_format_version")
         if version != FLEET_FORMAT_VERSION:
-            raise ValueError(f"unsupported fleet format version: {version}")
+            raise CheckpointError(f"unsupported fleet format version: {version}")
         if shards is None:
             shards = int(payload.get("shards", 1))
         if infra is None and payload.get("infra") is not None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import pickle
 import struct
 from multiprocessing import shared_memory
+from ..errors import ConfigError
 
 __all__ = ["RingBuffer", "RingError", "dumps_message", "loads_message",
            "DEFAULT_RING_BYTES"]
@@ -71,13 +72,13 @@ class RingBuffer:
         self._closed = False
         self.capacity = shm.size - _CTRL.size
         if self.capacity < 1:
-            raise ValueError(f"segment of {shm.size} bytes leaves no "
+            raise ConfigError(f"segment of {shm.size} bytes leaves no "
                              f"data capacity")
 
     @classmethod
     def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "RingBuffer":
         if capacity < 1:
-            raise ValueError("ring capacity must be >= 1 byte")
+            raise ConfigError("ring capacity must be >= 1 byte")
         shm = shared_memory.SharedMemory(create=True,
                                          size=_CTRL.size + capacity)
         shm.buf[:_CTRL.size] = _CTRL.pack(0, 0)

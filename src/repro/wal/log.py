@@ -52,7 +52,7 @@ from threading import Lock
 
 import numpy as np
 
-from ..errors import DurabilityError, WalCorruptionError
+from ..errors import ConfigError, DurabilityError, WalCorruptionError
 from ..metrics import MetricsRegistry
 from ..utils import binframe
 from ..utils.serialization import encode_array, fsync_directory
@@ -88,13 +88,13 @@ class WalConfig:
 
     def __post_init__(self):
         if self.fsync_batch < 1:
-            raise ValueError("fsync_batch must be >= 1")
+            raise ConfigError("fsync_batch must be >= 1")
         if self.fsync_interval_ms < 0:
-            raise ValueError("fsync_interval_ms must be >= 0")
+            raise ConfigError("fsync_interval_ms must be >= 0")
         if self.max_segment_bytes < 1024:
-            raise ValueError("max_segment_bytes must be >= 1024")
+            raise ConfigError("max_segment_bytes must be >= 1024")
         if self.codec not in ("binary", "json"):
-            raise ValueError(f"codec must be 'binary' or 'json', "
+            raise ConfigError(f"codec must be 'binary' or 'json', "
                              f"got {self.codec!r}")
 
 
@@ -153,11 +153,11 @@ class WriteAheadLog:
         self.metrics = metrics or MetricsRegistry()
         self._lock = Lock()
         self._segments: list[SegmentInfo] = []
-        self._file = None
+        self._file = None              # repro: guarded-by[_lock]
         self._next_seq = 0
-        self._pending = 0              # appends since the last fsync
-        self._oldest_pending = 0.0     # perf_counter of the first of them
-        self._closed = False
+        self._pending = 0              # appends since last fsync; repro: guarded-by[_lock]
+        self._oldest_pending = 0.0     # first's perf_counter; repro: guarded-by[_lock]
+        self._closed = False           # repro: guarded-by[_lock]
         self.repaired_bytes = 0        # torn tail truncated at open
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -170,7 +170,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Open / repair
     # ------------------------------------------------------------------
-    def _open_segments(self) -> None:
+    def _open_segments(self) -> None:  # repro: lock-held
         paths = sorted(self.directory.glob(f"*{_SEGMENT_SUFFIX}"))
         try:
             indices = [int(path.stem) for path in paths]
@@ -283,7 +283,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Append path
     # ------------------------------------------------------------------
-    def _check_open(self) -> None:
+    def _check_open(self) -> None:  # repro: lock-held
         if self._closed:
             raise DurabilityError("write-ahead log is closed")
 
@@ -339,7 +339,7 @@ class WriteAheadLog:
             if self._pending:
                 self._fsync_locked()
 
-    def _fsync_locked(self) -> None:
+    def _fsync_locked(self) -> None:  # repro: lock-held
         start = time.perf_counter()
         try:
             self._file.flush()
@@ -363,7 +363,7 @@ class WriteAheadLog:
             self._check_open()
             return self._rotate_locked()
 
-    def _rotate_locked(self) -> Path:
+    def _rotate_locked(self) -> Path:  # repro: lock-held
         if self._pending:
             self._fsync_locked()
         self._file.close()
@@ -426,9 +426,12 @@ class WriteAheadLog:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._closed:
-            return
         with self._lock:
+            # Checked under the lock: an unlocked fast-path check lets
+            # two racing closers both enter, double-fsyncing and
+            # double-closing the active segment file.
+            if self._closed:
+                return
             if self._pending:
                 self._fsync_locked()
             self._closed = True

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from .log import WriteAheadLog
 from .records import snapshot_record
+from ..errors import ConfigError
 
 __all__ = ["SnapshotPolicy", "SnapshotManager"]
 
@@ -42,9 +43,9 @@ class SnapshotPolicy:
 
     def __post_init__(self):
         if self.every_rounds is not None and self.every_rounds < 1:
-            raise ValueError("every_rounds must be >= 1")
+            raise ConfigError("every_rounds must be >= 1")
         if self.max_log_bytes is not None and self.max_log_bytes < 1:
-            raise ValueError("max_log_bytes must be >= 1")
+            raise ConfigError("max_log_bytes must be >= 1")
 
 
 class SnapshotManager:

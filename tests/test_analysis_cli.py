@@ -1,0 +1,104 @@
+"""The ``repro lint`` CLI: exit codes, JSON schema, and the self-check
+that the shipped tree is invariant-clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+
+CLEAN = "x = 1\n"
+VIOLATION = 'raise ValueError("seeded")\n'
+
+
+def _pkg(tmp_path, text):
+    """A file whose derived module name lands inside repro.wal."""
+    root = tmp_path / "repro"
+    wal = root / "wal"
+    wal.mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    (wal / "__init__.py").write_text("")
+    target = wal / "fixture.py"
+    target.write_text(text)
+    return target
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    target = _pkg(tmp_path, CLEAN)
+    assert main(["lint", str(target)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    target = _pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "typed-raise" in out
+    assert f"{target}:1:" in out
+
+
+def test_exit_two_on_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--format", "yaml"])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_errors(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "no/such/path"])
+    assert "no such file" in str(excinfo.value)
+
+
+def test_json_schema(tmp_path, capsys):
+    target = _pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(target), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["total"] == 1
+    assert report["counts"] == {"typed-raise": 1}
+    (finding,) = report["findings"]
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+    assert finding["rule"] == "typed-raise"
+    assert finding["line"] == 1
+
+
+def test_json_on_clean_tree(tmp_path, capsys):
+    target = _pkg(tmp_path, CLEAN)
+    assert main(["lint", str(target), "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == {"version": 1, "findings": [], "counts": {},
+                      "total": 0}
+
+
+def test_rule_filter_limits_rules(tmp_path, capsys):
+    target = _pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(target), "--rule", "wire-consts"]) == 0
+    assert main(["lint", str(target), "--rule", "wire-consts",
+                 "--rule", "typed-raise"]) == 1
+
+
+def test_suppressed_violation_passes(tmp_path):
+    target = _pkg(tmp_path,
+                  'raise ValueError("ok")  # repro: allow[typed-raise]\n')
+    assert main(["lint", str(target)]) == 0
+
+
+def test_self_check_src_is_clean(capsys):
+    """The acceptance gate: `repro lint src/` reports zero findings.
+
+    Reverting any real fix from this PR (a typed raise, the WAL close
+    lock, the gateway executor route, a layer suppression) makes this
+    test — and the CI invariants job — fail.
+    """
+    assert main(["lint", str(REPO / "src"), "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["total"] == 0
+
+
+def test_self_check_tests_are_clean():
+    """The CI invariants job lints tests/ too; fixtures in string
+    literals must not trip the live rules."""
+    assert main(["lint", str(REPO / "tests")]) == 0

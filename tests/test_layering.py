@@ -1,88 +1,104 @@
-"""Architectural layering guard: serving/runtime never import the gateway.
+"""Architectural layering guard, now a thin wrapper over ``repro lint``.
 
-The dependency direction is ``repro.metrics`` ← ``repro.runtime`` ←
-``repro.serving`` ← ``repro.gateway`` (the gateway is the outermost
-layer).  PR 4 briefly inverted this (``serving.bench`` imported
-``gateway.metrics``); this test walks the ASTs so the inversion cannot
-come back through *any* import form — ruff's banned-api rule (TID251 in
-pyproject.toml) catches absolute imports, this catches relative ones
-too.
+The dependency DAG between ``repro`` packages is declared in exactly one
+place — :data:`repro.analysis.rules.layer_dag.LAYER_DEPS` — and enforced
+by the **layer-dag** rule (which catches absolute *and* relative import
+spellings; it subsumed both the ruff TID251 banned-api config and this
+file's original bespoke AST walk).  This test runs that rule over the
+source tree per module, checks the declaration itself is acyclic, and
+keeps self-check fixtures proving the rule still catches every spelling
+the old guard existed to forbid.
 """
 
-import ast
+from graphlib import CycleError, TopologicalSorter
 from pathlib import Path
 
 import pytest
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+from repro.analysis import SourceFile
+from repro.analysis.rules.layer_dag import LAYER_DEPS, LayerDagRule
 
-#: Packages/modules that must never depend on the gateway.  ``wal`` sits
-#: beside serving (recovery imports it; the runtime engine only sees a
-#: duck-typed durability hook), so it too must never reach up.
-LOWER_LAYERS = ("serving", "runtime", "api", "wal", "metrics.py",
-                "errors.py")
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
 def _modules():
-    for layer in LOWER_LAYERS:
-        path = SRC / layer
-        if path.is_file():
-            yield path
-        else:
-            yield from sorted(path.rglob("*.py"))
+    return sorted(p for p in SRC.rglob("*.py") if "__pycache__" not in p.parts)
 
 
-def _gateway_imports(text: str, depth: int) -> list[str]:
-    """Offending import statements in ``text``; ``depth`` is how many
-    package levels below ``repro`` the module sits (so ``depth`` leading
-    dots in a relative import land on the ``repro`` package itself)."""
-    offenders = []
-    for node in ast.walk(ast.parse(text)):
-        if isinstance(node, ast.Import):
-            offenders.extend(
-                f"line {node.lineno}: import {alias.name}"
-                for alias in node.names
-                if alias.name.split(".")[:2] == ["repro", "gateway"])
-        elif isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            absolute = module.split(".")[:2] == ["repro", "gateway"]
-            relative = (node.level == depth
-                        and module.split(".")[:1] == ["gateway"])
-            if absolute or relative:
-                offenders.append(f"line {node.lineno}: from "
-                                 f"{'.' * node.level}{module} import ...")
-    return offenders
-
-
-@pytest.mark.parametrize("path", list(_modules()),
+@pytest.mark.parametrize("path", _modules(),
                          ids=lambda p: str(p.relative_to(SRC)))
-def test_no_gateway_imports_below_the_gateway(path):
-    depth = len(path.relative_to(SRC).parts)  # serving/bench.py -> 2
-    offenders = _gateway_imports(path.read_text(), depth)
-    assert not offenders, (
-        f"{path.relative_to(SRC)} imports repro.gateway — the gateway is "
-        f"the outermost serving layer and nothing below it may depend on "
-        f"it (promote shared code to repro.metrics/repro.runtime "
-        f"instead): {offenders}")
+def test_declared_layer_dag_holds(path):
+    source = SourceFile.load(path)
+    findings = [f for f in LayerDagRule().check(source)
+                if not source.is_suppressed(f)]
+    assert not findings, (
+        f"{path.relative_to(SRC)} violates the declared layer DAG "
+        f"(repro.analysis.rules.layer_dag.LAYER_DEPS): "
+        f"{[f.message for f in findings]}")
+
+
+def test_layer_deps_is_acyclic():
+    try:
+        order = list(TopologicalSorter(
+            {pkg: set(deps) for pkg, deps in LAYER_DEPS.items()}
+        ).static_order())
+    except CycleError as exc:
+        pytest.fail(f"LAYER_DEPS declares an import cycle: {exc.args[1]}")
+    assert set(order) >= set(LAYER_DEPS)
+
+
+def test_every_source_package_is_declared():
+    packages = {p.name for p in SRC.iterdir() if (p / "__init__.py").exists()}
+    packages |= {p.stem for p in SRC.glob("*.py") if p.stem != "__init__"}
+    undeclared = packages - set(LAYER_DEPS)
+    assert not undeclared, (
+        f"packages missing from LAYER_DEPS: {sorted(undeclared)}")
+
+
+def _findings(text: str, module: str, filename: str = "fixture.py"):
+    source = SourceFile(filename, text, module=module)
+    return list(LayerDagRule().check(source))
 
 
 class TestGuardSelf:
     """The guard must catch every spelling it exists to forbid."""
 
     def test_absolute_from_import(self):
-        assert _gateway_imports(
-            "from repro.gateway.metrics import percentile\n", depth=2)
+        assert _findings("from repro.gateway.server import GatewayServer\n",
+                         module="repro.serving.bench")
 
     def test_absolute_import(self):
-        assert _gateway_imports("import repro.gateway.metrics\n", depth=2)
+        assert _findings("import repro.gateway.protocol\n",
+                         module="repro.serving.bench")
 
     def test_relative_import(self):
         # The exact PR 4 inversion: serving/bench.py reaching over.
-        assert _gateway_imports(
-            "from ..gateway.metrics import percentile\n", depth=2)
+        assert _findings("from ..gateway.protocol import MAX_FRAME_BYTES\n",
+                         module="repro.serving.bench")
+
+    def test_relative_import_from_package_init(self):
+        # __init__ relative imports anchor at the package itself.
+        assert _findings("from .protocol import MAX_FRAME_BYTES\n",
+                         module="repro.serving",
+                         filename="serving/__init__.py") == []
+        assert _findings("from ..gateway import protocol\n",
+                         module="repro.serving",
+                         filename="serving/__init__.py")
+
+    def test_undeclared_package_is_flagged(self):
+        assert _findings("import os\n", module="repro.brand_new_pkg")
 
     def test_legitimate_imports_pass(self):
-        assert not _gateway_imports(
+        assert not _findings(
             "from ..metrics import percentile\n"
             "from ..runtime import ServingEngine\n"
-            "import numpy as np\n", depth=2)
+            "import numpy as np\n", module="repro.serving.bench")
+
+    def test_suppression_comment_is_honored(self):
+        text = ("# repro: allow[layer-dag] deliberate lazy back-edge\n"
+                "from ..serving.batcher import ScoreRequest\n")
+        source = SourceFile("fixture.py", text,
+                            module="repro.runtime.backends")
+        findings = [f for f in LayerDagRule().check(source)
+                    if not source.is_suppressed(f)]
+        assert findings == []
