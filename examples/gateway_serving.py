@@ -12,7 +12,12 @@ like a remote camera uplink would:
    typed error paths (unknown stream, backpressure-bounded queues);
 3. run the multi-connection :class:`~repro.gateway.LoadGenerator` and
    verify every response matches a direct in-process ``fleet.step()``
-   run, then print the gateway's own ``stats`` metrics.
+   run, then print the gateway's own ``stats`` metrics;
+4. repeat the run with a :class:`~repro.obs.TraceRecorder` attached to
+   both ends, so every request becomes a client → gateway → stage span
+   tree — then summarize the per-stage percentiles and render the
+   slowest request's tree, exactly what ``repro trace`` does for
+   ``--trace-dir`` exports.
 
 Run:  python examples/gateway_serving.py
 """
@@ -22,6 +27,8 @@ import numpy as np
 from repro.api import Pipeline, ReproConfig
 from repro.gateway import (GatewayClient, GatewayError, LoadGenConfig,
                            LoadGenerator, serve_in_thread)
+from repro.obs import (TraceRecorder, check_trace, render_tree,
+                       slowest_traces, stage_summary)
 from repro.serving import build_fleet
 
 STREAMS = 4
@@ -38,7 +45,7 @@ def main() -> None:
     config.override("experiment.train_steps", 150)  # demo-sized training
     pipeline = Pipeline.from_config(config)
 
-    print(f"[1/3] Direct in-process reference run ({STREAMS} streams) ...")
+    print(f"[1/4] Direct in-process reference run ({STREAMS} streams) ...")
     reference_fleet = build(pipeline)
     windows = {slot.name: [np.asarray(slot.stream.batch(r).windows)
                            for r in range(ROUNDS)]
@@ -48,7 +55,7 @@ def main() -> None:
         for event in reference_fleet.step():
             reference[event.stream].append(event.scores)
 
-    print("\n[2/3] Serving the same fleet over TCP ...")
+    print("\n[2/4] Serving the same fleet over TCP ...")
     with build(pipeline) as fleet, serve_in_thread(fleet) as handle:
         host, port = handle.address
         print(f"      gateway listening on {host}:{port}")
@@ -71,7 +78,7 @@ def main() -> None:
         print("      (admission control rejects with a 'backpressure' "
               "frame once a stream's queue fills)")
 
-    print("\n[3/3] Load-generating against a fresh gateway ...")
+    print("\n[3/4] Load-generating against a fresh gateway ...")
     with build(pipeline) as fleet, serve_in_thread(fleet) as handle:
         generator = LoadGenerator(handle.address, windows,
                                   LoadGenConfig(clients=2, rounds=ROUNDS))
@@ -92,6 +99,29 @@ def main() -> None:
     print(f"      server metrics: {counters['gateway.requests.ingest']} "
           f"ingests over {counters['gateway.rounds']} coalesced rounds, "
           f"{counters['gateway.connections']} connections")
+
+    print("\n[4/4] Same run, traced end to end ...")
+    recorder = TraceRecorder()
+    with build(pipeline) as fleet, \
+            serve_in_thread(fleet, tracer=recorder) as handle:
+        with GatewayClient(*handle.address, tracer=recorder) as client:
+            for name in fleet.names:
+                client.attach(name)
+            for round_index in range(ROUNDS):
+                for name in fleet.names:
+                    client.ingest(name, windows[name][round_index])
+    spans = recorder.snapshot()
+    problems = check_trace(spans)
+    print(f"      {len(spans)} spans recorded, stage chains "
+          f"{'complete' if not problems else 'BROKEN: ' + problems[0]}")
+    print("      per-stage p95 (ms):")
+    for name, row in stage_summary(spans).items():
+        print(f"        {name:<20} {row['p95_ms']:8.3f}  (n={row['count']})")
+    trace_id, duration, group = slowest_traces(spans, 1)[0]
+    print(f"      slowest request trace {trace_id} "
+          f"({duration * 1e3:.3f} ms):")
+    for line in render_tree(group).splitlines():
+        print(f"        {line}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ Subpackages
 ``repro.api``         public deployment facade (Pipeline/Deployment/ReproConfig)
 ``repro.runtime``     unified serving core (ServingEngine/backends/policies)
 ``repro.metrics``     serving metrics primitives (counters/gauges/histograms)
+``repro.obs``         end-to-end request tracing (TraceRecorder/spans/exports)
 ``repro.serving``     multi-stream fleet serving (DeploymentFleet/MicroBatcher)
 ``repro.gateway``     async TCP serving gateway (GatewayServer/GatewayClient)
 ``repro.wal``         durability (write-ahead log/snapshots/crash recovery)
@@ -44,10 +45,10 @@ Subpackages
 ``repro.eval``        metrics + experiment harnesses (Fig. 5/6, Table I)
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
-    "api", "runtime", "metrics", "serving", "gateway", "wal", "errors",
-    "nn", "concepts", "embedding", "llm", "kg", "gnn", "adaptation",
-    "data", "edge", "eval", "utils",
+    "api", "runtime", "metrics", "obs", "serving", "gateway", "wal",
+    "errors", "nn", "concepts", "embedding", "llm", "kg", "gnn",
+    "adaptation", "data", "edge", "eval", "utils",
 ]

@@ -36,6 +36,9 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     "utils": frozenset(),
     "errors": frozenset(),
     "metrics": frozenset(),
+    # observability: trace contexts/recorder — sits next to metrics,
+    # above nothing else, so every serving layer may depend on it
+    "obs": frozenset({"metrics", "utils"}),
     "concepts": frozenset({"utils"}),
     # domain layers
     "nn": frozenset(),
@@ -52,18 +55,19 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     "api": frozenset({"adaptation", "concepts", "data", "eval", "embedding",
                       "gnn", "kg", "llm", "utils"}),
     # serving stack, bottom-up
-    "runtime": frozenset({"adaptation", "errors", "metrics", "utils"}),
+    "runtime": frozenset({"adaptation", "errors", "metrics", "obs",
+                          "utils"}),
     "serving": frozenset({"api", "data", "embedding", "errors", "gnn",
-                          "metrics", "runtime", "utils"}),
-    "wal": frozenset({"api", "data", "errors", "gnn", "metrics", "serving",
-                      "utils"}),
-    "gateway": frozenset({"errors", "metrics", "runtime", "serving",
+                          "metrics", "obs", "runtime", "utils"}),
+    "wal": frozenset({"api", "data", "errors", "gnn", "metrics", "obs",
+                      "serving", "utils"}),
+    "gateway": frozenset({"errors", "metrics", "obs", "runtime", "serving",
                           "utils", "wal"}),
     # tools on top
     "analysis": frozenset(),
     "cli": frozenset({"analysis", "api", "concepts", "data", "edge",
                       "errors", "eval", "gateway", "gnn", "kg", "llm",
-                      "metrics", "serving", "utils", "wal"}),
+                      "metrics", "obs", "serving", "utils", "wal"}),
 }
 
 

@@ -116,7 +116,7 @@ class Deployment:
         self._static_steps += 1
         return log
 
-    def serve(self, stream):
+    def serve(self, stream, tracer=None):
         """Drive ``stream`` through :meth:`ingest`, yielding one event per batch.
 
         ``stream`` may yield :class:`~repro.data.StreamBatch` objects (the
@@ -126,7 +126,9 @@ class Deployment:
         :class:`~repro.runtime.ServingEngine` round loop as a
         single-stream fleet (``batched=False``: with one stream per round
         there is nothing to coalesce, and the deployment scores inside
-        :meth:`ingest` exactly as before).
+        :meth:`ingest` exactly as before).  ``tracer`` (an optional
+        :class:`repro.obs.TraceRecorder`) records one ``engine.round``
+        span per served round.
         """
         # Imported here: repro.serving builds on repro.api, not the
         # other way around — this convenience wrapper is the one upward
@@ -135,6 +137,8 @@ class Deployment:
         from ..serving.fleet import DeploymentFleet
         fleet = DeploymentFleet()
         fleet.add("deployment", self, stream)
+        if tracer is not None:
+            fleet.engine.tracer = tracer
         for events in fleet.serve(batched=False):
             for event in events:
                 yield ServeEvent(step=event.step, scores=event.scores,

@@ -5,8 +5,10 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent):
     python -m repro.cli serve --mission Stealing --set adaptation.monitor.window=72
     python -m repro.cli fleet --streams 8 --missions Stealing Robbery
     python -m repro.cli bench --quick --min-speedup 1.0
-    python -m repro.cli gateway --streams 4 --port 7641
-    python -m repro.cli loadgen --levels 1 2 4
+    python -m repro.cli gateway --streams 4 --port 7641 --trace-dir traces
+    python -m repro.cli loadgen --levels 1 2 4 --trace-dir traces --shards 2
+    python -m repro.cli trace traces/trace.jsonl --check
+    python -m repro.cli stats --port 7641
     python -m repro.cli fig5 --shift weak
     python -m repro.cli fig5 --shift strong
     python -m repro.cli fig6
@@ -32,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 
@@ -132,7 +135,11 @@ def cmd_serve(args) -> int:
     print(f"[serve] streaming {scfg.total_steps} steps "
           f"({scfg.initial_class} -> {scfg.shifted_class}, "
           f"{scfg.windows_per_step} windows/step)")
-    for event in deployment.serve(stream):
+    tracer = None
+    if args.trace_dir:
+        from .obs import TraceRecorder
+        tracer = TraceRecorder()
+    for event in deployment.serve(stream, tracer=tracer):
         log = event.log
         flags = []
         if log is not None and log.updated:
@@ -145,6 +152,17 @@ def cmd_serve(args) -> int:
     print(f"[serve] done: {deployment.step_count} steps total, "
           f"{deployment.update_count} token updates, "
           f"{deployment.total_pruned} nodes pruned")
+    if tracer is not None:
+        from pathlib import Path
+
+        from .obs import write_chrome_trace, write_jsonl
+        out = Path(args.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        spans = tracer.snapshot()
+        count = write_jsonl(spans, out / "trace.jsonl")
+        write_chrome_trace(spans, out / "trace_chrome.json")
+        print(f"[serve] traced {count} span(s) -> {out / 'trace.jsonl'} "
+              f"(chrome://tracing: {out / 'trace_chrome.json'})")
     if args.save:
         deployment.save(args.save)
         print(f"[serve] checkpointed deployment to {args.save}")
@@ -330,12 +348,17 @@ def cmd_gateway(args) -> int:
                 every_rounds=args.snapshot_every_rounds,
                 max_log_bytes=args.snapshot_max_log_bytes),
         }
+    trace_kwargs = {}
+    if args.trace_dir:
+        trace_kwargs["trace_dir"] = args.trace_dir
+    if args.slow_round_ms is not None:
+        trace_kwargs["slow_round_ms"] = args.slow_round_ms
     from .errors import DurabilityError
     try:
         server = GatewayServer(fleet, host=args.host, port=args.port,
                                max_queue_depth=args.max_queue_depth,
                                policy=args.policy, codec=args.codec,
-                               **wal_kwargs)
+                               **wal_kwargs, **trace_kwargs)
     except DurabilityError as exc:
         fleet.close()
         raise SystemExit(f"error: {exc}")
@@ -350,6 +373,10 @@ def cmd_gateway(args) -> int:
             print(f"[gateway] durable: write-ahead log at {args.wal_dir} "
                   "(acks follow the fsync; recover with "
                   f"'repro recover {args.wal_dir}')")
+        if args.trace_dir:
+            print(f"[gateway] tracing: spans export to {args.trace_dir} "
+                  "on drain (summarize with "
+                  f"'repro trace {args.trace_dir}/trace.jsonl')")
         print("[gateway] serving until a shutdown frame arrives "
               "(or Ctrl-C)")
         await server.wait_stopped()
@@ -381,6 +408,11 @@ def cmd_loadgen(args) -> int:
     if args.wal and args.codec_ab:
         raise SystemExit("error: --wal and --codec-ab are separate "
                          "profiles; pick one")
+    if (args.wal or args.codec_ab) and (args.trace_dir or args.shards):
+        raise SystemExit("error: --trace-dir/--shards apply to the "
+                         "concurrency sweep only")
+    if args.shards < 0:
+        raise SystemExit("error: --shards must be >= 0")
     config = _build_config(args)
     if args.quick:
         _apply_quick_overrides(config, args)
@@ -440,17 +472,22 @@ def cmd_loadgen(args) -> int:
             return 1
         return 0
     print(f"[loadgen] serving {args.streams} stream(s) x {rounds} round(s) "
-          f"at client-concurrency levels {list(levels)}...")
+          f"at client-concurrency levels {list(levels)}"
+          + (f", {args.shards} shard(s)" if args.shards else "")
+          + (", traced" if args.trace_dir else "") + "...")
     result = run_gateway_benchmark(
         pipeline, streams=args.streams, missions=args.missions,
         windows_per_step=args.windows_per_step, rounds=rounds,
         levels=levels, rate=args.rate, stream_seed=args.stream_seed,
         max_batch_windows=args.max_batch_windows,
         max_queue_depth=args.max_queue_depth, policy=args.policy,
-        codec=args.codec)
+        codec=args.codec, trace_dir=args.trace_dir, shards=args.shards)
     print(format_gateway_benchmark(result))
     path = write_benchmark(result, args.output or DEFAULT_GATEWAY_BENCH_PATH)
     print(f"[loadgen] wrote {path}")
+    if args.trace_dir:
+        print(f"[loadgen] summarize the trace with "
+              f"'repro trace {result['trace']['jsonl']}'")
     if not result["parity"]["identical"]:
         print("[loadgen] FAIL: gateway scores diverged from the direct "
               "in-process fleet run")
@@ -598,6 +635,111 @@ def cmd_kg(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Summarize a trace JSONL file: per-stage percentiles and the
+    slowest request trees; ``--check`` gates on chain completeness."""
+    import json
+
+    from .obs import (check_trace, chrome_trace, load_jsonl, render_report,
+                      slowest_traces, stage_summary)
+    try:
+        spans = load_jsonl(args.trace_file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: trace file not found: {args.trace_file}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(spans), indent=2, sort_keys=True)
+    elif args.format == "json":
+        payload = {
+            "spans": len(spans),
+            "stages": stage_summary(spans),
+            "slowest": [
+                {"trace_id": trace_id, "duration_ms": duration * 1e3,
+                 "spans": group}
+                for trace_id, duration, group
+                in slowest_traces(spans, args.slowest)],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        text = render_report(spans, slowest=args.slowest)
+    if args.output:
+        from pathlib import Path
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"[trace] wrote {args.output}")
+    else:
+        print(text)
+    if args.check:
+        problems = check_trace(spans)
+        if problems:
+            for problem in problems:
+                print(f"[trace] FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(f"[trace] check ok: {len(spans)} span(s), every served "
+              "request has its complete stage chain", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Query a running gateway's ``stats`` op and pretty-print it."""
+    import json
+
+    from .gateway import GatewayClient, GatewayError
+    from .gateway.protocol import FrameError
+    try:
+        with GatewayClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            reply = client.stats()
+    except (OSError, ConnectionError, GatewayError, FrameError) as exc:
+        raise SystemExit(f"error: cannot fetch stats from "
+                         f"{args.host}:{args.port}: {exc}")
+    for key in ("ok", "id", "v"):
+        reply.pop(key, None)
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True, default=str))
+        return 0
+    engine = reply.get("engine") or {}
+    metrics = reply.get("metrics") or {}
+    print(f"[stats] gateway {args.host}:{args.port} — repro "
+          f"{reply.get('server_version', '?')}, up "
+          f"{reply.get('uptime_seconds', 0.0):.1f}s")
+    queued = engine.get("queued") or {}
+    print(f"  engine: backend {engine.get('backend', '?')}, policy "
+          f"{engine.get('policy', '?')}, {engine.get('rounds', 0)} "
+          f"round(s), {sum(queued.values())} queued request(s) across "
+          f"{len(queued)} stream(s)")
+    coalesce = engine.get("coalesce")
+    if coalesce:
+        print(f"  coalesce: {coalesce['windows_per_forward']:.2f} "
+              f"windows/forward ({coalesce['windows_scored']} windows, "
+              f"{coalesce['batches_run']} forward(s))")
+    transport = engine.get("transport")
+    if transport:
+        print("  transport: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(transport.items())))
+    histograms = metrics.get("histograms") or {}
+    populated = {name: hist for name, hist in histograms.items()
+                 if hist.get("count")}
+    if populated:
+        width = max(len(name) for name in populated)
+        print("  latency:")
+        for name in sorted(populated):
+            hist = populated[name]
+            print(f"    {name:<{width}s}  n={hist['count']:<8d}"
+                  f"p50 {hist.get('p50_ms', float('nan')):8.2f} ms  "
+                  f"p95 {hist.get('p95_ms', float('nan')):8.2f} ms  "
+                  f"p99 {hist.get('p99_ms', float('nan')):8.2f} ms")
+    counters = metrics.get("counters") or {}
+    if counters:
+        print("  counters: " + ", ".join(
+            f"{name}={value:.0f}" for name, value in sorted(counters.items())))
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        print("  gauges: " + ", ".join(
+            f"{name}={value:g}" for name, value in sorted(gauges.items())))
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the repro.analysis invariant rules; exit 0 clean, 1 findings."""
     from .analysis import Analyzer, render_json, render_text
@@ -647,6 +789,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint the deployment after serving")
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="resume a previously saved deployment")
+    p.add_argument("--trace-dir", metavar="PATH", default=None,
+                   help="record per-round engine spans and write "
+                        "trace.jsonl + a Chrome-loadable "
+                        "trace_chrome.json here")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("fleet",
@@ -768,6 +914,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=16 * 1024 * 1024,
                    help="also snapshot once this many log bytes accumulate "
                         "(default 16 MiB)")
+    p.add_argument("--trace-dir", metavar="PATH", default=None,
+                   help="trace every request end to end (gateway, engine, "
+                        "shard, WAL spans) and export trace.jsonl + a "
+                        "Chrome-loadable trace_chrome.json here on drain")
+    p.add_argument("--slow-round-ms", type=float, default=None,
+                   help="count rounds slower than this many ms (the "
+                        "engine.slow_rounds counter) and, with "
+                        "--trace-dir, dump each one's spans as "
+                        "slow-round-N.jsonl")
     p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser("loadgen",
@@ -824,6 +979,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result JSON path (default BENCH_5.json; "
                         "BENCH_6.json with --wal, BENCH_7.json with "
                         "--codec-ab)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve each level from a fleet sharded across N "
+                        "worker processes (default 0: inline; the parity "
+                        "gate then also covers inline vs sharded)")
+    p.add_argument("--trace-dir", metavar="PATH", default=None,
+                   help="trace the sweep end to end (client, gateway, "
+                        "engine, shard, WAL spans) and write trace.jsonl "
+                        "+ a Chrome-loadable trace_chrome.json here")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("recover",
@@ -879,6 +1042,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_kg)
 
+    p = sub.add_parser("trace",
+                       help="summarize a trace JSONL file (per-stage "
+                            "percentiles, slowest request trees)")
+    p.add_argument("trace_file", metavar="TRACE_JSONL",
+                   help="a trace.jsonl written by --trace-dir")
+    p.add_argument("--format", choices=("text", "json", "chrome"),
+                   default="text",
+                   help="text report (default), machine-readable json "
+                        "summary, or a chrome://tracing conversion")
+    p.add_argument("--slowest", type=int, default=5,
+                   help="how many slowest traces to render (default 5)")
+    p.add_argument("--check", action="store_true",
+                   help="fail (exit 1) unless every served ingest request "
+                        "has its complete stage-span chain with "
+                        "consistent parentage (the CI smoke gate)")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the report here instead of stdout")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("stats",
+                       help="query a running gateway's stats op")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="gateway address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7641,
+                   help="gateway port (default 7641)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="connect/request timeout in seconds (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw stats payload as JSON")
+    p.set_defaults(func=cmd_stats)
+
     p = sub.add_parser("lint",
                        help="run the AST invariant analyzer "
                             "(layering, locks, async, errors, wire)")
@@ -898,7 +1092,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # ``repro trace ... | head`` closes stdout mid-report; exit the
+        # way a well-behaved pipeline citizen does instead of dumping a
+        # traceback (devnull swap stops the interpreter's own flush
+        # from re-raising at shutdown).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":

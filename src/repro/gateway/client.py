@@ -94,13 +94,18 @@ class GatewayClient:
 
     def __init__(self, host: str, port: int, timeout: float = 60.0,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 codec: str = "binary"):
+                 codec: str = "binary", tracer=None):
         if codec not in CODECS:
             raise ConfigError(f"codec must be one of {CODECS}, got {codec!r}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.max_frame_bytes = max_frame_bytes
         self.preferred_codec = codec
+        #: Optional :class:`repro.obs.TraceRecorder`; when set, window
+        #: ops record ``client.request`` spans whose context rides the
+        #: request's ``trace`` field (an ordinary optional frame field,
+        #: so untraced and v1 peers are unaffected).
+        self.tracer = tracer
         #: Protocol version spoken on this connection; drops to 1 after
         #: a ``version_mismatch`` from a v1-only peer.
         self.protocol_version = PROTOCOL_VERSION if codec == "binary" else 1
@@ -155,6 +160,29 @@ class GatewayClient:
         array = np.asarray(windows, dtype=np.float64)
         return array if self.negotiated_codec == "binary" else array.tolist()
 
+    def _traced_request(self, op: str, stream: str, **fields) -> dict:
+        """One window op, wrapped in a ``client.request`` span when a
+        tracer is attached; the span's context is stamped on the frame
+        so the server's ``gateway.request`` span joins this trace."""
+        if self.tracer is None:
+            return self.request(op, stream=stream, **fields)
+        span = self.tracer.start(
+            "client.request",
+            attrs={"op": op, "stream": stream,
+                   "codec": self.negotiated_codec})
+        try:
+            reply = self.request(op, stream=stream,
+                                 trace=dict(span.context.to_wire()),
+                                 **fields)
+        except GatewayError as exc:
+            span.finish(outcome=exc.code)
+            raise
+        except Exception:
+            span.finish(outcome="error")
+            raise
+        span.finish(outcome="ok")
+        return reply
+
     # -- ops -----------------------------------------------------------
     def attach(self, stream: str) -> dict:
         """Attach to a stream — and negotiate the wire codec.
@@ -186,15 +214,15 @@ class GatewayClient:
         """Submit one arrival batch; the reply's ``"scores"`` (nested
         list over JSON, raw float64 ndarray over binary) is normalized
         to an array under ``"scores_array"``."""
-        reply = self.request("ingest", stream=stream,
-                             windows=self._wire_windows(windows))
+        reply = self._traced_request("ingest", stream,
+                                     windows=self._wire_windows(windows))
         reply["scores_array"] = np.asarray(reply["scores"], dtype=np.float64)
         return reply
 
     def scores(self, stream: str, windows) -> np.ndarray:
         """Score windows without feeding the stream's monitor."""
-        reply = self.request("scores", stream=stream,
-                             windows=self._wire_windows(windows))
+        reply = self._traced_request("scores", stream,
+                                     windows=self._wire_windows(windows))
         return np.asarray(reply["scores"], dtype=np.float64)
 
     def stats(self) -> dict:
@@ -261,7 +289,7 @@ class LoadGenerator:
 
     def __init__(self, address: tuple[str, int],
                  stream_windows: dict[str, list[np.ndarray]],
-                 config: LoadGenConfig | None = None):
+                 config: LoadGenConfig | None = None, tracer=None):
         if not stream_windows:
             raise ConfigError("need at least one stream to drive")
         self.address = address
@@ -269,6 +297,10 @@ class LoadGenerator:
         self.config = config or LoadGenConfig()
         if self.config.clients < 1:
             raise ConfigError("need at least one client")
+        #: Shared :class:`repro.obs.TraceRecorder` handed to every
+        #: client connection (the recorder's lock makes one instance
+        #: safe across the client threads).
+        self.tracer = tracer
 
     def run(self) -> LoadGenResult:
         cfg = self.config
@@ -308,8 +340,10 @@ class LoadGenerator:
             result.windows += part.windows
             result.rejected += part.rejected
             result.errors.extend(part.errors)
-            for sample in part.latency._samples:
-                result.latency.observe(sample)
+            # merge(), not observe() over the reservoir: the aggregate
+            # must report the true observation count, and re-observing
+            # samples would cap "count" at the reservoir size.
+            result.latency.merge(part.latency)
             for stream, served in part.scores.items():
                 result.scores.setdefault(stream, []).extend(served)
         for served in result.scores.values():
@@ -323,7 +357,7 @@ class LoadGenerator:
         cfg = self.config
         try:
             client = GatewayClient(*self.address, timeout=cfg.timeout,
-                                   codec=cfg.codec)
+                                   codec=cfg.codec, tracer=self.tracer)
         except OSError as exc:
             part.errors.append(f"client {index}: connect: {exc}")
             return
@@ -434,7 +468,8 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
                           stream_seed: int = 100,
                           max_batch_windows: int | None = None,
                           max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
-                          policy=None, codec: str = "binary") -> dict:
+                          policy=None, codec: str = "binary",
+                          trace_dir=None, shards: int = 0) -> dict:
     """Latency/throughput curve over client-concurrency levels.
 
     For each level a *fresh* fleet (same build arguments, hence the same
@@ -447,28 +482,50 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
     returned payload is the ``BENCH_5.json`` artifact.  ``policy`` names
     the engine scheduling policy (default: fair round-robin) — any
     policy serves bit-identical scores, so the curve stays parity-gated.
+
+    ``trace_dir`` turns on end-to-end tracing: one shared
+    :class:`repro.obs.TraceRecorder` collects client, gateway, engine,
+    shard, and WAL spans across every level, exported afterwards as
+    ``trace.jsonl`` plus a Chrome-loadable ``trace_chrome.json``.
+    ``shards`` > 0 serves each level from a sharded fleet (that many
+    worker processes) instead of an inline one — the reference run stays
+    inline, so the parity gate also witnesses inline/sharded parity.
     """
-    from ..serving import build_fleet
+    from ..serving import build_fleet, build_sharded_fleet
     from ..serving.bench import _environment
 
     missions = missions or ["Stealing"]
     stream_windows, reference, rounds = _direct_reference(
         pipeline, missions, streams, windows_per_step, stream_seed,
         rounds, max_batch_windows)
+    recorder = None
+    if trace_dir is not None:
+        from ..obs import TraceRecorder
+        recorder = TraceRecorder()
     level_results: dict[str, dict] = {}
     all_identical = True
     for level in levels:
-        fleet = build_fleet(pipeline, missions, streams,
-                            adaptive=False, share_models=True,
-                            windows_per_step=windows_per_step,
-                            stream_seed=stream_seed,
-                            max_batch_windows=max_batch_windows)
+        if shards:
+            fleet = build_sharded_fleet(
+                pipeline, missions, streams, shards,
+                adaptive=False, share_models=True,
+                windows_per_step=windows_per_step,
+                stream_seed=stream_seed,
+                max_batch_windows=max_batch_windows)
+        else:
+            fleet = build_fleet(pipeline, missions, streams,
+                                adaptive=False, share_models=True,
+                                windows_per_step=windows_per_step,
+                                stream_seed=stream_seed,
+                                max_batch_windows=max_batch_windows)
         with fleet, serve_in_thread(fleet, max_queue_depth=max_queue_depth,
-                                    policy=policy) as handle:
+                                    policy=policy,
+                                    tracer=recorder) as handle:
             generator = LoadGenerator(
                 handle.address, stream_windows,
                 LoadGenConfig(clients=level, rounds=rounds, rate=rate,
-                              codec=codec))
+                              codec=codec),
+                tracer=recorder)
             result = generator.run()
             with GatewayClient(*handle.address) as observer:
                 server_stats = observer.stats()
@@ -482,6 +539,22 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
         if result.errors:
             stats["error_messages"] = result.errors[:10]
         level_results[str(level)] = stats
+    trace_summary = None
+    if recorder is not None:
+        from pathlib import Path
+
+        from ..obs import stage_summary, write_chrome_trace, write_jsonl
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        spans = recorder.snapshot()
+        trace_summary = {
+            "spans": write_jsonl(spans, out / "trace.jsonl"),
+            "dropped": recorder.dropped,
+            "jsonl": str(out / "trace.jsonl"),
+            "chrome": str(out / "trace_chrome.json"),
+            "stages": stage_summary(spans),
+        }
+        write_chrome_trace(spans, out / "trace_chrome.json")
     return {
         "benchmark": "gateway_serving",
         "config": {
@@ -496,8 +569,10 @@ def run_gateway_benchmark(pipeline, streams: int = 4,
             "max_queue_depth": max_queue_depth,
             "policy": getattr(policy, "name", policy) or "fair",
             "codec": codec,
+            "shards": shards,
         },
         "levels": level_results,
+        "trace": trace_summary,
         "parity": {"identical": all_identical},
         "environment": _environment(),
     }
@@ -716,6 +791,10 @@ def format_gateway_benchmark(result: dict) -> str:
         server_line = _format_server_stats(stats.get("server"))
         if server_line:
             lines.append(f"              server: {server_line}")
+    trace = result.get("trace")
+    if trace:
+        lines.append(f"  trace: {trace['spans']} span(s) "
+                     f"({trace['dropped']} dropped) -> {trace['jsonl']}")
     lines.append(f"  parity (all levels): {result['parity']['identical']}")
     return "\n".join(lines)
 

@@ -52,11 +52,13 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..errors import ConfigError, StateError
 from ..metrics import MetricsRegistry
+from ..obs import TraceContext, TraceRecorder, write_chrome_trace, write_jsonl
 from ..runtime import AdmissionError, EngineRequest, resolve_policy
 from .protocol import (
     CODECS,
@@ -109,7 +111,9 @@ class GatewayServer:
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  metrics: MetricsRegistry | None = None,
                  policy=None, wal_dir=None, wal_config=None,
-                 snapshot_policy=None, codec: str = "binary"):
+                 snapshot_policy=None, codec: str = "binary",
+                 tracer=None, trace_dir=None,
+                 slow_round_ms: float | None = None):
         if max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
         if codec not in CODECS:
@@ -139,6 +143,23 @@ class GatewayServer:
             # the engine's so engine.* and gateway.* metrics land together.
             self.engine.metrics = metrics
         self.metrics = self.engine.metrics
+        # Tracing: with a trace_dir (or slow_round_ms) and no explicit
+        # tracer, the gateway owns a recorder and exports it at drain;
+        # an explicit tracer may be shared (the loadgen harness records
+        # client and server spans into one recorder).  Every server-side
+        # span call site guards on ``self.tracer is not None``, so an
+        # untraced gateway's hot path is unchanged.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if tracer is None and (self.trace_dir is not None
+                               or slow_round_ms is not None):
+            tracer = TraceRecorder()
+        self.tracer = tracer
+        if tracer is not None:
+            self.engine.tracer = tracer
+            if slow_round_ms is not None:
+                self.engine.slow_round_ms = float(slow_round_ms)
+                if self.trace_dir is not None:
+                    self.engine.on_slow_round = self._dump_slow_round
         # Durable serving: with a wal_dir every accepted ingest is
         # appended to a write-ahead log before it becomes schedulable,
         # and the engine group-commit fsyncs at the end of each round
@@ -150,7 +171,7 @@ class GatewayServer:
             from ..wal import WalDurability
             self.durability = WalDurability(
                 fleet, wal_dir, config=wal_config, policy=snapshot_policy,
-                metrics=self.metrics)
+                metrics=self.metrics, tracer=self.tracer)
             self.engine.durability = self.durability
         self.host = host
         self.port = port
@@ -234,15 +255,34 @@ class GatewayServer:
         for conn in list(self._connections):
             conn.writer.close()
         self._executor.shutdown(wait=True)
+        loop = asyncio.get_running_loop()
         if self.durability is not None:
             # After the executor is done: no round is running, so the
             # parting snapshot sees quiescent fleet state.  The close
             # snapshots + fsyncs, so it runs off-loop — the round
             # executor is already shut down, hence the default pool.
-            loop = asyncio.get_running_loop()
             await loop.run_in_executor(None, self.durability.close,
                                        self.engine)
+        if self.tracer is not None and self.trace_dir is not None:
+            # File I/O: off-loop, like the durability close above.
+            await loop.run_in_executor(None, self._export_traces)
         self._stopped.set()
+
+    def _export_traces(self) -> None:
+        """Write every recorded span to ``trace_dir`` (JSONL + Chrome)."""
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        spans = self.tracer.snapshot()
+        write_jsonl(spans, self.trace_dir / "trace.jsonl")
+        write_chrome_trace(spans, self.trace_dir / "trace_chrome.json")
+
+    def _dump_slow_round(self, spans) -> None:
+        """Slow-round hook: dump the offending round's full span tree.
+
+        Called by the engine on the round executor thread (not the event
+        loop), so synchronous file I/O is fine here."""
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        write_jsonl(spans,
+                    self.trace_dir / f"slow-round-{self.engine.rounds}.jsonl")
 
     # ------------------------------------------------------------------
     # The round loop
@@ -461,10 +501,15 @@ class GatewayServer:
                         attached=sorted(conn.attached))
 
     def _stats(self, echo_id, echo_v: int) -> dict:
+        engine = self.engine.stats(concurrent=True)
         return ok_frame(
             echo_id, version=echo_v,
             metrics=self.metrics.to_dict(),
-            engine=self.engine.stats(concurrent=True),
+            engine=engine,
+            # "version" is ok_frame's protocol-version kwarg, so the
+            # package version is promoted under its own key.
+            server_version=engine["version"],
+            uptime_seconds=engine["uptime_seconds"],
             fleet={"type": type(self.fleet).__name__,
                    "streams": list(self.fleet.names),
                    "rounds": self.fleet.rounds},
@@ -495,6 +540,34 @@ class GatewayServer:
     async def _serve_windows(self, op: str, payload: dict,
                              conn: _Connection, echo_id,
                              echo_v: int) -> dict:
+        # A traced request: the server span joins the client's trace via
+        # the optional ``trace`` wire field (absent on v1/untraced peers
+        # → a new root), and the engine parents queue-wait/stage spans
+        # under the request's context.
+        server_span = None
+        if self.tracer is not None:
+            server_span = self.tracer.start(
+                "gateway.request",
+                parent=TraceContext.from_wire(payload.get("trace")),
+                attrs={"op": op, "stream": str(payload.get("stream")),
+                       "codec": frame_codec(payload)})
+        outcome = "error"
+        try:
+            reply = await self._serve_windows_inner(
+                op, payload, conn, echo_id, echo_v,
+                server_span.context if server_span is not None else None)
+            outcome = "ok"
+            return reply
+        except RequestError as exc:
+            outcome = exc.code
+            raise
+        finally:
+            if server_span is not None:
+                server_span.finish(outcome=outcome)
+
+    async def _serve_windows_inner(self, op: str, payload: dict,
+                                   conn: _Connection, echo_id,
+                                   echo_v: int, trace) -> dict:
         started = time.perf_counter()
         # Binary responses carry scores as raw float64 buffers; JSON as
         # nested lists.  Either way the values are bit-identical — JSON
@@ -525,7 +598,8 @@ class GatewayServer:
         future = asyncio.get_running_loop().create_future()
         request = EngineRequest(op=op, stream=stream, windows=windows,
                                 priority=priority, deadline=deadline,
-                                tag=_Pending(future=future, owner=conn))
+                                tag=_Pending(future=future, owner=conn),
+                                trace=trace)
         try:
             self.engine.submit(request)
         except AdmissionError as exc:

@@ -86,7 +86,15 @@ class LatencyHistogram:
     Samples are seconds in, milliseconds out (the convention of every
     ``BENCH_*.json`` in this repo).  A bounded reservoir keeps memory
     constant under sustained serving load; up to ``max_samples``
-    observations the summary is exact.
+    observations the summary is exact.  ``count`` is always the true
+    number of observations (never the reservoir size); ``summary()``
+    reports both, plus ``sampled``, so percentile uncertainty is
+    assessable when the reservoir has saturated.
+
+    Thread safety: every mutation and read of ``_samples``/``_seen``
+    happens under ``_lock``, including the reservoir's ``randrange``
+    draw — ``random.Random`` instances are not safe for concurrent
+    mutation, so the RNG must never be touched outside the lock.
     """
 
     def __init__(self, max_samples: int = 65536, seed: int = 0):
@@ -110,12 +118,38 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._seen
+        with self._lock:
+            return self._seen
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram.
+
+        True counts add exactly; samples pool up to this reservoir's
+        bound, with uniform random replacement past it (an approximate
+        merge — exact weighted reservoir merging is not worth the
+        machinery for summary percentiles).  This is how parallel
+        load-generator clients aggregate without under-reporting
+        ``count`` once a per-client reservoir has saturated.
+        """
+        with other._lock:
+            samples = list(other._samples)
+            seen = other._seen
+        with self._lock:
+            self._seen += seen
+            for value in samples:
+                if len(self._samples) < self.max_samples:
+                    self._samples.append(value)
+                else:
+                    slot = self._rng.randrange(len(self._samples) + 1)
+                    if slot < self.max_samples:
+                        self._samples[slot] = value
 
     def summary(self, phase: str = "latency") -> dict:
-        """``{count, mean_ms, p50_ms, p95_ms, p99_ms}``; an empty
-        histogram summarizes to ``{"count": 0}`` rather than raising, so
-        the ``stats`` op stays serveable on an idle gateway."""
+        """``{count, sampled, mean_ms, p50_ms, p95_ms, p99_ms}``:
+        ``count`` is true observations, ``sampled`` the reservoir size
+        the percentiles were computed from.  An empty histogram
+        summarizes to ``{"count": 0}`` rather than raising, so the
+        ``stats`` op stays serveable on an idle gateway."""
         with self._lock:
             samples = list(self._samples)
             seen = self._seen
@@ -123,6 +157,7 @@ class LatencyHistogram:
             return {"count": 0}
         return {
             "count": seen,
+            "sampled": len(samples),
             "mean_ms": float(np.mean(samples)) * 1e3,
             "p50_ms": percentile(samples, 50, phase) * 1e3,
             "p95_ms": percentile(samples, 95, phase) * 1e3,

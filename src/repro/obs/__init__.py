@@ -1,0 +1,75 @@
+"""repro.obs — end-to-end request tracing for the serving stack.
+
+Sits at the top of the layer DAG next to :mod:`repro.metrics`: every
+serving layer (runtime, serving, wal, gateway, cli) may depend on it,
+and it depends only on metrics/utils.  Tracing is strictly opt-in —
+every call site guards on ``tracer is not None`` and the hot path is
+bit-identical with tracing disabled.
+
+Span catalog (see README "Observability" for the full table):
+
+================== ======== ===========================================
+span name          layer    meaning
+================== ======== ===========================================
+client.request     client   one GatewayClient ingest/scores round trip
+gateway.request    gateway  server-side handling of one request
+queue.wait         engine   admission-queue residency of one request
+stage.score        engine   the request's share of its wave's scoring
+stage.ingest       engine   the request's share of its wave's ingest
+stage.durability   engine   the request's share of the round commit
+engine.round       engine   one full round (own trace, root span)
+engine.schedule    engine   policy selection under the engine lock
+engine.score       engine   one wave's backend.score call
+engine.ingest      engine   one wave's backend.ingest call
+engine.durability  engine   the round's durability commit
+shard.score        worker   score_only executed in a shard process
+shard.ingest       worker   ingest_round executed in a shard process
+wal.fsync          wal      one group-commit fsync
+================== ======== ===========================================
+"""
+
+from .trace import (
+    ActiveSpan,
+    Span,
+    TraceContext,
+    TraceRecorder,
+    new_span_id,
+    new_trace_id,
+)
+from .export import (
+    chrome_trace,
+    load_jsonl,
+    span_dicts,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import (
+    REQUEST_STAGE_SPANS,
+    check_trace,
+    render_report,
+    render_tree,
+    slowest_traces,
+    stage_summary,
+    trace_groups,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "Span",
+    "TraceContext",
+    "TraceRecorder",
+    "new_span_id",
+    "new_trace_id",
+    "chrome_trace",
+    "load_jsonl",
+    "span_dicts",
+    "write_chrome_trace",
+    "write_jsonl",
+    "REQUEST_STAGE_SPANS",
+    "check_trace",
+    "render_report",
+    "render_tree",
+    "slowest_traces",
+    "stage_summary",
+    "trace_groups",
+]

@@ -58,7 +58,14 @@ class ExecutionBackend(abc.ABC):
     def score(self, arrivals: dict) -> dict[str, np.ndarray]:
         """Stateless coalesced scoring of externally supplied windows;
         no deployment monitor is touched, so a failed or repeated call
-        is safe."""
+        is safe.
+
+        Backends that support tracing accept an optional ``trace``
+        keyword (a :class:`repro.obs.TraceContext` to parent their
+        internal spans under); the engine only passes it when a tracer
+        is attached, so backends without the keyword still work
+        untraced.
+        """
 
     @abc.abstractmethod
     def ingest(self, arrivals: dict, scores: dict | None = None,
@@ -67,7 +74,22 @@ class ExecutionBackend(abc.ABC):
         owning deployments.  ``scores`` carries precomputed slices (the
         score-then-ingest split); with ``scores=None`` the backend
         scores internally — coalesced when ``batched``, else one
-        per-deployment forward each."""
+        per-deployment forward each.  Same optional ``trace`` keyword
+        contract as :meth:`score`."""
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.TraceRecorder` (or ``None``).
+
+        The default just stores it; backends that execute work in other
+        processes override this to relay worker-side spans back into
+        the parent recorder."""
+        self._tracer = tracer
+
+    def stream_shards(self) -> dict | None:
+        """``{stream name: shard index}`` when streams are partitioned
+        across workers (for span shard attribution); ``None`` for
+        single-process backends."""
+        return None
 
     def batch_stats(self) -> dict | None:
         """Coalescing counters (``batches_run``/``windows_scored``) when
@@ -150,7 +172,11 @@ class InlineBackend(ExecutionBackend):
             events.append(make_fleet_event(slot, log, batch))
         return events
 
-    def score(self, arrivals: dict) -> dict[str, np.ndarray]:
+    def score(self, arrivals: dict,
+              trace=None) -> dict[str, np.ndarray]:
+        # ``trace`` is accepted but unused: inline work runs on the
+        # engine's thread, so the engine's own stage spans already cover
+        # it exactly.
         slots, windows = self._gather(arrivals)
         if not slots:
             return {}
@@ -159,7 +185,7 @@ class InlineBackend(ExecutionBackend):
                 for slot, scores in zip(slots, all_scores)}
 
     def ingest(self, arrivals: dict, scores: dict | None = None,
-               batched: bool = True) -> dict[str, FleetEvent]:
+               batched: bool = True, trace=None) -> dict[str, FleetEvent]:
         slots, windows = self._gather(arrivals)
         if not slots:
             return {}
@@ -193,6 +219,7 @@ class ShardedBackend(ExecutionBackend):
 
     def __init__(self, fleet):
         self._fleet = fleet
+        self._tracer = None
 
     def pull_round(self, batched: bool) -> list[FleetEvent]:
         # Every shard steps concurrently (each worker's fleet runs the
@@ -205,13 +232,30 @@ class ShardedBackend(ExecutionBackend):
         return [by_stream[name] for name in self._fleet._order
                 if name in by_stream]
 
-    def score(self, arrivals: dict) -> dict[str, np.ndarray]:
-        return self._fleet._scatter("score_only", arrivals)
+    def score(self, arrivals: dict,
+              trace=None) -> dict[str, np.ndarray]:
+        return self._fleet._scatter(
+            "score_only", arrivals,
+            trace=trace if self._tracer is not None else None,
+            span_sink=self._record_worker_spans)
 
     def ingest(self, arrivals: dict, scores: dict | None = None,
-               batched: bool = True) -> dict[str, FleetEvent]:
-        return self._fleet._scatter("ingest_round", arrivals,
-                                    extra=(batched, scores))
+               batched: bool = True, trace=None) -> dict[str, FleetEvent]:
+        return self._fleet._scatter(
+            "ingest_round", arrivals, extra=(batched, scores),
+            trace=trace if self._tracer is not None else None,
+            span_sink=self._record_worker_spans)
+
+    def _record_worker_spans(self, payloads) -> None:
+        """Land shard-worker span dicts in the parent recorder."""
+        tracer = self._tracer
+        if tracer is not None and payloads:
+            tracer.record_dicts(payloads)
+
+    def stream_shards(self) -> dict | None:
+        if self._fleet._closed:
+            return None
+        return self._fleet.assignment
 
     def batch_stats(self) -> dict | None:
         if self._fleet._closed:

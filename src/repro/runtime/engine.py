@@ -93,6 +93,10 @@ class EngineRequest:
     queued_at: float = 0.0
     tag: object = None
     wal_seq: int | None = None     # durability log seq (set at admission)
+    # Optional repro.obs.TraceContext joining this request's trace to
+    # the round that serves it (typed loosely: the runtime layer treats
+    # it as opaque unless a tracer is attached).
+    trace: object = None
 
 
 @dataclass
@@ -135,7 +139,8 @@ class ServingEngine:
 
     def __init__(self, backend, policy=None, metrics: MetricsRegistry | None = None,
                  max_queue_depth: int | None = None, clock=time.monotonic,
-                 durability=None):
+                 durability=None, tracer=None, slow_round_ms: float | None = None,
+                 on_slow_round=None):
         from .policies import FairRoundRobin
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -154,6 +159,32 @@ class ServingEngine:
         # fsynced once per round before results reach any caller.
         self.durability = durability
         self._durability_failed = False  # repro: guarded-by[_lock]
+        # Uptime baseline for stats(); always real monotonic time, never
+        # the injected scheduling clock.
+        self._started_monotonic = time.monotonic()
+        # Tracing (repro.obs.TraceRecorder, duck-typed).  Strictly
+        # opt-in: with no tracer every span call site below is skipped,
+        # so the hot path is bit-identical to an untraced engine.
+        self._tracer = None
+        self.slow_round_ms = slow_round_ms
+        self.on_slow_round = on_slow_round  # callable(list[Span]) | None
+        # Context the durability hook parents wal.fsync spans under;
+        # set only for the duration of a traced round's commit.
+        self.durability_trace = None
+        if tracer is not None:
+            self.tracer = tracer
+
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.TraceRecorder` (or ``None``)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, recorder) -> None:
+        self._tracer = recorder
+        attach = getattr(self.backend, "set_tracer", None)
+        if attach is not None:
+            attach(recorder)
 
     # ------------------------------------------------------------------
     # Lock-step serving: rounds pulled from backend-owned streams
@@ -161,13 +192,20 @@ class ServingEngine:
     def step(self, batched: bool = True) -> list[FleetEvent]:
         """One serving round over every live backend stream: pull each
         stream's next arrival batch, score (coalesced when ``batched``),
-        ingest, emit events."""
+        ingest, emit events.  With a tracer attached each non-empty pull
+        becomes one ``engine.round`` span (an abandoned span on the
+        empty pull is never recorded)."""
+        trc = self._tracer
+        round_span = trc.start("engine.round") if trc is not None else None
         start = time.perf_counter()
         events = self.backend.pull_round(batched)
         if not events:
             return []
         self._observe_round(time.perf_counter() - start, len(events),
                             sum(int(event.scores.size) for event in events))
+        if round_span is not None:
+            round_span.finish(round=self.rounds, streams=len(events),
+                              pull=True)
         return events
 
     def serve(self, max_rounds: int | None = None, batched: bool = True):
@@ -292,7 +330,23 @@ class ServingEngine:
         each wave score-then-ingest.  Total: every selected or expired
         request gets exactly one :class:`RoundResult`; this method never
         raises on bad client input or backend failure.
+
+        With a tracer attached, the round becomes its own trace
+        (``engine.round`` → ``engine.schedule`` / per-wave
+        ``engine.score``/``engine.ingest`` / ``engine.durability``) and
+        each traced request's story gains per-request ``queue.wait`` and
+        ``stage.*`` spans parented under *its* context — the join
+        between a request's trace and the shared round that served it.
+        Abandoned active spans (empty rounds) are never recorded.
         """
+        trc = self._tracer
+        round_span = sched_span = None
+        mark = 0
+        if trc is not None:
+            mark = trc.mark()
+            round_span = trc.start("engine.round")
+            sched_span = trc.start("engine.schedule",
+                                   parent=round_span.context)
         with self._lock:
             if not any(self._queues.values()):
                 return []
@@ -323,6 +377,27 @@ class ServingEngine:
                     queue.extend(kept)
             self._update_queue_gauge()
 
+        if trc is not None:
+            sched = sched_span.finish(selected=len(selected),
+                                      expired=len(expired))
+            self.metrics.histogram("engine.stage.schedule").observe(sched.dur)
+            # Queue wait is only knowable at dequeue time, so it is a
+            # synthetic span: measured on the scheduling clock, backdated
+            # on the wall clock.
+            dequeued_at = self._clock()
+            wall = time.time()
+            for request in selected:
+                wait = max(0.0, dequeued_at - request.queued_at) \
+                    if request.queued_at else 0.0
+                self.metrics.histogram("engine.stage.queue_wait") \
+                    .observe(wait)
+                if request.trace is not None:
+                    trc.record_span(
+                        "queue.wait", parent=request.trace,
+                        ts=wall - wait, dur=wait,
+                        attrs={"stream": request.stream,
+                               "round": self.rounds})
+
         results: list[RoundResult] = []
         for request in expired:
             self.metrics.counter("engine.expired").inc()
@@ -332,12 +407,14 @@ class ServingEngine:
                         f"deadline while queued; it was never served"))
         if not selected:
             self._commit_durability(results)
+            if trc is not None:
+                round_span.finish(round=self.rounds, streams=0, windows=0)
             return results
 
         start = time.perf_counter()
         windows = 0
         for wave in self._waves(selected, view):
-            outcomes = self._execute_wave(wave)
+            outcomes = self._execute_wave(wave, round_span=round_span)
             results.extend(outcomes)
             try:
                 # Count served work from the outcomes (one score per
@@ -358,7 +435,47 @@ class ServingEngine:
         except Exception:  # noqa: BLE001 — a metric name/kind collision
             pass           # on a shared registry is not worth hanging
                            # the callers awaiting these results.
-        self._commit_durability(results)
+        if trc is None:
+            self._commit_durability(results)
+            return results
+
+        # Traced commit: the durability barrier gets its own span, and
+        # ``durability_trace`` hands the hook (repro.wal.WalDurability)
+        # the context to parent wal.fsync spans under.  Each served
+        # ingest also gets a per-request stage.durability echo — even
+        # without a WAL (a ~0-duration span) so every request's stage
+        # chain is complete for the trace checker.
+        dur_span = trc.start("engine.durability", parent=round_span.context)
+        self.durability_trace = dur_span.context
+        try:
+            self._commit_durability(results)
+        finally:
+            self.durability_trace = None
+        committed = dur_span.finish(durable=self.durability is not None)
+        self.metrics.histogram("engine.stage.durability") \
+            .observe(committed.dur)
+        for result in results:
+            request = result.request
+            if request.op == "ingest" and request.trace is not None:
+                trc.record_span(
+                    "stage.durability", parent=request.trace,
+                    ts=committed.ts, dur=committed.dur,
+                    attrs={"stream": request.stream,
+                           "durable": self.durability is not None,
+                           "outcome": result.kind})
+        finished = round_span.finish(round=self.rounds,
+                                     streams=len(selected),
+                                     windows=windows)
+        if (self.slow_round_ms is not None
+                and finished.dur * 1e3 >= self.slow_round_ms):
+            self.metrics.counter("engine.slow_rounds").inc()
+            hook = self.on_slow_round
+            if hook is not None:
+                try:
+                    hook(trc.since(mark))
+                except Exception:  # noqa: BLE001 — a broken dump hook
+                    # must not fail the round's already-computed results.
+                    self.metrics.counter("engine.trace_errors").inc()
         return results
 
     def _commit_durability(self, results: list[RoundResult]) -> None:
@@ -450,7 +567,8 @@ class ServingEngine:
             waves.append(wave)
             depth += 1
 
-    def _execute_wave(self, wave: list[EngineRequest]) -> list[RoundResult]:
+    def _execute_wave(self, wave: list[EngineRequest],
+                      round_span=None) -> list[RoundResult]:
         """Score-then-ingest one wave (≤1 request per stream, so keying
         by stream name is unambiguous).
 
@@ -463,12 +581,38 @@ class ServingEngine:
         subsequent ingest dispatches the already-computed (bit-identical)
         slices.
         """
+        trc = self._tracer if round_span is not None else None
+        shard_map = None
+        if trc is not None:
+            mapper = getattr(self.backend, "stream_shards", None)
+            shard_map = mapper() if mapper is not None else None
+
+        def _stage_echo(name_, request_, span_):
+            # The wave runs as one coalesced backend call; each traced
+            # request gets a same-interval echo under its own context,
+            # with shard attribution when the backend knows it.
+            attrs = {"stream": name_}
+            if shard_map and name_ in shard_map:
+                attrs["shard"] = shard_map[name_]
+            trc.record_span(f"stage.{span_.name.split('.', 1)[1]}",
+                            parent=request_.trace, ts=span_.ts,
+                            dur=span_.dur, attrs=attrs)
+
         outcomes: dict[str, RoundResult] = {}
         by_stream = {request.stream: request for request in wave}
         arrivals = {name: request.windows
                     for name, request in by_stream.items()}
+        score_span = None
+        if trc is not None:
+            score_span = trc.start("engine.score",
+                                   parent=round_span.context,
+                                   attrs={"streams": len(arrivals)})
         try:
-            scored = self.backend.score(arrivals)
+            if score_span is not None:
+                scored = self.backend.score(arrivals,
+                                            trace=score_span.context)
+            else:
+                scored = self.backend.score(arrivals)
         except Exception:  # noqa: BLE001 — isolate the bad entry below
             scored = {}
             for name, request in by_stream.items():
@@ -480,14 +624,32 @@ class ServingEngine:
                         request=request, kind="error", code="bad_request",
                         message=f"windows for stream {name!r} failed to "
                                 f"score: {type(exc).__name__}: {exc}")
+        if score_span is not None:
+            done = score_span.finish(scored=len(scored))
+            self.metrics.histogram("engine.stage.score").observe(done.dur)
+            for name, request in by_stream.items():
+                if request.trace is not None and name in scored:
+                    _stage_echo(name, request, done)
         ingest = {name: request.windows
                   for name, request in by_stream.items()
                   if request.op == "ingest" and name in scored}
         if ingest:
+            scores_map = {name: scored[name] for name in ingest}
+            ingest_span = None
+            if trc is not None:
+                ingest_span = trc.start("engine.ingest",
+                                        parent=round_span.context,
+                                        attrs={"streams": len(ingest)})
             try:
-                events = self.backend.ingest(
-                    ingest, scores={name: scored[name] for name in ingest})
+                if ingest_span is not None:
+                    events = self.backend.ingest(
+                        ingest, scores=scores_map,
+                        trace=ingest_span.context)
+                else:
+                    events = self.backend.ingest(ingest, scores=scores_map)
             except Exception as exc:  # noqa: BLE001 — typed to caller
+                if ingest_span is not None:
+                    ingest_span.finish(outcome="error")
                 self.metrics.counter("engine.errors").inc()
                 for name in ingest:
                     outcomes[name] = RoundResult(
@@ -496,6 +658,13 @@ class ServingEngine:
                         message=f"serving round failed: "
                                 f"{type(exc).__name__}: {exc}")
             else:
+                if ingest_span is not None:
+                    done = ingest_span.finish(outcome="ok")
+                    self.metrics.histogram("engine.stage.ingest") \
+                        .observe(done.dur)
+                    for name in ingest:
+                        if by_stream[name].trace is not None:
+                            _stage_echo(name, by_stream[name], done)
                 for name, event in events.items():
                     outcomes[name] = RoundResult(
                         request=by_stream[name], kind="event", event=event)
@@ -535,11 +704,18 @@ class ServingEngine:
         counters aren't safe to read mid-round — the sharded backend's
         go over the worker pipes — are skipped instead of queried.
         """
+        # The root package only defines metadata (no subpackage imports),
+        # so this upward import cannot cycle; deferred anyway so the
+        # engine module stays importable mid-bootstrap.
+        from .. import __version__
         out = {
             "backend": self.backend.name,
             "policy": self.policy.name,
             "rounds": self.rounds,
             "queued": self.queued_depths(),
+            "version": __version__,
+            "started_at": self._started_monotonic,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
         }
         # Transport counters (sharded shm rings vs pipe fallbacks) are
         # plain parent-side attribute reads — safe from any thread, so

@@ -43,6 +43,8 @@ from __future__ import annotations
 import inspect
 import json
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -54,6 +56,7 @@ from ..data.streams import TrendShiftConfig, TrendShiftStream
 from ..data.synthetic import FrameGenerator
 from ..errors import (CheckpointError, ConfigError, FleetError,
                       StateError, WorkerError, WorkerStartupError)
+from ..obs.trace import new_span_id
 from ..runtime.engine import FleetEvent, ServingEngine
 from ..utils.serialization import atomic_write_json
 from .batcher import ScoreRequest
@@ -213,6 +216,68 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
         return
     bench_rounds: list[list[np.ndarray]] | None = None
     models_by_token: dict[str, object] = {}  # "add"-shipped shared models
+
+    def execute(command: str, args: list):
+        """Run one worker command and return its result (dispatch is a
+        function so the ``traced`` wrapper below can time any inner
+        command without duplicating the table)."""
+        nonlocal bench_rounds
+        if command == "step":
+            return fleet.step(batched=args[0])
+        if command == "add":
+            entry = args[0]
+            # Streams sharing a scoring model in the parent keep
+            # sharing it here (the parent ships each model once per
+            # shard, keyed by token), so the shard's micro-batcher
+            # still coalesces them and snapshots store the model once.
+            token = entry.get("model_token")
+            deployment = Deployment.from_dict(
+                entry["deployment"], embedding,
+                model=models_by_token.get(token))
+            if token is not None:
+                models_by_token[token] = deployment.model
+            stream = TrendShiftStream(
+                generator,
+                config_from_dict(TrendShiftConfig,
+                                 entry["stream_config"]))
+            slot = fleet.add(entry["name"], deployment, stream)
+            slot.cursor = int(entry.get("cursor", 0))
+            slot.done = bool(entry.get("done", False))
+            return None
+        if command == "remove":
+            return fleet.remove(args[0]).to_dict(include_model=True)
+        if command == "ingest_round":
+            arrivals, batched, scores = args
+            if scores is not None:
+                scores = {name: scores[name] for name in arrivals}
+            return fleet.ingest_round(arrivals, batched=batched,
+                                      scores=scores)
+        if command == "score_only":
+            return fleet.score_only(args[0])
+        if command == "snapshot":
+            return fleet.to_dict()
+        if command == "stats":
+            return {"batches_run": fleet.batcher.batches_run,
+                    "windows_scored": fleet.batcher.windows_scored}
+        if command == "prime":
+            bench_rounds = [
+                [np.asarray(slot.stream.batch(index).windows,
+                            dtype=np.float64) for slot in fleet.slots]
+                for index in range(args[0])]
+            return (sum(w.shape[0] for w in bench_rounds[0])
+                    if bench_rounds and fleet.slots else 0)
+        if command == "score_round":
+            if bench_rounds is None:
+                raise StateError("score_round before prime")
+            windows = bench_rounds[args[0]]
+            scores = fleet.batcher.score(
+                [ScoreRequest(slot.deployment.model, w)
+                 for slot, w in zip(fleet.slots, windows)])
+            return {slot.name: s
+                    for slot, s in zip(fleet.slots, scores)}
+        raise ConfigError(f"unknown worker command {command!r}")
+
+    span_names = {"score_only": "shard.score", "ingest_round": "shard.ingest"}
     while True:
         try:
             token = conn.recv()
@@ -234,61 +299,32 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
             reply(("ok", None))
             break
         try:
-            if command == "step":
-                result = fleet.step(batched=args[0])
-            elif command == "add":
-                entry = args[0]
-                # Streams sharing a scoring model in the parent keep
-                # sharing it here (the parent ships each model once per
-                # shard, keyed by token), so the shard's micro-batcher
-                # still coalesces them and snapshots store the model once.
-                token = entry.get("model_token")
-                deployment = Deployment.from_dict(
-                    entry["deployment"], embedding,
-                    model=models_by_token.get(token))
-                if token is not None:
-                    models_by_token[token] = deployment.model
-                stream = TrendShiftStream(
-                    generator,
-                    config_from_dict(TrendShiftConfig,
-                                     entry["stream_config"]))
-                slot = fleet.add(entry["name"], deployment, stream)
-                slot.cursor = int(entry.get("cursor", 0))
-                slot.done = bool(entry.get("done", False))
-                result = None
-            elif command == "remove":
-                result = fleet.remove(args[0]).to_dict(include_model=True)
-            elif command == "ingest_round":
-                arrivals, batched, scores = args
-                if scores is not None:
-                    scores = {name: scores[name] for name in arrivals}
-                result = fleet.ingest_round(arrivals, batched=batched,
-                                            scores=scores)
-            elif command == "score_only":
-                result = fleet.score_only(args[0])
-            elif command == "snapshot":
-                result = fleet.to_dict()
-            elif command == "stats":
-                result = {"batches_run": fleet.batcher.batches_run,
-                          "windows_scored": fleet.batcher.windows_scored}
-            elif command == "prime":
-                bench_rounds = [
-                    [np.asarray(slot.stream.batch(index).windows,
-                                dtype=np.float64) for slot in fleet.slots]
-                    for index in range(args[0])]
-                result = (sum(w.shape[0] for w in bench_rounds[0])
-                          if bench_rounds and fleet.slots else 0)
-            elif command == "score_round":
-                if bench_rounds is None:
-                    raise StateError("score_round before prime")
-                windows = bench_rounds[args[0]]
-                scores = fleet.batcher.score(
-                    [ScoreRequest(slot.deployment.model, w)
-                     for slot, w in zip(fleet.slots, windows)])
-                result = {slot.name: s
-                          for slot, s in zip(fleet.slots, scores)}
+            if command == "traced":
+                # ("traced", {trace_id, parent_id, shard}, inner_message):
+                # execute the inner command timed, and ship the span dict
+                # back with the result so it lands in the parent recorder
+                # with shard attribution.  Wall-clock ``ts`` keeps worker
+                # spans on the parent's timeline.
+                tinfo, inner = args
+                inner_command, *inner_args = inner
+                started = time.time()
+                t0 = time.perf_counter()
+                inner_result = execute(inner_command, inner_args)
+                attrs = {"shard": tinfo.get("shard"), "pid": os.getpid()}
+                if inner_args and isinstance(inner_args[0], dict):
+                    attrs["streams"] = len(inner_args[0])
+                result = {"result": inner_result, "spans": [{
+                    "name": span_names.get(inner_command,
+                                           f"shard.{inner_command}"),
+                    "trace_id": tinfo["trace_id"],
+                    "span_id": new_span_id(),
+                    "parent_id": tinfo["parent_id"],
+                    "ts": started,
+                    "dur": time.perf_counter() - t0,
+                    "attrs": attrs,
+                }]}
             else:
-                raise ConfigError(f"unknown worker command {command!r}")
+                result = execute(command, args)
             reply(("ok", result))
         except Exception as exc:  # noqa: BLE001 — relayed to the parent
             reply(("error", f"{type(exc).__name__}: {exc}"))
@@ -638,10 +674,18 @@ class ShardedFleet:
         (or ``max_rounds`` rounds have run)."""
         return self.engine.serve(max_rounds=max_rounds, batched=batched)
 
-    def _scatter(self, command: str, arrivals: dict, extra: tuple = ()):
+    def _scatter(self, command: str, arrivals: dict, extra: tuple = (),
+                 trace=None, span_sink=None):
         """Partition a per-stream mapping by shard assignment, send each
         involved shard its slice (all sends before any recv, so shards
-        overlap), and merge the per-shard dict replies."""
+        overlap), and merge the per-shard dict replies.
+
+        With ``trace`` (a :class:`repro.obs.TraceContext`) each shard's
+        message is wrapped as ``("traced", info, inner)`` so the worker
+        times the inner command and ships its span dicts back alongside
+        the result; collected spans go to ``span_sink`` after the merge.
+        Untraced scatters are wire-identical to before.
+        """
         self._check_open()
         per_shard: dict[int, dict] = {}
         for name, value in arrivals.items():
@@ -651,14 +695,24 @@ class ShardedFleet:
             per_shard.setdefault(shard, {})[name] = value
         shards = sorted(per_shard)
         for shard in shards:
-            self._send(shard, (command, per_shard[shard], *extra))
+            message = (command, per_shard[shard], *extra)
+            if trace is not None:
+                message = ("traced",
+                           {"trace_id": trace.trace_id,
+                            "parent_id": trace.span_id,
+                            "shard": shard}, message)
+            self._send(shard, message)
         merged: dict = {}
+        spans: list[dict] = []
         failed: list[tuple[int, str, object]] = []
         for shard in shards:
             status, value = self._recv(shard)
             if status != "ok":
                 failed.append((shard, status, value))
             else:
+                if trace is not None:
+                    spans.extend(value.get("spans") or ())
+                    value = value["result"]
                 merged.update(value)
         if failed:
             shard, status, value = next(
@@ -666,6 +720,8 @@ class ShardedFleet:
             cls = WorkerStartupError if status == "fatal" else WorkerError
             raise cls("; ".join(f"shard {s}: {v}" for s, _, v in failed),
                       shard=shard)
+        if spans and span_sink is not None:
+            span_sink(spans)
         return merged
 
     def ingest_round(self, arrivals: dict, batched: bool = True,

@@ -75,9 +75,10 @@ class WalDurability:
                  config: WalConfig | None = None,
                  policy: SnapshotPolicy | None = None,
                  metrics: MetricsRegistry | None = None,
-                 infra=None):
+                 infra=None, tracer=None):
         self.fleet = fleet
-        self.wal = WriteAheadLog(directory, config=config, metrics=metrics)
+        self.wal = WriteAheadLog(directory, config=config, metrics=metrics,
+                                 tracer=tracer)
         if self.wal.next_seq > 0:
             self.wal.close()
             raise DurabilityError(
@@ -145,8 +146,13 @@ class WalDurability:
     def commit(self, engine) -> None:
         """End-of-round barrier: fsync everything this round logged
         (before any ack leaves the building), then snapshot-and-truncate
-        if the policy says it is time."""
-        self.wal.flush()
+        if the policy says it is time.
+
+        A traced engine exposes the round's durability span context as
+        ``engine.durability_trace`` for the duration of the commit, so
+        the flush's ``wal.fsync`` span parents under it."""
+        self.wal.flush(
+            trace_parent=getattr(engine, "durability_trace", None))
         if self.snapshots.due(engine.rounds):
             self.snapshot(engine)
 

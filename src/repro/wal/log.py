@@ -147,10 +147,14 @@ class WriteAheadLog:
     """
 
     def __init__(self, directory: str | Path, config: WalConfig | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None, tracer=None):
         self.directory = Path(directory)
         self.config = config or WalConfig()
         self.metrics = metrics or MetricsRegistry()
+        # Optional repro.obs.TraceRecorder: group-commit fsyncs become
+        # ``wal.fsync`` spans (parented under the committing round's
+        # durability span when flush() is handed one).
+        self.tracer = tracer
         self._lock = Lock()
         self._segments: list[SegmentInfo] = []
         self._file = None              # repro: guarded-by[_lock]
@@ -332,14 +336,20 @@ class WriteAheadLog:
             time.perf_counter() - start)
         return seq
 
-    def flush(self) -> None:
-        """Force the pending group commit to disk (no-op when clean)."""
+    def flush(self, trace_parent=None) -> None:
+        """Force the pending group commit to disk (no-op when clean).
+
+        ``trace_parent`` (a :class:`repro.obs.TraceContext`) parents the
+        resulting ``wal.fsync`` span under the caller's durability span;
+        without it a traced fsync records as its own root."""
         with self._lock:
             self._check_open()
             if self._pending:
-                self._fsync_locked()
+                self._fsync_locked(trace_parent)
 
-    def _fsync_locked(self) -> None:  # repro: lock-held
+    def _fsync_locked(self, trace_parent=None) -> None:  # repro: lock-held
+        pending = self._pending
+        started = time.time()
         start = time.perf_counter()
         try:
             self._file.flush()
@@ -348,9 +358,14 @@ class WriteAheadLog:
             raise DurabilityError(
                 f"WAL fsync of {self._segments[-1].path.name} failed: {exc}")
         self._pending = 0
+        elapsed = time.perf_counter() - start
         self.metrics.counter("wal.fsyncs").inc()
-        self.metrics.histogram("wal.fsync_latency").observe(
-            time.perf_counter() - start)
+        self.metrics.histogram("wal.fsync_latency").observe(elapsed)
+        if self.tracer is not None:
+            self.tracer.record_span(
+                "wal.fsync", parent=trace_parent, ts=started, dur=elapsed,
+                attrs={"pending": pending,
+                       "segment": self._segments[-1].path.name})
 
     # ------------------------------------------------------------------
     # Rotation / truncation
