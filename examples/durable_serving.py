@@ -3,11 +3,16 @@
 The gateway with ``wal_dir`` set appends every accepted ingest to a
 write-ahead log *before* it becomes schedulable and group-commit fsyncs
 before any response leaves the server — so an acked score is always on
-disk.  This script proves the property the hard way:
+disk.  Since PR 10 the fsync no longer blocks the round loop: a
+dedicated committer thread fsyncs round N's batch while the engine is
+already computing round N+1, and acks are released only once the
+covering fsync lands (ack-after-fsync preserved, just overlapped).
+This script proves the property the hard way:
 
 1. run an uninterrupted reference fleet in this process;
 2. launch a child process serving a bit-identical fleet over TCP with a
-   WAL directory, and ingest a few rounds through the network client;
+   WAL directory, and ingest a few rounds through the network client
+   (printing the pipelining overlap stats the gateway reports);
 3. ``SIGKILL`` the child mid-flight — no drain, no close, no snapshot;
 4. ``recover_fleet`` from the WAL directory alone and verify the
    recovered fleet continues bit-identically with the reference.
@@ -78,6 +83,30 @@ def serve_forever(wal_dir: str, port_file: str) -> None:
     signal.pause()   # SIGKILL is the only way out — that is the demo
 
 
+def report_overlap(stats: dict) -> None:
+    """Print how much fsync time the async group commit overlapped with
+    compute: the committer's batch count, the round loop's residual
+    commit wait, and the fsyncs the acks actually waited on."""
+    engine = stats.get("engine") or {}
+    metrics = stats.get("metrics") or {}
+    pipeline = engine.get("pipeline") or {}
+    if not pipeline.get("enabled"):
+        print("      (serial rounds: commit ran inline, nothing overlapped)")
+        return
+    fsyncs = (metrics.get("counters") or {}).get("wal.fsyncs", 0)
+    fsync_ms = ((metrics.get("histograms") or {})
+                .get("wal.fsync_latency") or {}).get("p50_ms", 0.0)
+    wait = ((metrics.get("histograms") or {})
+            .get("engine.stage.commit_wait") or {})
+    print(f"      overlap: {pipeline.get('commit_batches', 0)} commit "
+          f"batch(es) fsynced off the round loop ({fsyncs} fsync(s), "
+          f"p50 {fsync_ms:.2f} ms each), backlog "
+          f"{pipeline.get('commit_backlog', 0)}; the round loop only "
+          f"waited for commits {wait.get('count', 0)} time(s)"
+          + (f" (p50 {wait.get('p50_ms', 0.0):.2f} ms)"
+             if wait.get("count") else ""))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=3,
@@ -133,6 +162,7 @@ def main() -> None:
                     assert np.array_equal(reply["scores_array"],
                                           reference[name][r]), \
                         f"live {name} round {r} diverged from reference"
+            report_overlap(client.stats())
 
         print(f"[3/4] SIGKILL the gateway (pid {child.pid}) — no drain, "
               "no snapshot ...")

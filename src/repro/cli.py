@@ -358,6 +358,7 @@ def cmd_gateway(args) -> int:
         server = GatewayServer(fleet, host=args.host, port=args.port,
                                max_queue_depth=args.max_queue_depth,
                                policy=args.policy, codec=args.codec,
+                               pipeline=args.pipeline_rounds,
                                **wal_kwargs, **trace_kwargs)
     except DurabilityError as exc:
         fleet.close()
@@ -373,6 +374,10 @@ def cmd_gateway(args) -> int:
             print(f"[gateway] durable: write-ahead log at {args.wal_dir} "
                   "(acks follow the fsync; recover with "
                   f"'repro recover {args.wal_dir}')")
+        print("[gateway] rounds: "
+              + ("pipelined (async group-commit acks; --no-pipeline for "
+                 "the serial loop)" if args.pipeline_rounds
+                 else "serial (commit in round)"))
         if args.trace_dir:
             print(f"[gateway] tracing: spans export to {args.trace_dir} "
                   "on drain (summarize with "
@@ -394,21 +399,27 @@ def cmd_gateway(args) -> int:
 def cmd_loadgen(args) -> int:
     """Drive an in-process gateway, verify parity, write BENCH_5.json
     (or, with ``--wal``, the BENCH_6.json durability A/B profile; with
-    ``--codec-ab``, the BENCH_7.json wire-codec A/B profile)."""
+    ``--codec-ab``, the BENCH_7.json wire-codec A/B profile; with
+    ``--pipeline-ab``, the BENCH_10.json pipelined-rounds A/B
+    profile)."""
     from .api import Pipeline
     from .gateway import (DEFAULT_CODEC_AB_BENCH_PATH,
                           DEFAULT_DURABILITY_BENCH_PATH,
                           DEFAULT_GATEWAY_BENCH_PATH,
+                          DEFAULT_PIPELINE_AB_BENCH_PATH,
                           format_codec_ab_benchmark,
                           format_durability_benchmark,
                           format_gateway_benchmark,
+                          format_pipeline_ab_benchmark,
                           run_codec_ab_benchmark,
-                          run_durability_benchmark, run_gateway_benchmark)
+                          run_durability_benchmark, run_gateway_benchmark,
+                          run_pipeline_ab_benchmark)
     from .serving import write_benchmark
-    if args.wal and args.codec_ab:
-        raise SystemExit("error: --wal and --codec-ab are separate "
-                         "profiles; pick one")
-    if (args.wal or args.codec_ab) and (args.trace_dir or args.shards):
+    if sum(map(bool, (args.wal, args.codec_ab, args.pipeline_ab))) > 1:
+        raise SystemExit("error: --wal, --codec-ab and --pipeline-ab are "
+                         "separate profiles; pick one")
+    if (args.wal or args.codec_ab or args.pipeline_ab) \
+            and (args.trace_dir or args.shards):
         raise SystemExit("error: --trace-dir/--shards apply to the "
                          "concurrency sweep only")
     if args.shards < 0:
@@ -419,6 +430,8 @@ def cmd_loadgen(args) -> int:
     pipeline = Pipeline(config)
     rounds = args.rounds if args.rounds is not None else (4 if args.quick
                                                           else 6)
+    wps = args.windows_per_step if args.windows_per_step is not None \
+        else (16 if args.pipeline_ab else 2)
     levels = tuple(dict.fromkeys(args.levels))  # dedup, keep order
     if any(level < 1 for level in levels):
         raise SystemExit("error: --levels entries must be >= 1")
@@ -430,7 +443,7 @@ def cmd_loadgen(args) -> int:
               "frames at small and large window batches...")
         result = run_codec_ab_benchmark(
             pipeline, streams=args.streams, missions=args.missions,
-            windows_per_step=args.windows_per_step, rounds=rounds,
+            windows_per_step=wps, rounds=rounds,
             levels=levels, rate=args.rate, stream_seed=args.stream_seed,
             max_batch_windows=args.max_batch_windows,
             max_queue_depth=args.max_queue_depth, policy=args.policy)
@@ -447,6 +460,36 @@ def cmd_loadgen(args) -> int:
                   "large-window profile (the codec regression gate)")
             return 1
         return 0
+    if args.pipeline_ab:
+        clients = min(args.streams, max(levels))
+        print(f"[loadgen] pipelined rounds A/B: {args.streams} stream(s) "
+              f"x {rounds} round(s) x {wps} windows/request, {clients} "
+              "client(s) — serial vs pipelined parity matrix, rate-paced "
+              "WAL A/B, crash drill...")
+        result = run_pipeline_ab_benchmark(
+            pipeline, streams=args.streams, missions=args.missions,
+            windows_per_step=wps, rounds=rounds,
+            clients=clients, rate=args.rate, stream_seed=args.stream_seed,
+            max_batch_windows=args.max_batch_windows,
+            max_queue_depth=args.max_queue_depth, policy=args.policy)
+        print(format_pipeline_ab_benchmark(result))
+        path = write_benchmark(result,
+                               args.output or DEFAULT_PIPELINE_AB_BENCH_PATH)
+        print(f"[loadgen] wrote {path}")
+        if not result["parity"]["identical"]:
+            print("[loadgen] FAIL: a matrix or WAL cell's scores diverged "
+                  "from the direct in-process fleet run")
+            return 1
+        if not result["recovery"]["ok"]:
+            print("[loadgen] FAIL: the pipelined crash drill lost or "
+                  "corrupted an acked ingest")
+            return 1
+        if args.verify and not result["gate"]["wal_p50_pipelined_le_serial"]:
+            print("[loadgen] FAIL: pipelined p50 exceeded serial p50 on "
+                  "the rate-paced WAL profile (the pipelining "
+                  "regression gate)")
+            return 1
+        return 0
     if args.wal:
         clients = levels[0]
         print(f"[loadgen] durability A/B: {args.streams} stream(s) x "
@@ -454,7 +497,7 @@ def cmd_loadgen(args) -> int:
               "a write-ahead log...")
         result = run_durability_benchmark(
             pipeline, streams=args.streams, missions=args.missions,
-            windows_per_step=args.windows_per_step, rounds=rounds,
+            windows_per_step=wps, rounds=rounds,
             clients=clients, rate=args.rate, stream_seed=args.stream_seed,
             max_batch_windows=args.max_batch_windows,
             max_queue_depth=args.max_queue_depth, policy=args.policy)
@@ -477,7 +520,7 @@ def cmd_loadgen(args) -> int:
           + (", traced" if args.trace_dir else "") + "...")
     result = run_gateway_benchmark(
         pipeline, streams=args.streams, missions=args.missions,
-        windows_per_step=args.windows_per_step, rounds=rounds,
+        windows_per_step=wps, rounds=rounds,
         levels=levels, rate=args.rate, stream_seed=args.stream_seed,
         max_batch_windows=args.max_batch_windows,
         max_queue_depth=args.max_queue_depth, policy=args.policy,
@@ -717,6 +760,11 @@ def cmd_stats(args) -> int:
     if transport:
         print("  transport: " + ", ".join(
             f"{key}={value}" for key, value in sorted(transport.items())))
+    pipeline = engine.get("pipeline")
+    if pipeline:
+        print("  pipeline: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(pipeline.items())
+            if key != "enabled"))
     histograms = metrics.get("histograms") or {}
     populated = {name: hist for name, hist in histograms.items()
                  if hist.get("count")}
@@ -914,6 +962,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default=16 * 1024 * 1024,
                    help="also snapshot once this many log bytes accumulate "
                         "(default 16 MiB)")
+    p.add_argument("--pipeline", dest="pipeline_rounds",
+                   action=argparse.BooleanOptionalAction, default=True,
+                   help="pipelined rounds (default on): the group-commit "
+                        "fsync and acks run on a committer thread while "
+                        "the next round computes; --no-pipeline restores "
+                        "the serial commit-in-round loop")
     p.add_argument("--trace-dir", metavar="PATH", default=None,
                    help="trace every request end to end (gateway, engine, "
                         "shard, WAL spans) and export trace.jsonl + a "
@@ -936,8 +990,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="engine scheduling policy on the server "
                         "(default fair; parity holds under all)")
-    p.add_argument("--windows-per-step", type=int, default=2,
-                   help="arrival windows per request (default 2)")
+    p.add_argument("--windows-per-step", type=int, default=None,
+                   help="arrival windows per request (default 2; 16 with "
+                        "--pipeline-ab, whose fsyncs need real payloads "
+                        "to be worth overlapping)")
     p.add_argument("--rounds", type=int, default=None,
                    help="requests per stream (default 6; 4 with --quick)")
     p.add_argument("--levels", type=int, nargs="+", default=[1, 2, 4],
@@ -968,17 +1024,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "a write-ahead log, record the p50/p95 overhead, "
                         "and verify the log recovers (BENCH_6.json; uses "
                         "the first --levels entry as the client count)")
+    p.add_argument("--pipeline-ab", action="store_true",
+                   help="pipelined-rounds A/B profile instead of the "
+                        "concurrency sweep: a serial-vs-pipelined x "
+                        "json/binary x inline/sharded parity matrix, a "
+                        "rate-paced durable A/B of async group-commit "
+                        "acks, and a crash-recovery drill against a "
+                        "pipelined engine (BENCH_10.json); with --verify, "
+                        "fail unless pipelined p50 <= serial p50 with the "
+                        "WAL on")
     p.add_argument("--verify", action="store_true",
                    help="fail (exit 1) unless gateway scores are "
                         "bit-identical to the direct in-process run "
                         "(parity is always measured; this is already the "
                         "default behavior, the flag records intent); with "
                         "--codec-ab, additionally enforce the codec "
-                        "regression gate")
+                        "regression gate; with --pipeline-ab, the "
+                        "pipelining regression gate")
     p.add_argument("--output", metavar="PATH", default=None,
                    help="result JSON path (default BENCH_5.json; "
                         "BENCH_6.json with --wal, BENCH_7.json with "
-                        "--codec-ab)")
+                        "--codec-ab, BENCH_10.json with --pipeline-ab)")
     p.add_argument("--shards", type=int, default=0,
                    help="serve each level from a fleet sharded across N "
                         "worker processes (default 0: inline; the parity "

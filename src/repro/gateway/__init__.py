@@ -39,6 +39,11 @@ stdlib + numpy only:
     parity-verified load served over JSON and over binary frames at
     small and large window batches (plus a shared-memory sharded side),
     recording the latency/throughput delta the binary codec buys.
+:func:`run_pipeline_ab_benchmark`
+    The pipelined-rounds A/B profile written as ``BENCH_10.json``: a
+    serial/pipelined x codec x inline/sharded parity matrix, a
+    rate-paced WAL A/B measuring what the async group commit buys, and
+    a crash-recovery drill against a pipelined engine.
 
 The server itself no longer owns a round loop: requests feed the fleet's
 :class:`repro.runtime.ServingEngine` admission queues, and a pluggable
@@ -50,6 +55,7 @@ from .client import (
     DEFAULT_CODEC_AB_BENCH_PATH,
     DEFAULT_DURABILITY_BENCH_PATH,
     DEFAULT_GATEWAY_BENCH_PATH,
+    DEFAULT_PIPELINE_AB_BENCH_PATH,
     GatewayClient,
     GatewayError,
     LoadGenConfig,
@@ -58,9 +64,11 @@ from .client import (
     format_codec_ab_benchmark,
     format_durability_benchmark,
     format_gateway_benchmark,
+    format_pipeline_ab_benchmark,
     run_codec_ab_benchmark,
     run_durability_benchmark,
     run_gateway_benchmark,
+    run_pipeline_ab_benchmark,
 )
 # Compatibility re-exports: the metrics primitives were promoted to
 # repro.metrics (repro.gateway.metrics remains as a deprecation shim).
@@ -115,6 +123,9 @@ __all__ = [
     "run_codec_ab_benchmark",
     "format_codec_ab_benchmark",
     "DEFAULT_CODEC_AB_BENCH_PATH",
+    "run_pipeline_ab_benchmark",
+    "format_pipeline_ab_benchmark",
+    "DEFAULT_PIPELINE_AB_BENCH_PATH",
     "Counter",
     "Gauge",
     "LatencyHistogram",

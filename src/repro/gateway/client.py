@@ -51,7 +51,9 @@ __all__ = ["GatewayError", "GatewayClient", "LoadGenConfig",
            "run_durability_benchmark", "format_durability_benchmark",
            "DEFAULT_DURABILITY_BENCH_PATH",
            "run_codec_ab_benchmark", "format_codec_ab_benchmark",
-           "DEFAULT_CODEC_AB_BENCH_PATH"]
+           "DEFAULT_CODEC_AB_BENCH_PATH",
+           "run_pipeline_ab_benchmark", "format_pipeline_ab_benchmark",
+           "DEFAULT_PIPELINE_AB_BENCH_PATH"]
 
 #: BENCH_4 was the pre-runtime gateway artifact; BENCH_5 adds the
 #: promoted engine metrics (rounds, coalesce ratio, queue gauges) from
@@ -68,6 +70,14 @@ DEFAULT_DURABILITY_BENCH_PATH = "BENCH_6.json"
 #: and large window batches, recording the latency/throughput delta —
 #: plus a sharded (shared-memory ring) side gated on the same parity.
 DEFAULT_CODEC_AB_BENCH_PATH = "BENCH_7.json"
+
+#: BENCH_10 is the pipelining A/B profile: the identical load served by
+#: a serial round loop and by pipelined rounds (async group-commit acks
+#: + the fused score/ingest scatter), across a serial/pipelined x
+#: json/binary x inline/sharded parity matrix plus a WAL-enabled
+#: latency/throughput A/B — gated on every cell's bit parity and on a
+#: crash-recovery drill against a pipelined engine.
+DEFAULT_PIPELINE_AB_BENCH_PATH = "BENCH_10.json"
 
 
 class GatewayError(Exception):
@@ -1017,4 +1027,327 @@ def format_codec_ab_benchmark(result: dict) -> str:
                  f"{gate['large_p50_binary_le_json']}, top-level speedup "
                  f"ok: {gate['top_level_speedup']['ok']}")
     lines.append(f"  parity (all runs): {result['parity']['identical']}")
+    return "\n".join(lines)
+
+# ---------------------------------------------------------------------
+# The BENCH_10 harness: pipelined rounds A/B
+# ---------------------------------------------------------------------
+def _pipelined_crash_drill(pipeline, missions, streams, windows_per_step,
+                           stream_seed, rounds, max_batch_windows,
+                           wal_config) -> dict:
+    """Crash-recovery drill against a *pipelined* engine: serve durable
+    rounds with the committer thread doing the fsyncs, drain, then
+    abandon the WAL without any clean close (no parting snapshot, no
+    final flush beyond what the committer already fsynced — the SIGKILL
+    stand-in) and recover it.  Every ingest acked through ``on_commit``
+    must come back from replay bit-identically: acks only ever resolve
+    after the fsync covering them, so a crash can lose unacked tail
+    work but never an acked ingest.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..runtime import EngineRequest
+    from ..serving import build_fleet
+    from ..wal import WalDurability, recover_fleet
+
+    fleet = build_fleet(pipeline, missions, streams,
+                        adaptive=False, share_models=True,
+                        windows_per_step=windows_per_step,
+                        stream_seed=stream_seed,
+                        max_batch_windows=max_batch_windows)
+    wal_path = Path(tempfile.mkdtemp(prefix="repro-pipeline-drill-"))
+    durability = WalDurability(fleet, wal_path, config=wal_config)
+    engine = fleet.engine
+    engine.durability = durability
+    engine.pipeline = True
+    acked: dict[str, list[np.ndarray]] = {name: []
+                                          for name in fleet.names}
+
+    def on_commit(results) -> None:
+        for result in results:
+            if result.kind == "event":
+                acked[result.request.stream].append(result.event.scores)
+
+    engine.on_commit = on_commit
+    available = min(len(slot.stream) for slot in fleet.slots)
+    rounds = min(rounds, available)
+    windows = {slot.name: [np.asarray(slot.stream.batch(r).windows,
+                                      dtype=np.float64)
+                           for r in range(rounds)]
+               for slot in fleet.slots}
+    for round_index in range(rounds):
+        for name in fleet.names:
+            engine.submit(EngineRequest(
+                op="ingest", stream=name,
+                windows=windows[name][round_index]))
+        engine.run_round()
+    engine.stop_committer()
+    # "Crash": durability is never closed — recovery sees exactly what
+    # the committer fsynced, nothing more.
+    recovered, report = recover_fleet(wal_path)
+    acked_count = sum(len(scores) for scores in acked.values())
+    compared = 0
+    ok = True
+    for name, mine in acked.items():
+        replayed = report.scores.get(name, [])
+        if len(replayed) < len(mine):
+            ok = False
+        for got, expected in zip(replayed, mine):
+            compared += 1
+            if not np.array_equal(got, expected):
+                ok = False
+    recovered.close()
+    shutil.rmtree(wal_path, ignore_errors=True)
+    return {"ok": ok and compared == acked_count,
+            "acked": acked_count, "compared": compared,
+            "records": report.records, "replayed": report.replayed,
+            "duration_seconds": report.duration}
+
+
+def run_pipeline_ab_benchmark(pipeline, streams: int = 4,
+                              missions: list[str] | None = None,
+                              windows_per_step: int = 2, rounds: int = 6,
+                              clients: int = 2, rate: float | None = None,
+                              stream_seed: int = 100,
+                              max_batch_windows: int | None = None,
+                              max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                              policy=None, shards: int = 2,
+                              wal_config=None) -> dict:
+    """A/B profile of pipelined rounds (the ``BENCH_10.json`` artifact).
+
+    Two measurements over the identical pre-materialized load:
+
+    * a **parity matrix** — serial vs pipelined x json vs binary frames
+      x inline vs ``shards``-way sharded fleet (the sharded cells also
+      exercise the fused ``serve_round`` scatter), every cell checked
+      bit-for-bit against the direct in-process reference;
+    * a **WAL A/B** — the same durable load served by a serial and a
+      pipelined gateway at a fixed offered rate (calibrated to ~95% of
+      the serial gateway's closed-loop capacity unless ``rate`` is
+      given), recording what overlapping the group-commit fsync with
+      the next round's compute buys in p50 and throughput (the headline
+      gate: pipelined p50 <= serial p50, throughput >= serial, with the
+      WAL on).
+
+    Plus a crash-recovery drill against a pipelined engine (fsyncs on
+    the committer thread, no clean close, replay must return every
+    acked ingest) — see :func:`_pipelined_crash_drill`.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..serving import build_fleet, build_sharded_fleet
+    from ..serving.bench import _environment
+
+    missions = missions or ["Stealing"]
+    stream_windows, reference, rounds = _direct_reference(
+        pipeline, missions, streams, windows_per_step, stream_seed,
+        rounds, max_batch_windows)
+
+    def run_side(pipelined: bool, codec: str = "binary",
+                 shard_count: int = 0, wal_path=None,
+                 rate_override: float | None = None) -> dict:
+        if shard_count:
+            fleet = build_sharded_fleet(
+                pipeline, missions, streams, shard_count,
+                adaptive=False, share_models=True,
+                windows_per_step=windows_per_step,
+                stream_seed=stream_seed,
+                max_batch_windows=max_batch_windows)
+        else:
+            fleet = build_fleet(pipeline, missions, streams,
+                                adaptive=False, share_models=True,
+                                windows_per_step=windows_per_step,
+                                stream_seed=stream_seed,
+                                max_batch_windows=max_batch_windows)
+        server_kwargs = dict(max_queue_depth=max_queue_depth,
+                             policy=policy, pipeline=pipelined)
+        if wal_path is not None:
+            server_kwargs.update(wal_dir=wal_path, wal_config=wal_config)
+        with fleet, serve_in_thread(fleet, **server_kwargs) as handle:
+            generator = LoadGenerator(
+                handle.address, stream_windows,
+                LoadGenConfig(clients=clients, rounds=rounds,
+                              rate=rate_override if rate_override
+                              is not None else rate,
+                              codec=codec))
+            result = generator.run()
+            with GatewayClient(*handle.address) as observer:
+                server_stats = observer.stats()
+        mode = "pipelined" if pipelined else "serial"
+        stats = result.summary(phase=f"{mode} gateway ({codec}, "
+                                     f"{shard_count or 'inline'})")
+        stats["parity"] = _check_parity(result, reference)
+        stats["server"] = {"engine": server_stats.get("engine"),
+                           "metrics": server_stats.get("metrics")}
+        if result.errors:
+            stats["error_messages"] = result.errors[:10]
+        return stats
+
+    # The parity matrix: serial/pipelined x json/binary x inline/sharded,
+    # WAL off (the WAL A/B below covers the durable path).
+    matrix: dict[str, dict] = {}
+    all_identical = True
+    for pipelined in (False, True):
+        for codec in ("json", "binary"):
+            for shard_count in (0, shards):
+                key = (f"{'pipelined' if pipelined else 'serial'}"
+                       f"|{codec}|{shard_count or 'inline'}")
+                cell = run_side(pipelined, codec=codec,
+                                shard_count=shard_count)
+                matrix[key] = cell
+                all_identical = all_identical \
+                    and cell["parity"]["identical"] \
+                    and "error_messages" not in cell
+
+    # The WAL A/B: identical durable load, serial vs pipelined acks.
+    # Closed-loop lockstep cannot show what pipelining buys — every
+    # client blocks on the ack its own round's fsync gates, so there is
+    # never queued work for the fsync to overlap with.  Group commit
+    # pipelining targets *sustained offered load*: calibrate the serial
+    # gateway's closed-loop capacity first, then rate-pace both sides
+    # just under it, where serial mode's inline fsync surfaces as
+    # queueing delay and the pipelined round loop's extra capacity
+    # absorbs it.
+    def durable_side(pipelined: bool,
+                     rate_override: float | None = None) -> dict:
+        wal_path = Path(tempfile.mkdtemp(prefix="repro-pipeline-wal-"))
+        try:
+            return run_side(pipelined, wal_path=wal_path,
+                            rate_override=rate_override)
+        finally:
+            shutil.rmtree(wal_path, ignore_errors=True)
+
+    calibration = durable_side(False)
+    paced_rate = rate
+    if paced_rate is None:
+        paced_rate = 0.95 * calibration["requests_per_sec"]
+    wal_sides: dict[str, dict] = {}
+    for mode, pipelined in (("serial", False), ("pipelined", True)):
+        wal_sides[mode] = durable_side(pipelined,
+                                       rate_override=paced_rate)
+        all_identical = all_identical \
+            and wal_sides[mode]["parity"]["identical"] \
+            and "error_messages" not in wal_sides[mode]
+    all_identical = all_identical and calibration["parity"]["identical"] \
+        and "error_messages" not in calibration
+
+    def _p50(stats: dict) -> float | None:
+        return (stats.get("latency") or {}).get("p50_ms")
+
+    serial_wal, pipelined_wal = wal_sides["serial"], wal_sides["pipelined"]
+    delta: dict = {}
+    serial_p50, pipelined_p50 = _p50(serial_wal), _p50(pipelined_wal)
+    if serial_p50 is not None and pipelined_p50 is not None:
+        delta["p50_delta_ms"] = pipelined_p50 - serial_p50
+    if serial_wal["windows_per_sec"] > 0:
+        delta["throughput_ratio"] = (pipelined_wal["windows_per_sec"]
+                                     / serial_wal["windows_per_sec"])
+
+    recovery = _pipelined_crash_drill(
+        pipeline, missions, streams, windows_per_step, stream_seed,
+        rounds, max_batch_windows, wal_config)
+
+    gate = {
+        "wal_p50_pipelined_le_serial": (
+            serial_p50 is not None and pipelined_p50 is not None
+            and pipelined_p50 <= serial_p50),
+        "wal_throughput_ge_serial": delta.get("throughput_ratio", 0.0)
+        >= 1.0,
+        "all_cells_identical": all_identical,
+        "recovery_ok": recovery["ok"],
+    }
+
+    # The pipelined durable side's engine stats carry the new pipeline
+    # gauges (commit backlog, committer queue depth, fused round-trips).
+    pipeline_stats = ((pipelined_wal.get("server") or {})
+                      .get("engine") or {}).get("pipeline")
+
+    return {
+        "benchmark": "gateway_pipeline_ab",
+        "config": {
+            "streams": streams,
+            "missions": list(missions),
+            "windows_per_step": windows_per_step,
+            "rounds": rounds,
+            "clients": clients,
+            "rate": rate,
+            "stream_seed": stream_seed,
+            "max_batch_windows": max_batch_windows,
+            "max_queue_depth": max_queue_depth,
+            "policy": getattr(policy, "name", policy) or "fair",
+            "shards": shards,
+            "fsync_batch": getattr(wal_config, "fsync_batch", None),
+            "fsync_interval_ms": getattr(wal_config, "fsync_interval_ms",
+                                         None),
+        },
+        "matrix": matrix,
+        "wal": {"calibration": calibration, "paced_rate": paced_rate,
+                "serial": serial_wal, "pipelined": pipelined_wal,
+                "delta": delta},
+        "pipeline_stats": pipeline_stats,
+        "recovery": recovery,
+        "gate": gate,
+        "parity": {"identical": all_identical},
+        "environment": _environment(),
+    }
+
+
+def format_pipeline_ab_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a BENCH_10 payload."""
+    cfg = result["config"]
+    lines = [
+        f"pipelined rounds A/B benchmark: {cfg['streams']} stream(s) x "
+        f"{cfg['windows_per_step']} windows/request, {cfg['rounds']} "
+        f"round(s)/stream, {cfg['clients']} client(s), "
+        f"{cfg['shards']} shard(s) in sharded cells",
+        "  parity matrix (WAL off):",
+    ]
+    for key, stats in result["matrix"].items():
+        latency = stats.get("latency", {})
+        lines.append(
+            f"    {key:>26s}: {stats['windows_per_sec']:8.1f} windows/s"
+            f"   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+            f"   identical: {stats['parity']['identical']}")
+    rate = result["wal"].get("paced_rate")
+    lines.append(f"  WAL A/B (binary, inline, paced at "
+                 f"{rate:.0f} req/s):" if rate
+                 else "  WAL A/B (binary, inline):")
+    for mode in ("serial", "pipelined"):
+        stats = result["wal"][mode]
+        latency = stats.get("latency", {})
+        lines.append(
+            f"    {mode:>9s}: {stats['windows_per_sec']:8.1f} windows/s"
+            f"   p50 {latency.get('p50_ms', float('nan')):7.2f} ms"
+            f"   p95 {latency.get('p95_ms', float('nan')):7.2f} ms"
+            f"   identical: {stats['parity']['identical']}")
+    delta = result["wal"]["delta"]
+    parts = []
+    if "p50_delta_ms" in delta:
+        parts.append(f"p50 {delta['p50_delta_ms']:+.2f} ms")
+    if "throughput_ratio" in delta:
+        parts.append(f"throughput x{delta['throughput_ratio']:.3f}")
+    if parts:
+        lines.append(f"    pipelined vs serial: {', '.join(parts)}")
+    stats = result.get("pipeline_stats")
+    if stats:
+        lines.append(f"  pipeline: {stats.get('commit_batches', 0)} "
+                     f"commit batch(es), backlog "
+                     f"{stats.get('commit_backlog', 0)}"
+                     + (f", {stats['fused_rounds']} fused round(s)"
+                        if "fused_rounds" in stats else ""))
+    recovery = result["recovery"]
+    lines.append(f"  crash drill: ok={recovery['ok']} "
+                 f"({recovery['acked']} acked ingest(s), "
+                 f"{recovery['replayed']} replayed, "
+                 f"{recovery['duration_seconds'] * 1e3:.1f} ms)")
+    gate = result["gate"]
+    lines.append(f"  gate: wal p50 pipelined<=serial: "
+                 f"{gate['wal_p50_pipelined_le_serial']}, throughput>=1: "
+                 f"{gate['wal_throughput_ge_serial']}, recovery: "
+                 f"{gate['recovery_ok']}")
+    lines.append(f"  parity (all cells): {result['parity']['identical']}")
     return "\n".join(lines)

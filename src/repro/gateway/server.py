@@ -28,7 +28,11 @@ Durable serving: constructed with ``wal_dir``, the gateway attaches a
 ingest is logged before it becomes schedulable and fsynced (group
 commit, one per round) before its response future resolves, so an acked
 ingest survives a SIGKILL and ``repro recover <wal_dir>`` rebuilds the
-fleet bit-identically.
+fleet bit-identically.  By default rounds are *pipelined*: the engine's
+committer thread fsyncs round N while the round loop computes round
+N+1, and acks resolve from the committer once their covering fsync
+returns — same ack-after-fsync guarantee, shorter critical path
+(``pipeline=False`` restores the serial loop).
 
 The server fronts a :class:`~repro.serving.DeploymentFleet` or a
 :class:`~repro.serving.ShardedFleet` interchangeably — both are facades
@@ -113,7 +117,8 @@ class GatewayServer:
                  policy=None, wal_dir=None, wal_config=None,
                  snapshot_policy=None, codec: str = "binary",
                  tracer=None, trace_dir=None,
-                 slow_round_ms: float | None = None):
+                 slow_round_ms: float | None = None,
+                 pipeline: bool = True):
         if max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
         if codec not in CODECS:
@@ -173,6 +178,22 @@ class GatewayServer:
                 fleet, wal_dir, config=wal_config, policy=snapshot_policy,
                 metrics=self.metrics, tracer=self.tracer)
             self.engine.durability = self.durability
+        # Pipelined rounds (default): run_round hands each round's
+        # results to the engine's committer thread and immediately
+        # schedules the next round, overlapping round N's group-commit
+        # fsync with round N+1's compute.  The committer delivers the
+        # results through _on_batch_committed once their fsync returns,
+        # so acks are still strictly after the fsync that covers them —
+        # --no-pipeline restores the fully serial round loop.
+        self.pipeline = bool(pipeline)
+        self.engine.pipeline = self.pipeline
+        self.engine.on_commit = self._on_batch_committed if self.pipeline \
+            else None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Size of the most recent committed ack burst — the round-gather
+        # window's estimate of how many closed-loop clients just
+        # unblocked (see _gather_arrivals).
+        self._ack_burst = 1
         self.host = host
         self.port = port
         self.max_queue_depth = max_queue_depth
@@ -207,6 +228,7 @@ class GatewayServer:
         (with ``port=0`` the OS picks a free ephemeral port)."""
         if self._server is not None:
             raise StateError("server already started")
+        self._loop = asyncio.get_running_loop()
         self._work = asyncio.Event()
         self._paused = asyncio.Event()
         self._paused.set()
@@ -250,12 +272,20 @@ class GatewayServer:
         self._paused.set()      # a paused server must still drain
         self._work.set()        # wake the round loop so it can notice
         await self._idle.wait()
+        loop = asyncio.get_running_loop()
+        if self.pipeline:
+            # Committer barrier: every handed-off batch fsyncs and
+            # delivers before connections close, so the last round's
+            # acks are written, not dropped.  Joining a thread blocks,
+            # hence the executor; the yield after lets the response
+            # tasks the delivered results woke buffer their frames.
+            await loop.run_in_executor(None, self.engine.stop_committer)
+            await asyncio.sleep(0)
         self._server.close()
         await self._server.wait_closed()
         for conn in list(self._connections):
             conn.writer.close()
         self._executor.shutdown(wait=True)
-        loop = asyncio.get_running_loop()
         if self.durability is not None:
             # After the executor is done: no round is running, so the
             # parting snapshot sees quiescent fleet state.  The close
@@ -298,6 +328,12 @@ class GatewayServer:
         every selected or expired request comes back as exactly one
         :class:`~repro.runtime.RoundResult`, so no client is ever left
         hanging.
+
+        Pipelined mode: ``run_round`` returns ``[]`` (results arrive via
+        the committer's :meth:`_on_batch_committed` once their group
+        commit fsyncs), so the resolution loop below only runs on the
+        serial path — the next round starts without waiting for the
+        previous round's fsync.
         """
         loop = asyncio.get_running_loop()
         while True:
@@ -309,6 +345,8 @@ class GatewayServer:
             await self._paused.wait()
             if not self.engine.has_pending():
                 continue
+            if self.pipeline:
+                await self._gather_arrivals(loop)
             try:
                 results = await loop.run_in_executor(
                     self._executor, self.engine.run_round)
@@ -327,6 +365,57 @@ class GatewayServer:
                 pending = result.request.tag
                 if not pending.future.done():
                     pending.future.set_result(result)
+
+    async def _gather_arrivals(self, loop) -> None:
+        """Pipelined mode's round-gather window.
+
+        A committed batch acks several closed-loop clients at once, but
+        their next requests arrive staggered by thread scheduling;
+        starting a round on the very first arrival would fragment what
+        serial mode serves as one coalesced round (serial mode's inline
+        fsync used to give stragglers time to pile up).  Anticipate the
+        burst: the last resolved batch's size bounds how many clients
+        just unblocked, so wait — one short beat at a time, bounded —
+        until that many requests are pending or arrivals go quiet, and
+        stop the instant the expectation is met so a full round starts
+        with no trailing delay."""
+        pending = self.engine.pending_count()
+        expected = self._ack_burst
+        if pending >= expected:
+            return
+        deadline = loop.time() + 0.004
+        while loop.time() < deadline:
+            await asyncio.sleep(0.0005)
+            count = self.engine.pending_count()
+            if count >= expected or count <= pending:
+                return
+            pending = count
+
+    def _on_batch_committed(self, results) -> None:
+        """Completion sink for the engine's committer thread (pipelined
+        mode): marshal one committed batch onto the event loop to
+        resolve its response futures.  The fsync covering these requests
+        has already returned (or the batch carries typed ``durability``
+        errors), so resolving here preserves ack-after-fsync."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._resolve_results, results)
+        except RuntimeError:
+            # The loop shut down between the check and the call; the
+            # futures' owners are gone with it.
+            pass
+
+    def _resolve_results(self, results) -> None:
+        if not results:
+            return
+        self._ack_burst = len(results)
+        self.metrics.counter("gateway.rounds").inc()
+        for result in results:
+            pending = result.request.tag
+            if not pending.future.done():
+                pending.future.set_result(result)
 
     # ------------------------------------------------------------------
     # Connection handling

@@ -246,6 +246,17 @@ class ShardedBackend(ExecutionBackend):
             trace=trace if self._tracer is not None else None,
             span_sink=self._record_worker_spans)
 
+    def serve_round(self, arrivals: dict,
+                    ingest: list[str]) -> tuple[dict, dict, list[str]]:
+        """Fused score+ingest wave: one scatter round-trip per shard
+        instead of the split score/ingest pair.  The engine uses this on
+        untraced rounds only — traced rounds keep the split commands so
+        per-stage spans stay exact — and falls back to the split
+        per-entry isolation path for any ``unscored`` streams.  Scores
+        are bit-identical either way (same per-shard batch
+        composition)."""
+        return self._fleet.serve_round(arrivals, ingest)
+
     def _record_worker_spans(self, payloads) -> None:
         """Land shard-worker span dicts in the parent recorder."""
         tracer = self._tracer

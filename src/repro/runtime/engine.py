@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
-from threading import Lock
+from dataclasses import dataclass, field
+from threading import Condition, Lock, Thread
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -120,6 +120,26 @@ class AdmissionError(ReproError, RuntimeError):
         self.message = message
 
 
+@dataclass
+class _CommitBatch:
+    """One round's results riding the committer queue (pipelined mode).
+
+    Batches are strictly FIFO: the committer pops them in handoff order,
+    so the WAL sees watermark/skip records in exactly the order the
+    serial commit would have written them.  ``dur_span`` is the round's
+    ``engine.durability`` active span, opened on the round thread at
+    handoff and finished on the committer thread after the fsync — which
+    is how ``wal.fsync`` spans stay parented under the *committing*
+    round even though they are recorded from another thread.
+    """
+
+    results: list[RoundResult]
+    handed_off: float                 # perf_counter at handoff
+    dur_span: object = None           # repro.obs ActiveSpan | None
+    round_index: int = 0
+    wal_seqs: list[int] = field(default_factory=list)
+
+
 class ServingEngine:
     """Drives rounds over an :class:`~repro.runtime.ExecutionBackend`.
 
@@ -130,17 +150,32 @@ class ServingEngine:
     :meth:`ingest_round`, :meth:`score_only`) are single-caller, like the
     fleet methods they replaced.
 
+    **Pipelined mode** (``pipeline=True``): :meth:`run_round` no longer
+    returns its results — it hands them to a dedicated committer thread
+    as an ordered :class:`_CommitBatch` and returns ``[]`` immediately,
+    so round N+1's scheduling/scoring overlaps round N's group-commit
+    fsync.  The committer applies the batch's watermark/skip records,
+    fsyncs, and only then delivers the results through the ``on_commit``
+    callback — ack-after-fsync is preserved, just off the critical path.
+    Batches commit strictly FIFO; a failed fsync latches the engine
+    exactly like the serial path (the failing batch *and every batch
+    queued behind it* deliver typed ``durability`` errors, and
+    :meth:`submit` refuses new ingests).  :meth:`drain_commits` is the
+    barrier callers (snapshots, shutdown) use; :meth:`stop_committer`
+    drains and joins the thread.
+
     The lock discipline is machine-checked: attributes annotated
-    ``# repro: guarded-by[_lock]`` (the queues, the durability latch)
-    may only be touched inside ``with self._lock`` or in methods
-    annotated ``# repro: lock-held`` — ``repro lint`` (the **lock-guard**
-    rule) fails CI on any unguarded access.
+    ``# repro: guarded-by[_lock]`` (the queues, the durability latch,
+    the committer's shared state) may only be touched inside
+    ``with self._lock`` or in methods annotated ``# repro: lock-held`` —
+    ``repro lint`` (the **lock-guard** rule) fails CI on any unguarded
+    access.
     """
 
     def __init__(self, backend, policy=None, metrics: MetricsRegistry | None = None,
                  max_queue_depth: int | None = None, clock=time.monotonic,
                  durability=None, tracer=None, slow_round_ms: float | None = None,
-                 on_slow_round=None):
+                 on_slow_round=None, pipeline: bool = False, on_commit=None):
         from .policies import FairRoundRobin
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -171,6 +206,20 @@ class ServingEngine:
         # Context the durability hook parents wal.fsync spans under;
         # set only for the duration of a traced round's commit.
         self.durability_trace = None
+        # Pipelined group commit: round N's fsync overlaps round N+1's
+        # compute.  on_commit(results) is the completion sink (the
+        # gateway resolves its response futures there); it runs on the
+        # committer thread.
+        self.pipeline = bool(pipeline)
+        self.on_commit = on_commit
+        self._commit_queue: deque[_CommitBatch] = deque()  # repro: guarded-by[_lock]
+        self._commit_active: _CommitBatch | None = None  # repro: guarded-by[_lock]
+        self._commit_stop = False  # repro: guarded-by[_lock]
+        self._snapshot_due = False  # repro: guarded-by[_lock]
+        self._committer: Thread | None = None  # repro: guarded-by[_lock]
+        # Shares _lock so committer waits hold the same lock the
+        # guarded state lives under.
+        self._commit_cv = Condition(self._lock)
         if tracer is not None:
             self.tracer = tracer
 
@@ -296,16 +345,29 @@ class ServingEngine:
         with self._lock:
             return any(self._queues.values())
 
+    def pending_count(self) -> int:
+        """Total queued-but-unserved requests (the pipelined gateway's
+        round-gather loop polls this between arrivals)."""
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
+
     def drop_pending(self, predicate) -> list[EngineRequest]:
         """Remove every queued request matching ``predicate`` (e.g. all
         of a disconnected connection's work); returns the dropped
-        requests so the caller can cancel their handles."""
+        requests so the caller can cancel their handles.
+
+        Single-pass: ``predicate`` is evaluated exactly once per queued
+        request — predicates may be stateful or expensive (the gateway's
+        closes over a connection object), so they must not be re-run per
+        partition side."""
         dropped: list[EngineRequest] = []
         with self._lock:
             for queue in self._queues.values():
-                if any(predicate(request) for request in queue):
-                    kept = [r for r in queue if not predicate(r)]
-                    dropped.extend(r for r in queue if predicate(r))
+                kept: list[EngineRequest] = []
+                before = len(dropped)
+                for request in queue:
+                    (dropped if predicate(request) else kept).append(request)
+                if len(dropped) != before:
                     queue.clear()
                     queue.extend(kept)
             self._update_queue_gauge()
@@ -338,7 +400,12 @@ class ServingEngine:
         ``stage.*`` spans parented under *its* context — the join
         between a request's trace and the shared round that served it.
         Abandoned active spans (empty rounds) are never recorded.
+
+        In pipelined mode this returns ``[]`` and the results arrive via
+        ``on_commit`` once their group commit fsyncs (see the class
+        docstring); the serial path returns them directly, post-commit.
         """
+        self._maybe_snapshot()
         trc = self._tracer
         round_span = sched_span = None
         mark = 0
@@ -377,20 +444,23 @@ class ServingEngine:
                     queue.extend(kept)
             self._update_queue_gauge()
 
+        # Queue wait is only knowable at dequeue time; the histogram
+        # records on every round, traced or not (the synthetic span
+        # below is the traced-only part).
+        dequeued_at = self._clock()
+        waits = [max(0.0, dequeued_at - request.queued_at)
+                 if request.queued_at else 0.0 for request in selected]
+        queue_wait = self.metrics.histogram("engine.stage.queue_wait")
+        for wait in waits:
+            queue_wait.observe(wait)
         if trc is not None:
             sched = sched_span.finish(selected=len(selected),
                                       expired=len(expired))
             self.metrics.histogram("engine.stage.schedule").observe(sched.dur)
-            # Queue wait is only knowable at dequeue time, so it is a
-            # synthetic span: measured on the scheduling clock, backdated
-            # on the wall clock.
-            dequeued_at = self._clock()
+            # Measured on the scheduling clock, backdated on the wall
+            # clock.
             wall = time.time()
-            for request in selected:
-                wait = max(0.0, dequeued_at - request.queued_at) \
-                    if request.queued_at else 0.0
-                self.metrics.histogram("engine.stage.queue_wait") \
-                    .observe(wait)
+            for request, wait in zip(selected, waits):
                 if request.trace is not None:
                     trc.record_span(
                         "queue.wait", parent=request.trace,
@@ -406,6 +476,12 @@ class ServingEngine:
                 message=f"request for stream {request.stream!r} missed its "
                         f"deadline while queued; it was never served"))
         if not selected:
+            if self.pipeline:
+                self._enqueue_commit(results, trc, round_span)
+                if trc is not None:
+                    round_span.finish(round=self.rounds, streams=0,
+                                      windows=0)
+                return []
             self._commit_durability(results)
             if trc is not None:
                 round_span.finish(round=self.rounds, streams=0, windows=0)
@@ -435,6 +511,16 @@ class ServingEngine:
         except Exception:  # noqa: BLE001 — a metric name/kind collision
             pass           # on a shared registry is not worth hanging
                            # the callers awaiting these results.
+        if self.pipeline:
+            # Hand the batch to the committer and return immediately:
+            # the caller's next run_round() overlaps this batch's fsync.
+            self._enqueue_commit(results, trc, round_span)
+            if trc is not None:
+                finished = round_span.finish(round=self.rounds,
+                                             streams=len(selected),
+                                             windows=windows)
+                self._check_slow_round(finished, trc, mark)
+            return []
         if trc is None:
             self._commit_durability(results)
             return results
@@ -466,17 +552,23 @@ class ServingEngine:
         finished = round_span.finish(round=self.rounds,
                                      streams=len(selected),
                                      windows=windows)
-        if (self.slow_round_ms is not None
-                and finished.dur * 1e3 >= self.slow_round_ms):
-            self.metrics.counter("engine.slow_rounds").inc()
-            hook = self.on_slow_round
-            if hook is not None:
-                try:
-                    hook(trc.since(mark))
-                except Exception:  # noqa: BLE001 — a broken dump hook
-                    # must not fail the round's already-computed results.
-                    self.metrics.counter("engine.trace_errors").inc()
+        self._check_slow_round(finished, trc, mark)
         return results
+
+    def _check_slow_round(self, finished, trc, mark) -> None:
+        """Slow-round escalation: bump the counter and hand the round's
+        span window to ``on_slow_round`` when the round overran."""
+        if (self.slow_round_ms is None
+                or finished.dur * 1e3 < self.slow_round_ms):
+            return
+        self.metrics.counter("engine.slow_rounds").inc()
+        hook = self.on_slow_round
+        if hook is not None:
+            try:
+                hook(trc.since(mark))
+            except Exception:  # noqa: BLE001 — a broken dump hook
+                # must not fail the round's already-computed results.
+                self.metrics.counter("engine.trace_errors").inc()
 
     def _commit_durability(self, results: list[RoundResult]) -> None:
         """End-of-round durability barrier: advance each applied ingest's
@@ -496,9 +588,25 @@ class ServingEngine:
         return normally: scoring is stateless and promises nothing about
         the log.
         """
-        durability = self.durability
-        if durability is None:
+        if self.durability is None:
             return
+        self._commit_records(results, trace_parent=None)
+
+    def _commit_records(self, results: list[RoundResult],
+                        trace_parent=None) -> None:
+        """The shared commit core (serial round thread *and* committer
+        thread): watermark/skip records, then the group-commit fsync.
+
+        On the serial path the fsync goes through ``durability.commit``,
+        which may also snapshot — safe there because the round thread is
+        quiescent between rounds.  On the pipelined path it goes through
+        ``flush_only`` (fsync, no snapshot: a snapshot walks live fleet
+        state the next round is already mutating) and a due snapshot is
+        deferred to the round thread via ``_snapshot_due`` /
+        :meth:`_maybe_snapshot`.  Custom durability hooks without
+        ``flush_only`` get the plain ``commit`` call either way.
+        """
+        durability = self.durability
         with self._lock:
             failed = self._durability_failed
         if not failed:
@@ -512,7 +620,16 @@ class ServingEngine:
                                                   request.wal_seq)
                     else:
                         durability.record_skip(request.wal_seq)
-                durability.commit(self)
+                flush_only = getattr(durability, "flush_only", None) \
+                    if self.pipeline else None
+                if flush_only is not None:
+                    flush_only(trace_parent=trace_parent)
+                    due = getattr(durability, "snapshot_due", None)
+                    if due is not None and due(self.rounds):
+                        with self._lock:
+                            self._snapshot_due = True
+                else:
+                    durability.commit(self)
                 return
             except Exception:  # noqa: BLE001 — fail the acks, keep going
                 self.metrics.counter("engine.durability_errors").inc()
@@ -533,14 +650,180 @@ class ServingEngine:
                         f"and will not survive recovery — treat it as "
                         f"unacknowledged")
 
+    # ------------------------------------------------------------------
+    # Pipelined group commit: the committer thread
+    # ------------------------------------------------------------------
+    def _enqueue_commit(self, results: list[RoundResult], trc,
+                        round_span) -> None:
+        """Hand one round's results to the committer (FIFO).  Called on
+        the round thread; starts the committer lazily on first use."""
+        dur_span = None
+        if trc is not None and round_span is not None:
+            # Opened *here* so its parent is the committing round; the
+            # committer finishes it after the fsync, and the durability
+            # hook parents wal.fsync under its context.
+            dur_span = trc.start("engine.durability",
+                                 parent=round_span.context)
+        if not results:
+            return
+        batch = _CommitBatch(
+            results=results, handed_off=time.perf_counter(),
+            dur_span=dur_span, round_index=self.rounds,
+            wal_seqs=[result.request.wal_seq for result in results
+                      if result.request.wal_seq is not None])
+        with self._lock:
+            if self._committer is None:
+                self._commit_stop = False
+                self._committer = Thread(target=self._committer_main,
+                                         name="engine-committer",
+                                         daemon=True)
+                self._committer.start()
+            self._commit_queue.append(batch)
+            self.metrics.gauge("engine.commit_backlog") \
+                .set(self._commit_backlog_locked())
+            self._commit_cv.notify_all()
+
+    def _commit_backlog_locked(self) -> int:  # repro: lock-held
+        """Batches handed off but not yet committed (queued + active)."""
+        return (len(self._commit_queue)
+                + (1 if self._commit_active is not None else 0))
+
+    def _committer_main(self) -> None:
+        """Committer thread: pop batches FIFO and commit each outside
+        the lock (the fsync must never block admission or scheduling)."""
+        while True:
+            with self._lock:
+                while not self._commit_queue and not self._commit_stop:
+                    self._commit_cv.wait()
+                if not self._commit_queue:
+                    return
+                batch = self._commit_queue.popleft()
+                self._commit_active = batch
+                self.metrics.gauge("engine.commit_backlog") \
+                    .set(self._commit_backlog_locked())
+            try:
+                self._commit_batch(batch)
+            finally:
+                with self._lock:
+                    self._commit_active = None
+                    self.metrics.gauge("engine.commit_backlog") \
+                        .set(self._commit_backlog_locked())
+                    self._commit_cv.notify_all()
+
+    def _commit_batch(self, batch: _CommitBatch) -> None:
+        """Commit one batch and deliver its results (committer thread).
+
+        A durability failure here latches the engine and converts the
+        batch's would-be acks exactly like the serial path — and because
+        the latch is checked per batch, every batch queued *behind* the
+        failure delivers ``durability`` errors too.
+        """
+        self.metrics.histogram("engine.stage.commit_wait") \
+            .observe(time.perf_counter() - batch.handed_off)
+        self.metrics.counter("engine.commit_batches").inc()
+        dur_span = batch.dur_span
+        results = batch.results
+        if self.durability is not None:
+            self._commit_records(
+                results,
+                trace_parent=dur_span.context if dur_span is not None
+                else None)
+        if dur_span is not None:
+            committed = dur_span.finish(
+                durable=self.durability is not None, pipelined=True)
+            self.metrics.histogram("engine.stage.durability") \
+                .observe(committed.dur)
+            trc = self._tracer
+            if trc is not None:
+                for result in results:
+                    request = result.request
+                    if request.op == "ingest" and request.trace is not None:
+                        trc.record_span(
+                            "stage.durability", parent=request.trace,
+                            ts=committed.ts, dur=committed.dur,
+                            attrs={"stream": request.stream,
+                                   "durable": self.durability is not None,
+                                   "outcome": result.kind})
+        callback = self.on_commit
+        if callback is not None:
+            try:
+                callback(results)
+            except Exception:  # noqa: BLE001 — a broken completion sink
+                # must not wedge the committer; later batches still
+                # commit and deliver.
+                self.metrics.counter("engine.commit_errors").inc()
+
+    def drain_commits(self, timeout: float | None = 60.0) -> bool:
+        """Barrier: block until every handed-off batch has committed and
+        delivered (a no-op when nothing is in flight).  Returns ``False``
+        on timeout instead of raising — callers decide how hard to
+        fail."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._commit_queue or self._commit_active is not None:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._commit_cv.wait(timeout=remaining)
+        return True
+
+    def stop_committer(self, timeout: float | None = 60.0) -> None:
+        """Drain, then stop and join the committer thread (idempotent;
+        the engine may start a fresh committer on later handoffs)."""
+        self.drain_commits(timeout=timeout)
+        with self._lock:
+            self._commit_stop = True
+            self._commit_cv.notify_all()
+            committer = self._committer
+            self._committer = None
+        if committer is not None:
+            committer.join(timeout=10.0)
+        with self._lock:
+            self._commit_stop = False
+
+    def _maybe_snapshot(self) -> None:
+        """Run a deferred snapshot on the round thread (pipelined mode).
+
+        The committer only *flags* a due snapshot; taking it requires
+        walking live fleet state, which is only safe here — between
+        rounds, after a full commit drain, with the backend quiescent.
+        """
+        with self._lock:
+            due = self._snapshot_due
+        if not due or self.durability is None:
+            return
+        self.drain_commits()
+        with self._lock:
+            self._snapshot_due = False
+            if self._durability_failed:
+                return
+        snapshot = getattr(self.durability, "snapshot", None)
+        if snapshot is None:
+            return
+        try:
+            snapshot(self)
+        except Exception:  # noqa: BLE001 — same contract as a failed
+            # commit: latch rather than keep acking against a log whose
+            # truncation bookkeeping just failed.
+            self.metrics.counter("engine.durability_errors").inc()
+            with self._lock:
+                self._durability_failed = True
+
     def min_pending_wal_seq(self) -> int | None:
-        """Lowest durability-log seq still queued (``None`` when no
-        queued request carries one) — the snapshot truncation bound:
-        segments holding a logged-but-unserved request must survive."""
+        """Lowest durability-log seq still queued *or riding an
+        unfsynced commit batch* (``None`` when neither holds one) — the
+        snapshot truncation bound: segments holding a logged-but-not-yet-
+        durable request must survive."""
         with self._lock:
             seqs = [request.wal_seq
                     for queue in self._queues.values()
                     for request in queue if request.wal_seq is not None]
+            batches = list(self._commit_queue)
+            if self._commit_active is not None:
+                batches.append(self._commit_active)
+            for batch in batches:
+                seqs.extend(batch.wal_seqs)
         return min(seqs) if seqs else None
 
     @staticmethod
@@ -580,8 +863,20 @@ class ServingEngine:
         safe precisely because no deployment state was touched; the
         subsequent ingest dispatches the already-computed (bit-identical)
         slices.
+
+        Backends exposing a fused ``serve_round`` (the sharded fleet)
+        take a one-scatter fast path on untraced rounds: score and
+        ingest ride a single ring round-trip per shard instead of two.
+        Traced rounds keep the split commands so the per-stage span
+        structure stays exact, and any fused failure falls back to the
+        split path's per-entry isolation — bit parity either way,
+        because scoring is batch-composition-independent.
         """
         trc = self._tracer if round_span is not None else None
+        if trc is None:
+            fused = getattr(self.backend, "serve_round", None)
+            if fused is not None:
+                return self._execute_wave_fused(wave, fused)
         shard_map = None
         if trc is not None:
             mapper = getattr(self.backend, "stream_shards", None)
@@ -678,6 +973,109 @@ class ServingEngine:
                             f"{request.stream!r}")
                 for request in wave]
 
+    def _execute_wave_fused(self, wave: list[EngineRequest],
+                            fused) -> list[RoundResult]:
+        """One wave through the backend's fused ``serve_round`` scatter.
+
+        Failure contract mirrors the split path exactly: a *clean*
+        per-shard score failure (the shard ingested nothing) comes back
+        as ``unscored`` streams, which re-run through the split
+        per-entry isolation; a *raised* fused call is indeterminate for
+        ingest — some shards may have applied their slice before
+        another died — so ingest requests get the same typed
+        ``internal`` error a raised split ingest produces, while
+        stateless ``scores`` requests are retried solo.
+        """
+        outcomes: dict[str, RoundResult] = {}
+        by_stream = {request.stream: request for request in wave}
+        arrivals = {name: request.windows
+                    for name, request in by_stream.items()}
+        ingest_names = [name for name, request in by_stream.items()
+                        if request.op == "ingest"]
+        try:
+            scored, events, unscored = fused(arrivals, ingest_names)
+        except Exception as exc:  # noqa: BLE001 — typed to caller
+            self.metrics.counter("engine.errors").inc()
+            for name, request in by_stream.items():
+                if request.op == "ingest":
+                    outcomes[name] = RoundResult(
+                        request=request, kind="error", code="internal",
+                        message=f"serving round failed: "
+                                f"{type(exc).__name__}: {exc}")
+                else:
+                    try:
+                        solo = self.backend.score(
+                            {name: request.windows})[name]
+                    except Exception as solo_exc:  # noqa: BLE001
+                        outcomes[name] = RoundResult(
+                            request=request, kind="error",
+                            code="bad_request",
+                            message=f"windows for stream {name!r} failed "
+                                    f"to score: "
+                                    f"{type(solo_exc).__name__}: "
+                                    f"{solo_exc}")
+                    else:
+                        outcomes[name] = RoundResult(
+                            request=request, kind="scores", scores=solo)
+            return [outcomes[request.stream] for request in wave]
+        for name, event in events.items():
+            outcomes[name] = RoundResult(
+                request=by_stream[name], kind="event", event=event)
+        for name, request in by_stream.items():
+            if request.op == "scores" and name in scored:
+                outcomes[name] = RoundResult(
+                    request=request, kind="scores", scores=scored[name])
+        if unscored:
+            self._isolate_unscored(unscored, by_stream, outcomes)
+        return [outcomes.get(request.stream) or RoundResult(
+                    request=request, kind="error", code="internal",
+                    message=f"round produced no result for stream "
+                            f"{request.stream!r}")
+                for request in wave]
+
+    def _isolate_unscored(self, unscored: list[str],
+                          by_stream: dict[str, EngineRequest],
+                          outcomes: dict[str, RoundResult]) -> None:
+        """Per-entry isolation for streams whose shard's coalesced score
+        failed cleanly: solo-score each (bit-identical — batch
+        composition never changes scores), then split-ingest the
+        survivors with their precomputed slices."""
+        solo_scored: dict[str, np.ndarray] = {}
+        for name in unscored:
+            request = by_stream[name]
+            try:
+                solo_scored[name] = self.backend.score(
+                    {name: request.windows})[name]
+            except Exception as exc:  # noqa: BLE001 — typed to caller
+                outcomes[name] = RoundResult(
+                    request=request, kind="error", code="bad_request",
+                    message=f"windows for stream {name!r} failed to "
+                            f"score: {type(exc).__name__}: {exc}")
+        retry = {name: by_stream[name].windows for name in solo_scored
+                 if by_stream[name].op == "ingest"}
+        if retry:
+            try:
+                events = self.backend.ingest(
+                    retry,
+                    scores={name: solo_scored[name] for name in retry})
+            except Exception as exc:  # noqa: BLE001 — typed to caller
+                self.metrics.counter("engine.errors").inc()
+                for name in retry:
+                    outcomes[name] = RoundResult(
+                        request=by_stream[name], kind="error",
+                        code="internal",
+                        message=f"serving round failed: "
+                                f"{type(exc).__name__}: {exc}")
+            else:
+                for name, event in events.items():
+                    outcomes[name] = RoundResult(
+                        request=by_stream[name], kind="event", event=event)
+        for name in solo_scored:
+            if by_stream[name].op == "scores":
+                outcomes[name] = RoundResult(
+                    request=by_stream[name], kind="scores",
+                    scores=solo_scored[name])
+
     # ------------------------------------------------------------------
     # Metrics / introspection
     # ------------------------------------------------------------------
@@ -725,6 +1123,20 @@ class ServingEngine:
             info = transport()
             if info:
                 out["transport"] = info
+        if self.pipeline:
+            with self._lock:
+                backlog = self._commit_backlog_locked()
+                queued_batches = len(self._commit_queue)
+            out["pipeline"] = {
+                "enabled": True,
+                "commit_backlog": backlog,
+                "committer_queue_depth": queued_batches,
+                "commit_batches": int(
+                    self.metrics.counter("engine.commit_batches").value),
+            }
+            fused = (out.get("transport") or {}).get("fused_rounds")
+            if fused is not None:
+                out["pipeline"]["fused_rounds"] = fused
         if concurrent and not self.backend.concurrent_safe_stats:
             return out
         batch = self.backend.batch_stats()

@@ -254,6 +254,30 @@ def _shard_worker_main(conn, payload_json: str, infra_payload: dict,
                                       scores=scores)
         if command == "score_only":
             return fleet.score_only(args[0])
+        if command == "serve_round":
+            # Fused score+ingest: one ring round-trip per wave instead
+            # of two.  ``args`` is (arrivals, ingest_names): score every
+            # arrival, then ingest the named subset with its precomputed
+            # slices — identical per-shard batch composition (and so
+            # bit-identical scores) to the split score_only/ingest_round
+            # pair.  A clean score failure ingests nothing and reports
+            # score_error so the parent falls back to per-entry
+            # isolation for this shard's streams only.
+            arrivals, ingest_names = args
+            try:
+                scored = fleet.score_only(arrivals)
+            except Exception as exc:  # noqa: BLE001 — relayed as data,
+                # not an error reply: the other shards' fused results
+                # are still good.
+                return {"scores": None, "events": None,
+                        "score_error": f"{type(exc).__name__}: {exc}"}
+            todo = {name: arrivals[name] for name in ingest_names}
+            events = fleet.ingest_round(
+                todo, batched=True,
+                scores={name: scored[name] for name in todo}) \
+                if todo else {}
+            return {"scores": scored, "events": events,
+                    "score_error": None}
         if command == "snapshot":
             return fleet.to_dict()
         if command == "stats":
@@ -382,7 +406,7 @@ class ShardedFleet:
         self._rings_out: list[RingBuffer | None] = []  # parent -> worker
         self._rings_in: list[RingBuffer | None] = []   # worker -> parent
         self._transport_counters = {"shm_messages": 0, "shm_bytes": 0,
-                                    "pipe_fallbacks": 0}
+                                    "pipe_fallbacks": 0, "fused_rounds": 0}
 
     def _init_engine(self, policy=None, metrics=None) -> None:
         from ..runtime.backends import ShardedBackend
@@ -435,7 +459,13 @@ class ShardedFleet:
         if self._closed:
             raise FleetError("fleet is closed")
 
-    def _send(self, shard: int, message: tuple) -> None:
+    def _encode(self, shard: int, message: tuple) -> bytes | None:
+        """This shard's ring framing for ``message`` (``None`` on a
+        pure-pipe shard, which sends the object inline)."""
+        return dumps_message(message) if self._rings_out[shard] is not None \
+            else None
+
+    def _post(self, shard: int, message: tuple, blob: bytes | None) -> None:
         # A send to a dead worker fails; its queued "fatal" reply (or an
         # EOF) is still waiting on the recv side, which reports the cause.
         #
@@ -446,8 +476,7 @@ class ShardedFleet:
         conn = self._conns[shard]
         ring = self._rings_out[shard]
         try:
-            if ring is not None:
-                blob = dumps_message(message)
+            if ring is not None and blob is not None:
                 if ring.write(blob):
                     self._transport_counters["shm_messages"] += 1
                     self._transport_counters["shm_bytes"] += len(blob)
@@ -457,6 +486,19 @@ class ShardedFleet:
             conn.send(("inline", message))
         except (BrokenPipeError, OSError, RingError):
             pass
+
+    def _send(self, shard: int, message: tuple) -> None:
+        self._post(shard, message, self._encode(shard, message))
+
+    def _post_all(self, messages: dict[int, tuple]) -> None:
+        """Scatter sends with encoding hoisted out of the send loop:
+        every shard's pickle/binframe blob is built *before* the first
+        doorbell rings, so the workers start as close to simultaneously
+        as possible instead of shard N+1 waiting out shard N's encode."""
+        blobs = {shard: self._encode(shard, message)
+                 for shard, message in messages.items()}
+        for shard, message in messages.items():
+            self._post(shard, message, blobs[shard])
 
     def _recv(self, shard: int) -> tuple:
         try:
@@ -508,8 +550,11 @@ class ShardedFleet:
         desynchronize the next command.
         """
         self._check_open()
+        # One message → one encode, reused for every ring shard.
+        blob = dumps_message(message) \
+            if any(ring is not None for ring in self._rings_out) else None
         for shard in range(len(self._conns)):
-            self._send(shard, message)
+            self._post(shard, message, blob)
         replies = [self._recv(shard) for shard in range(len(self._conns))]
         failed = [(shard, status, value)
                   for shard, (status, value) in enumerate(replies)
@@ -694,6 +739,7 @@ class ShardedFleet:
                 raise KeyError(f"no stream named {name!r} attached")
             per_shard.setdefault(shard, {})[name] = value
         shards = sorted(per_shard)
+        messages: dict[int, tuple] = {}
         for shard in shards:
             message = (command, per_shard[shard], *extra)
             if trace is not None:
@@ -701,7 +747,8 @@ class ShardedFleet:
                            {"trace_id": trace.trace_id,
                             "parent_id": trace.span_id,
                             "shard": shard}, message)
-            self._send(shard, message)
+            messages[shard] = message
+        self._post_all(messages)
         merged: dict = {}
         spans: list[dict] = []
         failed: list[tuple[int, str, object]] = []
@@ -747,6 +794,58 @@ class ShardedFleet:
         """Score externally supplied windows without feeding any
         monitor; the sharded twin of :meth:`DeploymentFleet.score_only`."""
         return self.engine.score_only(arrivals)
+
+    def serve_round(self, arrivals: dict,
+                    ingest: list[str]) -> tuple[dict, dict, list[str]]:
+        """Fused score+ingest scatter: one ring round-trip per involved
+        shard instead of the split ``score_only`` + ``ingest_round``
+        pair.  Returns ``(scored, events, unscored)`` — per-stream score
+        arrays, per-stream :class:`FleetEvent` results for the ``ingest``
+        subset, and the streams of any shard whose coalesced score
+        failed *cleanly* (that shard ingested nothing, so the caller can
+        retry those streams through the split per-entry isolation path).
+
+        Each shard scores its slice with the same batch composition the
+        split scatter produces, so scores are bit-identical.  Raises
+        :class:`~repro.errors.WorkerError` only on worker death — like a
+        raised :meth:`ingest_round`, an indeterminate outcome the caller
+        must not blindly re-send.
+        """
+        self._check_open()
+        per_shard: dict[int, dict] = {}
+        for name, value in arrivals.items():
+            shard = self._assignment.get(name)
+            if shard is None:
+                raise KeyError(f"no stream named {name!r} attached")
+            per_shard.setdefault(shard, {})[name] = value
+        ingest_set = set(ingest)
+        shards = sorted(per_shard)
+        self._post_all({
+            shard: ("serve_round", per_shard[shard],
+                    [name for name in per_shard[shard]
+                     if name in ingest_set])
+            for shard in shards})
+        self._transport_counters["fused_rounds"] += 1
+        scored: dict = {}
+        events: dict = {}
+        unscored: list[str] = []
+        failed: list[tuple[int, str, object]] = []
+        for shard in shards:
+            status, value = self._recv(shard)
+            if status != "ok":
+                failed.append((shard, status, value))
+            elif value["score_error"] is not None:
+                unscored.extend(per_shard[shard])
+            else:
+                scored.update(value["scores"])
+                events.update(value["events"])
+        if failed:
+            shard, status, value = next(
+                (f for f in failed if f[1] == "fatal"), failed[0])
+            cls = WorkerStartupError if status == "fatal" else WorkerError
+            raise cls("; ".join(f"shard {s}: {v}" for s, _, v in failed),
+                      shard=shard)
+        return scored, events, unscored
 
     # ------------------------------------------------------------------
     # Benchmark hooks (see serving.bench.run_shard_benchmark)

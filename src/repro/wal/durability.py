@@ -67,8 +67,14 @@ class WalDurability:
     Thread-safety follows the engine's: :meth:`record_submit` runs under
     the engine's admission lock (one appender at a time in submit
     order), while :meth:`record_applied`/:meth:`record_skip`/
-    :meth:`commit` run on the single round-runner thread; the log's own
-    lock covers the cross-thread file access.
+    :meth:`commit` run on the single round-runner thread — or, in the
+    engine's pipelined mode, on its single committer thread (with
+    :meth:`flush_only` in place of :meth:`commit`); either way there is
+    exactly one committing thread, and the log's own lock covers the
+    cross-thread file access.  :meth:`snapshot` always runs on the round
+    thread: the pipelined engine defers a due snapshot (reported by
+    :meth:`snapshot_due`) to the gap between rounds, behind a full
+    commit drain, because snapshotting walks live fleet state.
     """
 
     def __init__(self, fleet, directory: str | Path,
@@ -155,6 +161,20 @@ class WalDurability:
             trace_parent=getattr(engine, "durability_trace", None))
         if self.snapshots.due(engine.rounds):
             self.snapshot(engine)
+
+    def flush_only(self, trace_parent=None) -> None:
+        """The pipelined engine's commit barrier: the group-commit fsync
+        *without* the snapshot check.  Safe from the committer thread —
+        it touches only the log (which has its own lock) — whereas a
+        snapshot walks fleet state the next round may already be
+        mutating; the engine polls :meth:`snapshot_due` and takes the
+        snapshot itself on the round thread."""
+        self.wal.flush(trace_parent=trace_parent)
+
+    def snapshot_due(self, rounds: int) -> bool:
+        """Whether the snapshot policy wants a snapshot after ``rounds``
+        engine rounds (cheap, lock-free; see :meth:`flush_only`)."""
+        return self.snapshots.due(rounds)
 
     # ------------------------------------------------------------------
     # Snapshots
